@@ -1,0 +1,63 @@
+// Command llmms runs the LLM-MS platform: the application layer (web UI,
+// query API with SSE streaming, sessions, RAG ingestion, settings) backed
+// by the in-process simulated inference engine.
+//
+// Usage:
+//
+//	llmms [-addr :8080] [-questions 400] [-latency 0.02]
+//
+// -questions sizes the engine's knowledge base (the simulated models can
+// answer that many benchmark questions); -latency scales the simulated
+// per-token decode delay so streaming is visibly incremental (0 disables
+// sleeping entirely).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"llmms/internal/llm"
+	"llmms/internal/server"
+	"llmms/internal/truthfulqa"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	questions := flag.Int("questions", 400, "knowledge base size (benchmark questions the models can answer)")
+	latency := flag.Float64("latency", 0.02, "simulated decode latency scale (0 = no delay)")
+	dataset := flag.String("dataset", "", "optional TruthfulQA JSON file to use as the knowledge base")
+	flag.Parse()
+
+	ds, err := loadDataset(*dataset, *questions)
+	if err != nil {
+		log.Fatalf("llmms: %v", err)
+	}
+	engine := llm.NewEngine(llm.Options{
+		Knowledge:    llm.NewKnowledge(ds),
+		LatencyScale: *latency,
+	})
+	srv, err := server.NewServer(server.Options{Engine: engine})
+	if err != nil {
+		log.Fatalf("llmms: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Printf("LLM-MS %s listening on %s (%d questions in knowledge base)\n",
+		server.Version, *addr, len(ds))
+	fmt.Printf("open http://localhost%s in a browser\n", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatalf("llmms: %v", err)
+	}
+}
+
+func loadDataset(path string, n int) (truthfulqa.Dataset, error) {
+	if path == "" {
+		return truthfulqa.Generate(n, 1), nil
+	}
+	return truthfulqa.LoadJSON(path)
+}

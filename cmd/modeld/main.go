@@ -1,0 +1,42 @@
+// Command modeld runs the standalone model daemon: an Ollama-compatible
+// HTTP server (NDJSON streaming /api/generate, /api/embed, /api/tags,
+// /api/show, /api/ps, /api/gpu) in front of the simulated inference
+// engine. It stands in for "Ollama daemon 0.4.5" in the paper's
+// computation layer, so the orchestrator — or any Ollama client — can
+// drive the simulated models over HTTP.
+//
+// Usage:
+//
+//	modeld [-addr :11434] [-questions 400] [-latency 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"llmms/internal/llm"
+	"llmms/internal/modeld"
+	"llmms/internal/truthfulqa"
+)
+
+func main() {
+	addr := flag.String("addr", ":11434", "listen address (Ollama's default port)")
+	questions := flag.Int("questions", 400, "knowledge base size")
+	latency := flag.Float64("latency", 0.02, "simulated decode latency scale (0 = no delay)")
+	flag.Parse()
+
+	engine := llm.NewEngine(llm.Options{
+		Knowledge:    llm.NewKnowledge(truthfulqa.Generate(*questions, 1)),
+		LatencyScale: *latency,
+	})
+	srv := modeld.NewServer(engine)
+	fmt.Printf("modeld listening on %s\n", *addr)
+	for _, p := range engine.Profiles() {
+		fmt.Printf("  model %-12s %s %s ctx=%d\n", p.Name, p.Parameters, p.Quantization, p.ContextWindow)
+	}
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatalf("modeld: %v", err)
+	}
+}

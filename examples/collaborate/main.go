@@ -1,0 +1,71 @@
+// Collaborate: the multi-agent collaboration framework (§9.5) answering
+// compound questions — the planner decomposes the query, workers answer
+// every sub-question through the full LLM-MS orchestrator in parallel,
+// and the checker verifies each sub-answer before composition. User
+// feedback then teaches the orchestrator which models to favor
+// (self-improving orchestration, §9.5).
+//
+//	go run ./examples/collaborate
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"llmms/internal/agents"
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+func main() {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(400, 1))})
+	feedback := core.NewFeedbackStore()
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 256
+	cfg.Feedback = feedback
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	team, err := agents.NewTeam(orch, agents.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	compound := []string{
+		"Are bats blind? What happens if you swallow chewing gum?",
+		"What is the capital of France and what is the currency of Japan?",
+		"Do vaccines cause autism; does cracking your knuckles cause arthritis?",
+	}
+	for _, q := range compound {
+		res, err := team.Answer(context.Background(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Q: %s\n", q)
+		fmt.Printf("   plan: %d sub-questions, %d tokens total\n", len(res.Sub), res.TokensUsed)
+		for _, sub := range res.Sub {
+			status := "✓ verified"
+			if !sub.Verified {
+				status = "✗ unverified"
+			}
+			if sub.Retried {
+				status += " (after retry)"
+			}
+			fmt.Printf("   • %-55q → %s [%s, relevance %.2f]\n",
+				sub.Question, sub.Result.Model, status, sub.Relevance)
+
+			// The user confirms good answers — the feedback store turns
+			// this into per-model priors for future queries.
+			if sub.Verified {
+				feedback.Rate(sub.Result.Model, 1)
+			}
+		}
+		fmt.Printf("A: %s\n\n", res.Answer)
+	}
+
+	fmt.Println("learned model priors from feedback:")
+	fmt.Print(feedback.String())
+}

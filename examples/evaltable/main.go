@@ -1,0 +1,39 @@
+// Evaltable: a miniature of the paper's evaluation — run a slice of the
+// TruthfulQA benchmark through all five systems and print the three
+// figures (8.1–8.3), exactly as the full evalrunner does but small
+// enough to finish in a second.
+//
+//	go run ./examples/evaltable
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"llmms/internal/bench"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+func main() {
+	// 60 questions: the hand-written seed bank covering the benchmark's
+	// misconception-style categories.
+	dataset := truthfulqa.Generate(60, 1)
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(dataset)})
+
+	report, err := bench.Run(context.Background(), engine, bench.Config{
+		Dataset:   dataset,
+		MaxTokens: 128, // scaled λ_max; see DESIGN.md "Calibration notes"
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report.RenderAll())
+
+	fmt.Println("Which model wins under orchestration:")
+	for _, sys := range []string{"LLM-MS OUA", "LLM-MS MAB"} {
+		fmt.Printf("  %-12s %v\n", sys, report.WinnerShare(sys))
+	}
+}

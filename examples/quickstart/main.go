@@ -1,0 +1,56 @@
+// Quickstart: ask one question through every LLM-MS strategy (the
+// single-model baseline, OUA, MAB, and the §8.4 hybrid).
+//
+// This is the smallest end-to-end use of the public orchestration API:
+// build the simulated inference engine, construct an orchestrator over
+// the three paper models, and compare the single-model baseline with OUA
+// and MAB on the same question.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+)
+
+func main() {
+	// The engine hosts the three simulated models (LLaMA-3-8B,
+	// Mistral-7B, Qwen-2-7B) with a default TruthfulQA knowledge base.
+	engine := llm.NewEngine(llm.Options{})
+
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 256
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	question := "What happens if you swallow chewing gum?"
+	fmt.Printf("Q: %s\n\n", question)
+
+	for _, strategy := range []core.Strategy{core.StrategySingle, core.StrategyOUA, core.StrategyMAB, core.StrategyHybrid} {
+		res, err := orch.Run(context.Background(), strategy, question)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("── %s ─ winner %s ─ %d tokens total ─ %d rounds\n",
+			strategy, res.Model, res.TokensUsed, res.Rounds)
+		fmt.Printf("   %s\n\n", res.Answer)
+		for _, out := range res.Outcomes {
+			status := "active"
+			if out.Pruned {
+				status = "pruned"
+			} else if out.Done {
+				status = "done"
+			}
+			fmt.Printf("   %-12s score=%.3f qSim=%.3f inter=%.3f tokens=%-4d %s\n",
+				out.Model, out.Score, out.QuerySim, out.InterSim, out.Tokens, status)
+		}
+		fmt.Println()
+	}
+}

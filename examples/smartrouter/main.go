@@ -1,0 +1,107 @@
+// Smart router: the paper's §9.5 extensions working together over the
+// HTTP model daemon.
+//
+// This example demonstrates three things at once:
+//
+//  1. Orchestration over the wire: the models are served by the
+//     Ollama-compatible daemon (internal/modeld) on a local port, and the
+//     orchestrator drives them through the HTTP client — exactly how the
+//     paper's computation layer talks to Ollama 0.4.5.
+//
+//  2. Cognitive routing with semantic task indexing: queries are tagged
+//     with an intent; the task index learns which models win per intent
+//     and narrows the candidate pool once it is confident.
+//
+//  3. Natural-language configuration: a plain instruction reshapes the
+//     orchestrator configuration before routing starts.
+//
+//     go run ./examples/smartrouter
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/modeld"
+	"llmms/internal/router"
+	"llmms/internal/truthfulqa"
+)
+
+func main() {
+	// 1. Serve the simulated models over HTTP, like the Ollama daemon.
+	// 500 questions ⇒ the knowledge base contains a large arithmetic
+	// section (Qwen's specialty), which is what the router will learn.
+	dataset := truthfulqa.Generate(500, 1)
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(dataset)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, modeld.NewServer(engine)) }()
+	client := modeld.NewClient("http://"+ln.Addr().String(), nil)
+	fmt.Printf("model daemon on %s\n", ln.Addr())
+
+	models, err := client.Tags(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range models {
+		fmt.Printf("  serving %s\n", m.Name)
+	}
+	fmt.Println()
+
+	// 2. Apply a natural-language configuration instruction.
+	instruction := "avoid slow models and keep responses under 80 tokens"
+	directives := router.ParseDirectives(instruction)
+	base := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	base.MaxTokens = 128
+	base, changes := directives.Apply(base, engine.Profiles())
+	fmt.Printf("instruction: %q\n", instruction)
+	for _, c := range changes {
+		fmt.Printf("  → %s\n", c)
+	}
+	fmt.Printf("  model pool is now %v, λ_max=%d\n\n", base.Models, base.MaxTokens)
+
+	// 3. Route queries through the task index, over HTTP.
+	r, err := router.New(client, base, router.Options{
+		Strategy:        directives.StrategyOr(core.StrategyOUA),
+		MinObservations: 2,
+		RouteWidth:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Draw real benchmark questions: several arithmetic ones to warm the
+	// index, one misconception question to show the cold-intent fallback.
+	var queries []string
+	for _, it := range dataset.ByCategory("Arithmetic").Head(4) {
+		queries = append(queries, it.Question)
+	}
+	queries = append(queries[:2], append([]string{"Are bats blind?"}, queries[2:]...)...)
+	for _, q := range queries {
+		res, dec, err := r.Route(context.Background(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "full orchestration"
+		if dec.Routed {
+			mode = fmt.Sprintf("routed to %v", dec.Models)
+		}
+		fmt.Printf("Q: %-28s [%s, %s]\n", q, dec.Intent, mode)
+		fmt.Printf("A (%s, %d tokens): %s\n\n", res.Model, res.TokensUsed, res.Answer)
+	}
+
+	fmt.Println("task index learned:")
+	for intent, byModel := range r.Index().Snapshot() {
+		fmt.Printf("  %-12s", intent)
+		for model, cell := range byModel {
+			fmt.Printf(" %s(n=%.0f, r̄=%.2f)", model, cell[0], cell[1])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module llmms
+
+go 1.22

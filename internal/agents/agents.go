@@ -1,0 +1,281 @@
+// Package agents implements the paper's §9.5 "Multi-Agent Collaboration
+// Framework" proposal: complex questions are broken into smaller tasks
+// handled by different workers — "one module gathers background info,
+// another figures out how to piece an answer together, and a third
+// double-checks for errors. They can work in sequence or side by side."
+//
+// The realization here has three roles:
+//
+//   - the Planner decomposes a compound query into sub-questions
+//     (conjunctions, multiple question marks, enumerated clauses);
+//   - Workers answer every sub-question concurrently, each through the
+//     full LLM-MS orchestrator (so every sub-task still benefits from
+//     multi-model selection);
+//   - the Checker verifies each sub-answer's semantic relevance to its
+//     sub-question and sends failures back for one retry under an
+//     alternate strategy before composing the final answer.
+package agents
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"llmms/internal/core"
+	"llmms/internal/embedding"
+)
+
+// Options tunes a Team.
+type Options struct {
+	// Strategy is the orchestration policy workers use. Default OUA.
+	Strategy core.Strategy
+	// RetryStrategy is used by the checker's second attempt. Default MAB.
+	RetryStrategy core.Strategy
+	// VerifyThreshold is the minimum cosine similarity between a
+	// sub-answer and its sub-question for the checker to accept it.
+	// Default 0.15 (the simulated encoder's relevant/irrelevant gap sits
+	// well above this).
+	VerifyThreshold float64
+	// MaxSubtasks caps the planner's decomposition. Default 6.
+	MaxSubtasks int
+	// Encoder is used by the checker; nil means embedding.Default().
+	Encoder embedding.Encoder
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == "" {
+		o.Strategy = core.StrategyOUA
+	}
+	if o.RetryStrategy == "" {
+		o.RetryStrategy = core.StrategyMAB
+	}
+	if o.VerifyThreshold <= 0 {
+		o.VerifyThreshold = 0.15
+	}
+	if o.MaxSubtasks <= 0 {
+		o.MaxSubtasks = 6
+	}
+	if o.Encoder == nil {
+		o.Encoder = embedding.Default()
+	}
+	return o
+}
+
+// Team coordinates the planner, workers, and checker over one
+// orchestrator.
+type Team struct {
+	orch *core.Orchestrator
+	opts Options
+}
+
+// NewTeam builds a team over an orchestrator.
+func NewTeam(orch *core.Orchestrator, opts Options) (*Team, error) {
+	if orch == nil {
+		return nil, fmt.Errorf("agents: nil orchestrator")
+	}
+	return &Team{orch: orch, opts: opts.withDefaults()}, nil
+}
+
+// SubResult is one worker's outcome for one sub-question.
+type SubResult struct {
+	// Question is the planner-assigned sub-question.
+	Question string `json:"question"`
+	// Result is the orchestrated answer.
+	Result core.Result `json:"result"`
+	// Relevance is the checker's cosine score for the final answer.
+	Relevance float64 `json:"relevance"`
+	// Verified reports whether the checker accepted the answer.
+	Verified bool `json:"verified"`
+	// Retried reports whether the checker's retry produced this answer.
+	Retried bool `json:"retried"`
+}
+
+// TeamResult is the composed outcome of one collaborative query.
+type TeamResult struct {
+	// Query is the original compound question.
+	Query string `json:"query"`
+	// Sub are the per-sub-question outcomes, in plan order.
+	Sub []SubResult `json:"sub"`
+	// Answer is the composed response.
+	Answer string `json:"answer"`
+	// TokensUsed is the total cost across all workers and retries.
+	TokensUsed int `json:"tokens_used"`
+	// Elapsed is the wall-clock time for the whole collaboration.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Answer runs the plan → work → check → compose pipeline.
+func (t *Team) Answer(ctx context.Context, query string) (TeamResult, error) {
+	start := time.Now()
+	tasks := Decompose(query, t.opts.MaxSubtasks)
+	res := TeamResult{Query: query, Sub: make([]SubResult, len(tasks))}
+
+	// Workers run side by side, one per sub-question.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, task := range tasks {
+		wg.Add(1)
+		go func(i int, task string) {
+			defer wg.Done()
+			sub, err := t.workAndCheck(ctx, task)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			res.Sub[i] = sub
+		}(i, task)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return TeamResult{}, firstErr
+	}
+
+	// Composer: stitch verified answers in plan order; a sub-answer the
+	// checker could not verify is included but flagged, so the caller
+	// (and the user) can see which part is weak.
+	var parts []string
+	for _, s := range res.Sub {
+		answer := strings.TrimSpace(s.Result.Answer)
+		if !s.Verified {
+			answer += " (unverified)"
+		}
+		parts = append(parts, answer)
+		res.TokensUsed += s.Result.TokensUsed
+	}
+	res.Answer = strings.Join(parts, " ")
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// workAndCheck answers one sub-question and verifies it, retrying once
+// under the alternate strategy when the checker rejects the answer.
+func (t *Team) workAndCheck(ctx context.Context, task string) (SubResult, error) {
+	result, err := t.orch.Run(ctx, t.opts.Strategy, task)
+	if err != nil {
+		return SubResult{}, fmt.Errorf("agents: worker %q: %w", task, err)
+	}
+	sub := SubResult{Question: task, Result: result}
+	sub.Relevance = t.relevance(task, result.Answer)
+	sub.Verified = sub.Relevance >= t.opts.VerifyThreshold
+	if sub.Verified {
+		return sub, nil
+	}
+	// Checker rejected: one retry with the alternate strategy; keep
+	// whichever answer the checker scores higher.
+	retry, err := t.orch.Run(ctx, t.opts.RetryStrategy, task)
+	if err != nil {
+		return SubResult{}, fmt.Errorf("agents: retry %q: %w", task, err)
+	}
+	retryRelevance := t.relevance(task, retry.Answer)
+	retryTokens := sub.Result.TokensUsed + retry.TokensUsed
+	if retryRelevance > sub.Relevance {
+		sub.Result = retry
+		sub.Relevance = retryRelevance
+		sub.Retried = true
+		sub.Verified = retryRelevance >= t.opts.VerifyThreshold
+	}
+	// Both attempts' tokens were spent regardless of which answer wins.
+	sub.Result.TokensUsed = retryTokens
+	return sub, nil
+}
+
+func (t *Team) relevance(question, answer string) float64 {
+	if strings.TrimSpace(answer) == "" {
+		return 0
+	}
+	return embedding.Cosine(t.opts.Encoder.Encode(question), t.opts.Encoder.Encode(answer))
+}
+
+// Decompose is the planner: it splits a compound query into at most max
+// sub-questions. Boundaries are sentence-final question marks and
+// top-level "and also" / "; " / ", and " conjunctions joining clauses
+// that each carry their own interrogative. A query that does not
+// decompose returns itself as the single task.
+func Decompose(query string, max int) []string {
+	query = strings.TrimSpace(query)
+	if query == "" {
+		return nil
+	}
+	if max <= 0 {
+		max = 6
+	}
+
+	// Pass 1: split on question marks — "A? B? C?" is three tasks.
+	var pieces []string
+	rest := query
+	for {
+		i := strings.IndexByte(rest, '?')
+		if i < 0 {
+			if s := strings.TrimSpace(rest); s != "" {
+				pieces = append(pieces, s)
+			}
+			break
+		}
+		pieces = append(pieces, strings.TrimSpace(rest[:i+1]))
+		rest = rest[i+1:]
+	}
+
+	// Pass 2: inside each piece, split top-level conjunctions when both
+	// sides look like questions ("what is X and what is Y?").
+	var tasks []string
+	for _, p := range pieces {
+		tasks = append(tasks, splitConjunctions(p)...)
+	}
+	if len(tasks) > max {
+		tasks = tasks[:max]
+	}
+	if len(tasks) == 0 {
+		return []string{query}
+	}
+	return tasks
+}
+
+// interrogatives open a clause that can stand alone as a question.
+var interrogatives = []string{
+	"what ", "who ", "where ", "when ", "which ", "why ", "how ",
+	"is ", "are ", "do ", "does ", "did ", "can ", "should ", "was ", "were ",
+}
+
+func splitConjunctions(piece string) []string {
+	lower := strings.ToLower(piece)
+	for _, sep := range []string{"; ", ", and ", " and also ", " and "} {
+		idx := strings.Index(lower, sep)
+		if idx < 0 {
+			continue
+		}
+		left := strings.TrimSpace(piece[:idx])
+		right := strings.TrimSpace(piece[idx+len(sep):])
+		if left == "" || right == "" || !startsInterrogative(right) {
+			continue
+		}
+		// Both sides must be askable; carry the left's terminal "?" over.
+		if !strings.HasSuffix(left, "?") {
+			left += "?"
+		}
+		if !strings.HasSuffix(right, "?") {
+			right += "?"
+		}
+		return append(splitConjunctions(left), splitConjunctions(right)...)
+	}
+	if s := strings.TrimSpace(piece); s != "" {
+		return []string{s}
+	}
+	return nil
+}
+
+func startsInterrogative(s string) bool {
+	lower := strings.ToLower(s)
+	for _, w := range interrogatives {
+		if strings.HasPrefix(lower, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package agents
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+func TestDecompose(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{
+			"Are bats blind?",
+			[]string{"Are bats blind?"},
+		},
+		{
+			"Are bats blind? Do goldfish have a three-second memory?",
+			[]string{"Are bats blind?", "Do goldfish have a three-second memory?"},
+		},
+		{
+			"What is the capital of France and what is the currency of Japan?",
+			[]string{"What is the capital of France?", "what is the currency of Japan?"},
+		},
+		{
+			"Tell me about the history of tea and its ceremonies",
+			[]string{"Tell me about the history of tea and its ceremonies"},
+		},
+		{
+			"Are bats blind; do vaccines cause autism?",
+			[]string{"Are bats blind?", "do vaccines cause autism?"},
+		},
+	}
+	for _, tc := range cases {
+		got := Decompose(tc.query, 6)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Decompose(%q) = %q, want %q", tc.query, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Decompose(%q)[%d] = %q, want %q", tc.query, i, got[i], tc.want[i])
+			}
+		}
+	}
+	if got := Decompose("", 6); got != nil {
+		t.Fatalf("empty query decomposed to %v", got)
+	}
+	// The cap truncates runaway decompositions.
+	many := strings.Repeat("Are bats blind? ", 10)
+	if got := Decompose(many, 3); len(got) != 3 {
+		t.Fatalf("cap ignored: %d tasks", len(got))
+	}
+}
+
+func newTeam(t *testing.T) *Team {
+	t.Helper()
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 200
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := NewTeam(orch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return team
+}
+
+func TestTeamAnswersCompoundQuery(t *testing.T) {
+	team := newTeam(t)
+	res, err := team.Answer(context.Background(),
+		"Are bats blind? What happens if you swallow chewing gum?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sub) != 2 {
+		t.Fatalf("%d sub-results", len(res.Sub))
+	}
+	lower := strings.ToLower(res.Answer)
+	if !strings.Contains(lower, "bat") && !strings.Contains(lower, "blind") && !strings.Contains(lower, "see") {
+		t.Fatalf("first sub-answer missing from composition: %q", res.Answer)
+	}
+	if !strings.Contains(lower, "gum") && !strings.Contains(lower, "digest") {
+		t.Fatalf("second sub-answer missing from composition: %q", res.Answer)
+	}
+	total := 0
+	for _, s := range res.Sub {
+		if s.Question == "" || s.Result.Answer == "" {
+			t.Fatalf("incomplete sub-result: %+v", s)
+		}
+		total += s.Result.TokensUsed
+	}
+	if total != res.TokensUsed {
+		t.Fatalf("token accounting: %d != %d", total, res.TokensUsed)
+	}
+}
+
+func TestTeamVerifiesRelevantAnswers(t *testing.T) {
+	team := newTeam(t)
+	res, err := team.Answer(context.Background(), "Do vaccines cause autism?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sub) != 1 {
+		t.Fatalf("%d sub-results", len(res.Sub))
+	}
+	if !res.Sub[0].Verified {
+		t.Fatalf("checker rejected an on-topic benchmark answer: %+v", res.Sub[0])
+	}
+	if strings.Contains(res.Answer, "(unverified)") {
+		t.Fatalf("verified answer flagged: %q", res.Answer)
+	}
+}
+
+func TestTeamCheckerRetries(t *testing.T) {
+	// A high threshold forces the checker to reject the first attempt
+	// and retry under the alternate strategy.
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 200
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team, err := NewTeam(orch, Options{VerifyThreshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := team.Answer(context.Background(), "Are bats blind?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := res.Sub[0]
+	if sub.Verified {
+		t.Fatalf("0.99 threshold verified: %+v", sub)
+	}
+	if !strings.Contains(res.Answer, "(unverified)") {
+		t.Fatalf("unverified answer not flagged: %q", res.Answer)
+	}
+	// Both attempts' tokens are accounted.
+	if sub.Result.TokensUsed <= 200/3 {
+		t.Fatalf("retry tokens unaccounted: %d", sub.Result.TokensUsed)
+	}
+}
+
+func TestTeamPropagatesErrors(t *testing.T) {
+	team := newTeam(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := team.Answer(ctx, "Are bats blind? Do goldfish forget?"); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if _, err := NewTeam(nil, Options{}); err == nil {
+		t.Fatal("expected error for nil orchestrator")
+	}
+}
+
+func BenchmarkTeamAnswer(b *testing.B) {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 128
+	orch, _ := core.New(engine, cfg)
+	team, _ := NewTeam(orch, Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := team.Answer(context.Background(),
+			"Are bats blind? What happens if you swallow chewing gum?"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package arena implements the paper's §9.5 "Game-Theoretic Model
+// Coordination" proposal: each model is a player that earns rating from
+// the quality of the answers it produces. After every orchestrated
+// query, the candidates' combined scores are treated as the outcomes of
+// pairwise games — the higher-scoring model beats the lower-scoring one
+// — and an Elo update moves the ratings. Over many queries the rating
+// table becomes a long-horizon, query-independent ranking of the model
+// pool that complements the orchestrator's per-query scores, and can be
+// fed back as selection priors or surfaced as a leaderboard.
+package arena
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"llmms/internal/core"
+)
+
+// Options tunes an Arena.
+type Options struct {
+	// InitialRating is every player's starting Elo. Default 1500.
+	InitialRating float64
+	// KFactor controls update size. Default 24.
+	KFactor float64
+	// DrawMargin treats score gaps at or below it as draws. Default 0.01.
+	DrawMargin float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialRating <= 0 {
+		o.InitialRating = 1500
+	}
+	if o.KFactor <= 0 {
+		o.KFactor = 24
+	}
+	if o.DrawMargin <= 0 {
+		o.DrawMargin = 0.01
+	}
+	return o
+}
+
+// Player is one model's arena state.
+type Player struct {
+	// Model is the model tag.
+	Model string `json:"model"`
+	// Rating is the current Elo rating.
+	Rating float64 `json:"rating"`
+	// Games is how many pairwise games the player has been scored in.
+	Games int `json:"games"`
+	// Wins, Draws, and Losses break Games down.
+	Wins   int `json:"wins"`
+	Draws  int `json:"draws"`
+	Losses int `json:"losses"`
+}
+
+// Arena maintains Elo ratings over orchestration outcomes. Safe for
+// concurrent use.
+type Arena struct {
+	opts Options
+
+	mu      sync.Mutex
+	players map[string]*Player
+}
+
+// New returns an empty arena.
+func New(opts Options) *Arena {
+	return &Arena{opts: opts.withDefaults(), players: make(map[string]*Player)}
+}
+
+func (a *Arena) playerLocked(model string) *Player {
+	p, ok := a.players[model]
+	if !ok {
+		p = &Player{Model: model, Rating: a.opts.InitialRating}
+		a.players[model] = p
+	}
+	return p
+}
+
+// Observe records one orchestrated query: every pair of candidates that
+// both produced output plays one game, decided by their combined scores.
+// Candidates that generated nothing (never pulled, or pruned before
+// producing output) sit the round out.
+func (a *Arena) Observe(res core.Result) {
+	var competitors []core.ModelOutcome
+	for _, out := range res.Outcomes {
+		if out.Tokens > 0 {
+			competitors = append(competitors, out)
+		}
+	}
+	if len(competitors) < 2 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := 0; i < len(competitors); i++ {
+		for j := i + 1; j < len(competitors); j++ {
+			a.gameLocked(competitors[i], competitors[j])
+		}
+	}
+}
+
+// gameLocked applies one Elo update between two outcomes.
+func (a *Arena) gameLocked(x, y core.ModelOutcome) {
+	px, py := a.playerLocked(x.Model), a.playerLocked(y.Model)
+	expX := 1 / (1 + math.Pow(10, (py.Rating-px.Rating)/400))
+
+	var scoreX float64
+	switch {
+	case math.Abs(x.Score-y.Score) <= a.opts.DrawMargin:
+		scoreX = 0.5
+		px.Draws++
+		py.Draws++
+	case x.Score > y.Score:
+		scoreX = 1
+		px.Wins++
+		py.Losses++
+	default:
+		scoreX = 0
+		px.Losses++
+		py.Wins++
+	}
+	px.Games++
+	py.Games++
+	delta := a.opts.KFactor * (scoreX - expX)
+	px.Rating += delta
+	py.Rating -= delta
+}
+
+// Rating returns a player's current Elo (the initial rating for unknown
+// models).
+func (a *Arena) Rating(model string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p, ok := a.players[model]; ok {
+		return p.Rating
+	}
+	return a.opts.InitialRating
+}
+
+// Standings returns the players ordered by descending rating.
+func (a *Arena) Standings() []Player {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Player, 0, len(a.players))
+	for _, p := range a.players {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rating != out[j].Rating {
+			return out[i].Rating > out[j].Rating
+		}
+		return out[i].Model < out[j].Model
+	})
+	return out
+}
+
+// String renders the standings as a leaderboard table.
+func (a *Arena) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %7s %6s %5s %5s %5s\n", "Model", "Rating", "Games", "W", "D", "L")
+	for _, p := range a.Standings() {
+		fmt.Fprintf(&b, "%-14s %7.0f %6d %5d %5d %5d\n",
+			p.Model, p.Rating, p.Games, p.Wins, p.Draws, p.Losses)
+	}
+	return b.String()
+}
+
+// Priors converts ratings into capped score bonuses compatible with
+// core.Config.Feedback-style biasing: the rating spread is mapped
+// linearly onto [−maxBonus, +maxBonus] around the pool mean. An empty
+// arena yields an empty map.
+func (a *Arena) Priors(maxBonus float64) map[string]float64 {
+	if maxBonus <= 0 {
+		maxBonus = 0.05
+	}
+	standings := a.Standings()
+	if len(standings) == 0 {
+		return map[string]float64{}
+	}
+	mean := 0.0
+	for _, p := range standings {
+		mean += p.Rating
+	}
+	mean /= float64(len(standings))
+	maxDev := 0.0
+	for _, p := range standings {
+		if d := math.Abs(p.Rating - mean); d > maxDev {
+			maxDev = d
+		}
+	}
+	out := make(map[string]float64, len(standings))
+	for _, p := range standings {
+		if maxDev == 0 {
+			out[p.Model] = 0
+			continue
+		}
+		out[p.Model] = (p.Rating - mean) / maxDev * maxBonus
+	}
+	return out
+}

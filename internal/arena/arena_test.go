@@ -1,0 +1,172 @@
+package arena
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+func outcome(model string, score float64, tokens int) core.ModelOutcome {
+	return core.ModelOutcome{Model: model, Score: score, Tokens: tokens}
+}
+
+func result(outs ...core.ModelOutcome) core.Result {
+	return core.Result{Outcomes: outs}
+}
+
+func TestObserveUpdatesRatings(t *testing.T) {
+	a := New(Options{})
+	a.Observe(result(
+		outcome("strong", 0.8, 30),
+		outcome("weak", 0.2, 30),
+	))
+	if a.Rating("strong") <= 1500 || a.Rating("weak") >= 1500 {
+		t.Fatalf("ratings did not move: strong=%f weak=%f", a.Rating("strong"), a.Rating("weak"))
+	}
+	// Elo is zero-sum.
+	total := a.Rating("strong") + a.Rating("weak")
+	if math.Abs(total-3000) > 1e-9 {
+		t.Fatalf("ratings not conserved: %f", total)
+	}
+}
+
+func TestDrawMargin(t *testing.T) {
+	a := New(Options{DrawMargin: 0.05})
+	a.Observe(result(
+		outcome("a", 0.50, 10),
+		outcome("b", 0.52, 10),
+	))
+	standings := a.Standings()
+	for _, p := range standings {
+		if p.Draws != 1 || p.Wins != 0 || p.Losses != 0 {
+			t.Fatalf("near-equal scores should draw: %+v", p)
+		}
+	}
+	// Equal-rating draw moves nothing.
+	if a.Rating("a") != 1500 || a.Rating("b") != 1500 {
+		t.Fatalf("draw between equals moved ratings: %f %f", a.Rating("a"), a.Rating("b"))
+	}
+}
+
+func TestSilentModelsSitOut(t *testing.T) {
+	a := New(Options{})
+	a.Observe(result(
+		outcome("played", 0.7, 20),
+		outcome("alsoPlayed", 0.3, 20),
+		outcome("silent", 0.9, 0), // produced nothing
+	))
+	if a.Rating("silent") != 1500 {
+		t.Fatalf("silent model rated: %f", a.Rating("silent"))
+	}
+	// A single-competitor round is not a game.
+	b := New(Options{})
+	b.Observe(result(outcome("lonely", 0.9, 10)))
+	if len(b.Standings()) != 0 {
+		t.Fatalf("single competitor created players: %v", b.Standings())
+	}
+}
+
+func TestRatingsConvergeToQualityOrder(t *testing.T) {
+	a := New(Options{})
+	// Over many rounds, "best" usually outscores "mid", which outscores
+	// "worst"; ratings must converge to that order.
+	scores := []struct{ best, mid, worst float64 }{
+		{0.8, 0.6, 0.2}, {0.7, 0.5, 0.3}, {0.9, 0.4, 0.1},
+		{0.6, 0.7, 0.2}, // one upset
+		{0.8, 0.5, 0.3}, {0.75, 0.55, 0.25}, {0.85, 0.65, 0.15},
+	}
+	for _, s := range scores {
+		a.Observe(result(
+			outcome("best", s.best, 10),
+			outcome("mid", s.mid, 10),
+			outcome("worst", s.worst, 10),
+		))
+	}
+	st := a.Standings()
+	if st[0].Model != "best" || st[1].Model != "mid" || st[2].Model != "worst" {
+		t.Fatalf("standings order: %+v", st)
+	}
+	if st[0].Games != 2*len(scores) {
+		t.Fatalf("games = %d, want %d", st[0].Games, 2*len(scores))
+	}
+}
+
+func TestPriors(t *testing.T) {
+	a := New(Options{})
+	if p := a.Priors(0.05); len(p) != 0 {
+		t.Fatalf("empty arena priors = %v", p)
+	}
+	for i := 0; i < 10; i++ {
+		a.Observe(result(outcome("top", 0.9, 10), outcome("bottom", 0.1, 10)))
+	}
+	priors := a.Priors(0.05)
+	if priors["top"] <= 0 || priors["bottom"] >= 0 {
+		t.Fatalf("priors = %v", priors)
+	}
+	for _, v := range priors {
+		if math.Abs(v) > 0.05+1e-12 {
+			t.Fatalf("prior exceeds cap: %v", priors)
+		}
+	}
+}
+
+func TestStringLeaderboard(t *testing.T) {
+	a := New(Options{})
+	a.Observe(result(outcome("x", 0.9, 10), outcome("y", 0.1, 10)))
+	s := a.String()
+	if !strings.Contains(s, "Rating") || !strings.Contains(s, "x") {
+		t.Fatalf("leaderboard = %q", s)
+	}
+	if strings.Index(s, "x") > strings.Index(s, "y") {
+		t.Fatalf("winner not first:\n%s", s)
+	}
+}
+
+// TestArenaOverRealOrchestration runs benchmark queries through OUA and
+// feeds the results to the arena: the ratings must separate the models,
+// and the leader must be one of the strong profiles (not the weakest-
+// reward model, LLaMA, whose verbose style dilutes its scores).
+func TestArenaOverRealOrchestration(t *testing.T) {
+	ds := truthfulqa.Generate(60, 1)
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(ds)})
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 128
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(Options{})
+	for _, item := range ds {
+		res, err := orch.OUA(context.Background(), item.Question)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Observe(res)
+	}
+	st := a.Standings()
+	if len(st) != 3 {
+		t.Fatalf("standings = %+v", st)
+	}
+	if st[0].Rating == st[2].Rating {
+		t.Fatal("ratings did not separate the models")
+	}
+	if st[0].Model == llm.ModelLlama3 {
+		t.Fatalf("weakest-scoring model leads the arena: %+v", st)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	a := New(Options{})
+	res := result(
+		outcome("m1", 0.8, 10), outcome("m2", 0.6, 10), outcome("m3", 0.4, 10),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(res)
+	}
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"llmms/internal/truthfulqa"
+)
+
+func TestParseAblationParam(t *testing.T) {
+	for _, p := range AblationParams() {
+		got, err := ParseAblationParam(string(p))
+		if err != nil || got != p {
+			t.Fatalf("ParseAblationParam(%s) = %v, %v", p, got, err)
+		}
+		if len(DefaultAblationValues(p)) == 0 {
+			t.Fatalf("no default values for %s", p)
+		}
+	}
+	if _, err := ParseAblationParam("temperature"); err == nil {
+		t.Fatal("expected error for unknown parameter")
+	}
+}
+
+func TestRunAblationMargins(t *testing.T) {
+	ds := truthfulqa.Generate(30, 1)
+	ab, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds, MaxTokens: evalBudget},
+		AblatePruneMargin, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Param != AblatePruneMargin || len(ab.Points) != 2 {
+		t.Fatalf("ablation = %+v", ab)
+	}
+	// Every point carries all 5 systems (3 reused singles + 2 swept).
+	for _, pt := range ab.Points {
+		if len(pt.Results) != 5 {
+			t.Fatalf("point %v has %d systems", pt.Value, len(pt.Results))
+		}
+	}
+	// Single-model baselines are identical across points (reused, and
+	// unaffected by the swept parameter).
+	s0, _ := ab.Result(0, "Mistral-7B")
+	s1, _ := ab.Result(1, "Mistral-7B")
+	if s0 != s1 {
+		t.Fatalf("baseline drifted across sweep: %+v vs %+v", s0, s1)
+	}
+	// The paper-literal 0.5 margin prunes nothing, so OUA's total cost
+	// must be at least the tight margin's cost.
+	tight, _ := ab.Result(0, "LLM-MS OUA")
+	loose, _ := ab.Result(1, "LLM-MS OUA")
+	if loose.AvgTotalTokens < tight.AvgTotalTokens {
+		t.Fatalf("margin 0.5 cheaper than 0.05: %f < %f", loose.AvgTotalTokens, tight.AvgTotalTokens)
+	}
+}
+
+func TestRunAblationAlphaValidation(t *testing.T) {
+	ds := truthfulqa.Seed().Head(3)
+	if _, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds}, AblateAlpha, []float64{1.5}); err == nil {
+		t.Fatal("expected error for alpha outside [0,1]")
+	}
+	if _, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds}, AblationParam("bogus"), []float64{1}); err == nil {
+		t.Fatal("expected error for unknown parameter")
+	}
+}
+
+func TestRunAblationBudgetReevaluatesSingles(t *testing.T) {
+	ds := truthfulqa.Generate(20, 1)
+	ab, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds}, AblateBudget, []float64{32, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a 32-token budget the verbose model is truncated; at 256 it is
+	// not — the baselines must differ between the points.
+	s0, ok0 := ab.Result(0, "LLaMA-3-8B")
+	s1, ok1 := ab.Result(1, "LLaMA-3-8B")
+	if !ok0 || !ok1 {
+		t.Fatalf("baseline missing from budget sweep: %+v", ab.Points)
+	}
+	if s0.AvgAnswerTokens >= s1.AvgAnswerTokens {
+		t.Fatalf("budget sweep did not bind: %f >= %f", s0.AvgAnswerTokens, s1.AvgAnswerTokens)
+	}
+}
+
+func TestAblationRender(t *testing.T) {
+	ds := truthfulqa.Generate(15, 1)
+	ab, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds, MaxTokens: evalBudget},
+		AblateRounds, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ab.Render()
+	for _, want := range []string{"Ablation of rounds", "avg reward", "avg F1", "reward/token", "LLM-MS OUA"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, ok := ab.Result(99, "LLM-MS OUA"); ok {
+		t.Fatal("out-of-range point resolved")
+	}
+}
+
+func TestRunAblationGamma(t *testing.T) {
+	ds := truthfulqa.Generate(25, 1)
+	ab, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds, MaxTokens: evalBudget}, AblateGamma, []float64{0.01, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-zero exploration exploits the first decent arm; maximal
+	// exploration spreads pulls — total cost must not decrease with γ.
+	lo, _ := ab.Result(0, "LLM-MS MAB")
+	hi, _ := ab.Result(1, "LLM-MS MAB")
+	if hi.AvgTotalTokens < lo.AvgTotalTokens {
+		t.Fatalf("more exploration got cheaper: γ=1 cost %f < γ≈0 cost %f",
+			hi.AvgTotalTokens, lo.AvgTotalTokens)
+	}
+	if _, err := RunAblation(context.Background(), testEngine(ds),
+		Config{Dataset: ds}, AblateGamma, []float64{0}); err == nil {
+		t.Fatal("expected error for non-positive gamma")
+	}
+}

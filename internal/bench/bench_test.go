@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+// evalBudget is the scaled λ_max used by tests (see DESIGN.md: simulated
+// answers are ~5–15× shorter than real model outputs, so the paper's
+// λ_max = 2048 scales to 128 here).
+const evalBudget = 128
+
+func testEngine(ds truthfulqa.Dataset) *llm.Engine {
+	return llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(ds)})
+}
+
+func runReport(t *testing.T, n int) Report {
+	t.Helper()
+	ds := truthfulqa.Generate(n, 1)
+	rep, err := Run(context.Background(), testEngine(ds), Config{Dataset: ds, MaxTokens: evalBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunValidation(t *testing.T) {
+	engine := testEngine(truthfulqa.Seed())
+	if _, err := Run(context.Background(), engine, Config{}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+	bad := truthfulqa.Dataset{{Question: "q?"}} // no answers
+	if _, err := Run(context.Background(), engine, Config{Dataset: bad}); err == nil {
+		t.Fatal("expected error for invalid dataset")
+	}
+	missing := System{Name: "broken", Strategy: core.StrategySingle}
+	if _, err := Run(context.Background(), engine, Config{
+		Dataset: truthfulqa.Seed().Head(2), Systems: []System{missing},
+	}); err == nil {
+		t.Fatal("expected error for single system without a model")
+	}
+}
+
+func TestRunProducesAllCells(t *testing.T) {
+	rep := runReport(t, 20)
+	if rep.Questions != 20 {
+		t.Fatalf("questions = %d", rep.Questions)
+	}
+	if want := 5 * 20; len(rep.Records) != want {
+		t.Fatalf("records = %d, want %d", len(rep.Records), want)
+	}
+	if len(rep.Results) != 5 {
+		t.Fatalf("results = %d, want 5", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Queries != 20 {
+			t.Fatalf("%s covers %d queries", res.System, res.Queries)
+		}
+		if res.AvgAnswerTokens <= 0 || res.AvgTotalTokens < res.AvgAnswerTokens {
+			t.Fatalf("%s token aggregates: %+v", res.System, res)
+		}
+	}
+	for _, rec := range rep.Records {
+		if rec.Answer == "" || rec.AnswerTokens == 0 {
+			t.Fatalf("empty record: %+v", rec)
+		}
+		if rec.TotalTokens < rec.AnswerTokens {
+			t.Fatalf("total < answer tokens: %+v", rec)
+		}
+		if rec.TotalTokens > evalBudget {
+			t.Fatalf("budget exceeded: %+v", rec)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runReport(t, 15)
+	b := runReport(t, 15)
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("run not deterministic:\n%+v\n%+v", a.Results[i], b.Results[i])
+		}
+	}
+}
+
+// TestFigureShapes asserts the paper's headline comparative claims on a
+// benchmark-scale run: Figure 8.1 (MAB achieves the highest average
+// reward), Figure 8.2 (OUA achieves the highest average F1), and Figure
+// 8.3 (OUA achieves the best reward-to-tokens ratio) — with both
+// orchestrators above every single-model baseline on all three.
+func TestFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset evaluation")
+	}
+	rep := runReport(t, 817)
+	oua, _ := rep.Result("LLM-MS OUA")
+	mab, _ := rep.Result("LLM-MS MAB")
+	singles := []string{"LLaMA-3-8B", "Mistral-7B", "Qwen-2-7B"}
+
+	// Figure 8.1: MAB > OUA > every single model on average reward.
+	if mab.AvgReward <= oua.AvgReward {
+		t.Errorf("fig 8.1: MAB reward %.4f <= OUA %.4f", mab.AvgReward, oua.AvgReward)
+	}
+	for _, s := range singles {
+		r, _ := rep.Result(s)
+		if oua.AvgReward <= r.AvgReward {
+			t.Errorf("fig 8.1: OUA reward %.4f <= %s %.4f", oua.AvgReward, s, r.AvgReward)
+		}
+	}
+	// Figure 8.2: OUA > MAB > every single model on average F1.
+	if oua.AvgF1 <= mab.AvgF1 {
+		t.Errorf("fig 8.2: OUA F1 %.4f <= MAB %.4f", oua.AvgF1, mab.AvgF1)
+	}
+	for _, s := range singles {
+		r, _ := rep.Result(s)
+		if mab.AvgF1 <= r.AvgF1 {
+			t.Errorf("fig 8.2: MAB F1 %.4f <= %s %.4f", mab.AvgF1, s, r.AvgF1)
+		}
+	}
+	// Figure 8.3: OUA has the best reward-to-tokens ratio.
+	if oua.RewardPerToken <= mab.RewardPerToken {
+		t.Errorf("fig 8.3: OUA ratio %.5f <= MAB %.5f", oua.RewardPerToken, mab.RewardPerToken)
+	}
+	for _, s := range singles {
+		r, _ := rep.Result(s)
+		if oua.RewardPerToken <= r.RewardPerToken {
+			t.Errorf("fig 8.3: OUA ratio %.5f <= %s %.5f", oua.RewardPerToken, s, r.RewardPerToken)
+		}
+	}
+	// Orchestration accuracy beats every single model except at most one
+	// specialist (the paper's qualitative claim is reward/F1, not
+	// accuracy dominance, so this is intentionally loose).
+	if oua.Accuracy < 0.5 || mab.Accuracy < 0.5 {
+		t.Errorf("orchestration accuracy collapsed: OUA %.3f MAB %.3f", oua.Accuracy, mab.Accuracy)
+	}
+}
+
+func TestSystemsList(t *testing.T) {
+	sys := Systems()
+	if len(sys) != 5 {
+		t.Fatalf("%d systems, want 5", len(sys))
+	}
+	singles, orchestrated := 0, 0
+	for _, s := range sys {
+		if s.Strategy == core.StrategySingle {
+			singles++
+			if s.Model == "" {
+				t.Fatalf("single system %q without model", s.Name)
+			}
+		} else {
+			orchestrated++
+		}
+	}
+	if singles != 3 || orchestrated != 2 {
+		t.Fatalf("singles=%d orchestrated=%d", singles, orchestrated)
+	}
+}
+
+func TestWinnerShare(t *testing.T) {
+	rep := runReport(t, 30)
+	share := rep.WinnerShare("LLM-MS OUA")
+	total := 0.0
+	for _, f := range share {
+		total += f
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("winner shares sum to %f", total)
+	}
+	if len(share) < 2 {
+		t.Fatalf("orchestration never varied its winner: %v", share)
+	}
+	if s := rep.WinnerShare("no-such-system"); len(s) != 0 {
+		t.Fatalf("unknown system share = %v", s)
+	}
+}
+
+func TestCategoryBreakdown(t *testing.T) {
+	rep := runReport(t, 40)
+	cats := rep.CategoryBreakdown("LLM-MS OUA")
+	if len(cats) < 3 {
+		t.Fatalf("only %d categories", len(cats))
+	}
+	seen := map[string]bool{}
+	totalQ := 0
+	for _, c := range cats {
+		if seen[c.System] {
+			t.Fatalf("duplicate category %q", c.System)
+		}
+		seen[c.System] = true
+		totalQ += c.Queries
+	}
+	if totalQ != 40 {
+		t.Fatalf("breakdown covers %d queries, want 40", totalQ)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	rep := runReport(t, 10)
+	for _, f := range []Figure{Figure81Reward, Figure82F1, Figure83Ratio} {
+		out := rep.Render(f)
+		if !strings.Contains(out, "Figure "+string(f)) {
+			t.Fatalf("missing title in:\n%s", out)
+		}
+		for _, sys := range []string{"LLaMA-3-8B", "LLM-MS OUA", "LLM-MS MAB"} {
+			if !strings.Contains(out, sys) {
+				t.Fatalf("figure %s missing %s:\n%s", f, sys, out)
+			}
+		}
+	}
+	all := rep.RenderAll()
+	for _, f := range []Figure{Figure81Reward, Figure82F1, Figure83Ratio} {
+		if !strings.Contains(all, FigureTitle(f)) {
+			t.Fatalf("RenderAll missing figure %s", f)
+		}
+	}
+	csv := rep.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 6 { // header + 5 systems
+		t.Fatalf("csv has %d lines:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "system,queries,avg_reward") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	ds := truthfulqa.Seed().Head(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testEngine(ds), Config{Dataset: ds}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	ds := truthfulqa.Seed().Head(4)
+	var calls int
+	var lastDone, lastTotal int
+	_, err := Run(context.Background(), testEngine(ds), Config{
+		Dataset:     ds,
+		MaxTokens:   evalBudget,
+		Concurrency: 1,
+		Progress: func(done, total int) {
+			calls++
+			lastDone, lastTotal = done, total
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * 4
+	if calls != want || lastDone != want || lastTotal != want {
+		t.Fatalf("progress: calls=%d last=(%d/%d), want %d", calls, lastDone, lastTotal, want)
+	}
+}
+
+func BenchmarkHarnessQuery(b *testing.B) {
+	ds := truthfulqa.Generate(50, 1)
+	engine := testEngine(ds)
+	cfg := Config{Dataset: ds.Head(1), MaxTokens: evalBudget}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), engine, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,426 @@
+// Package core implements the LLM-MS orchestration layer — the paper's
+// primary contribution (Chapter 4).
+//
+// An Orchestrator answers one prompt by coordinating several candidate
+// models under a shared token budget λ_max. Models produce partial
+// outputs through the getChunk primitive (a budget-capped, resumable
+// generation call); every partial output is embedded and scored by
+//
+//	score = α·cos(emb(response), emb(prompt)) + β·interModelAgreement
+//
+// and the budget is reallocated toward the most promising models. Two
+// allocation policies are provided:
+//
+//   - OUA (Overperformers–Underperformers Algorithm, Algorithm 1):
+//     round-robin chunks, pruning of trailing models, early return of a
+//     clearly leading finished answer.
+//   - MAB (Multi-Armed Bandit, Algorithm 2): each model is a UCB1 arm;
+//     chunks go to the arm with the highest upper confidence bound, with
+//     an exploration coefficient that decays as the budget is consumed.
+//
+// A single-model baseline completes the evaluation triad. The package is
+// backend-agnostic: any type with the GenerateChunk method (the in-process
+// llm.Engine or the HTTP modeld.Client) can serve the models.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"llmms/internal/embedding"
+	"llmms/internal/llm"
+)
+
+// Backend produces partial generations. llm.Engine and modeld.Client both
+// satisfy it; GenerateChunk is the paper's getChunk(LLM_i, p, λ): generate
+// up to maxTokens more tokens of the model's answer to prompt, resuming
+// from cont (nil starts fresh), returning the aggregated text so far this
+// call, the done reason, and the continuation state.
+type Backend interface {
+	GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error)
+}
+
+// Strategy names an orchestration policy.
+type Strategy string
+
+// The orchestration strategies of the paper's evaluation (§8.1).
+const (
+	// StrategyOUA is the Overperformers–Underperformers Algorithm.
+	StrategyOUA Strategy = "oua"
+	// StrategyMAB is the UCB1 Multi-Armed Bandit algorithm.
+	StrategyMAB Strategy = "mab"
+	// StrategySingle is the static single-model baseline.
+	StrategySingle Strategy = "single"
+	// StrategyHybrid is the OUA-screening + MAB-refinement combination
+	// the paper's analysis proposes (§8.4).
+	StrategyHybrid Strategy = "hybrid"
+)
+
+// ParseStrategy resolves a user-supplied strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyOUA, StrategyMAB, StrategySingle, StrategyHybrid:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("core: unknown strategy %q (want oua, mab, hybrid, or single)", s)
+}
+
+// Config tunes an Orchestrator. The zero value is not usable; start from
+// DefaultConfig or PaperStrictConfig.
+type Config struct {
+	// Models are the candidate model tags. At least one is required; OUA
+	// and MAB are meaningful with two or more.
+	Models []string
+	// MaxTokens is λ_max, the shared generation budget per query.
+	MaxTokens int
+	// Alpha weights the query-similarity term of the score (paper: 0.7).
+	Alpha float64
+	// Beta weights the inter-model agreement term (paper: 0.3).
+	Beta float64
+	// PruneMargin prunes the worst model when the second-worst score
+	// exceeds it by more than this (Algorithm 1 line 21 uses 0.5; see
+	// DefaultConfig for why the default is smaller).
+	PruneMargin float64
+	// LeadMargin returns the best model early when it leads the
+	// second-best score by more than this and has finished (line 17).
+	LeadMargin float64
+	// Rounds is how many OUA generation rounds the per-model allowance is
+	// spread across. More rounds means finer pruning granularity.
+	Rounds int
+	// MABChunk is the token chunk granted per bandit pull. The thesis
+	// text says "next token"; per-token round trips are pathological over
+	// HTTP, and §6.3 describes chunked partial outputs, so pulls are
+	// chunk-sized and configurable.
+	MABChunk int
+	// Gamma0 is the initial UCB1 exploration coefficient; it decays as
+	// γ = Gamma0·(1 − usedTokens/MaxTokens) (Algorithm 2 line 11).
+	Gamma0 float64
+	// Encoder embeds prompts and partial responses for scoring. Nil means
+	// embedding.Default().
+	Encoder embedding.Encoder
+	// OnEvent, when non-nil, receives every orchestration event (chunk
+	// arrivals, score updates, prunes, the final selection) synchronously.
+	// Used by the application layer to stream progress to clients.
+	OnEvent func(Event)
+	// Feedback, when non-nil, adds each model's learned prior (§9.5
+	// "Self-Improving Orchestration") to its combined score, so models
+	// the user has rated well attract budget sooner.
+	Feedback *FeedbackStore
+}
+
+// DefaultConfig returns the tuned configuration used throughout the
+// repository. The paper's pseudocode margins of 0.5 are calibrated for
+// raw score gaps that unit-norm embeddings rarely produce (cosine
+// similarities of competing plausible answers cluster tightly), so the
+// defaults use margins at which pruning and early exit actually trigger.
+func DefaultConfig(models ...string) Config {
+	return Config{
+		Models:      models,
+		MaxTokens:   2048,
+		Alpha:       0.7,
+		Beta:        0.3,
+		PruneMargin: 0.08,
+		LeadMargin:  0.08,
+		Rounds:      4,
+		MABChunk:    16,
+		Gamma0:      0.3,
+	}
+}
+
+// PaperStrictConfig returns the configuration with the pseudocode's
+// literal constants (α=0.7, β=0.3, margins 0.5). With these margins
+// pruning and early exit are rare, which reproduces the thesis
+// algorithms exactly as written.
+func PaperStrictConfig(models ...string) Config {
+	cfg := DefaultConfig(models...)
+	cfg.PruneMargin = 0.5
+	cfg.LeadMargin = 0.5
+	return cfg
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = 2048
+	}
+	if c.Alpha == 0 && c.Beta == 0 {
+		c.Alpha, c.Beta = 0.7, 0.3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.MABChunk <= 0 {
+		c.MABChunk = 16
+	}
+	if c.Gamma0 <= 0 {
+		c.Gamma0 = 0.3
+	}
+	if c.Encoder == nil {
+		c.Encoder = embedding.Default()
+	}
+	return c
+}
+
+// validate rejects configurations the algorithms cannot run with.
+func (c Config) validate() error {
+	if len(c.Models) == 0 {
+		return errors.New("core: config has no models")
+	}
+	seen := make(map[string]bool, len(c.Models))
+	for _, m := range c.Models {
+		if m == "" {
+			return errors.New("core: config has an empty model name")
+		}
+		if seen[m] {
+			return fmt.Errorf("core: duplicate model %q", m)
+		}
+		seen[m] = true
+	}
+	if c.PruneMargin < 0 || c.LeadMargin < 0 {
+		return errors.New("core: margins must be non-negative")
+	}
+	if c.Alpha < 0 || c.Beta < 0 {
+		return errors.New("core: alpha and beta must be non-negative")
+	}
+	return nil
+}
+
+// ModelOutcome is the per-model record of one orchestrated query.
+type ModelOutcome struct {
+	// Model is the model tag.
+	Model string `json:"model"`
+	// Response is the model's accumulated (possibly partial) answer.
+	Response string `json:"response"`
+	// Tokens is how many tokens the model generated for this query.
+	Tokens int `json:"tokens"`
+	// Score is the model's final combined score α·qSim + β·interSim.
+	Score float64 `json:"score"`
+	// QuerySim is the final cosine similarity to the prompt embedding.
+	QuerySim float64 `json:"query_sim"`
+	// InterSim is the final average similarity to the other candidates.
+	InterSim float64 `json:"inter_sim"`
+	// Pulls is how many generation calls the model received.
+	Pulls int `json:"pulls"`
+	// Pruned reports whether OUA removed the model before completion.
+	Pruned bool `json:"pruned"`
+	// Done reports whether the model finished its answer naturally.
+	Done bool `json:"done"`
+	// DoneReason is the final generation status ("stop", "length", "").
+	DoneReason string `json:"done_reason,omitempty"`
+}
+
+// Result is the outcome of one orchestrated query.
+type Result struct {
+	// Strategy is the policy that produced the result.
+	Strategy Strategy `json:"strategy"`
+	// Answer is the selected response text.
+	Answer string `json:"answer"`
+	// Model is the tag of the model whose answer was selected.
+	Model string `json:"model"`
+	// TokensUsed is the total generation cost across all models.
+	TokensUsed int `json:"tokens_used"`
+	// Rounds is how many allocation rounds (OUA) or pulls (MAB) ran.
+	Rounds int `json:"rounds"`
+	// EarlyExit reports whether OUA returned before exhausting budgets.
+	EarlyExit bool `json:"early_exit"`
+	// Outcomes holds the per-model records, sorted by descending score.
+	Outcomes []ModelOutcome `json:"outcomes"`
+	// Elapsed is the wall-clock orchestration time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Outcome returns the record for one model, if present.
+func (r Result) Outcome(model string) (ModelOutcome, bool) {
+	for _, o := range r.Outcomes {
+		if o.Model == model {
+			return o, true
+		}
+	}
+	return ModelOutcome{}, false
+}
+
+// Orchestrator coordinates candidate models for one query at a time. It
+// is stateless across queries and safe for concurrent use as long as the
+// backend is.
+type Orchestrator struct {
+	backend Backend
+	cfg     Config
+}
+
+// New builds an orchestrator. The configuration is validated eagerly so
+// misconfigurations surface at construction rather than at query time.
+func New(backend Backend, cfg Config) (*Orchestrator, error) {
+	if backend == nil {
+		return nil, errors.New("core: nil backend")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Orchestrator{backend: backend, cfg: cfg}, nil
+}
+
+// Config returns the orchestrator's effective (defaulted) configuration.
+func (o *Orchestrator) Config() Config { return o.cfg }
+
+// Run dispatches to the strategy implementation. For StrategySingle the
+// first configured model serves the query with the whole budget.
+func (o *Orchestrator) Run(ctx context.Context, strategy Strategy, prompt string) (Result, error) {
+	switch strategy {
+	case StrategyOUA:
+		return o.OUA(ctx, prompt)
+	case StrategyMAB:
+		return o.MAB(ctx, prompt)
+	case StrategyHybrid:
+		return o.Hybrid(ctx, prompt)
+	case StrategySingle:
+		return o.Single(ctx, o.cfg.Models[0], prompt)
+	default:
+		return Result{}, fmt.Errorf("core: unknown strategy %q", strategy)
+	}
+}
+
+// Single answers with one fixed model and the full budget — the paper's
+// static baseline (§8.1 execution mode 1).
+func (o *Orchestrator) Single(ctx context.Context, model, prompt string) (Result, error) {
+	start := time.Now()
+	found := false
+	for _, m := range o.cfg.Models {
+		if m == model {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("core: model %q is not configured", model)
+	}
+	o.emit(Event{Type: EventStart, Strategy: StrategySingle, Model: model})
+	chunk, err := o.backend.GenerateChunk(ctx, model, prompt, o.cfg.MaxTokens, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: single %s: %w", model, err)
+	}
+	o.emit(Event{Type: EventChunk, Strategy: StrategySingle, Model: model, Text: chunk.Text, Tokens: chunk.EvalCount})
+	qv := o.cfg.Encoder.Encode(prompt)
+	sim := embedding.Cosine(qv, o.cfg.Encoder.Encode(chunk.Text))
+	out := ModelOutcome{
+		Model: model, Response: chunk.Text, Tokens: chunk.EvalCount,
+		Score: o.cfg.Alpha * sim, QuerySim: sim, Pulls: 1,
+		Done: chunk.DoneReason == llm.DoneStop, DoneReason: string(chunk.DoneReason),
+	}
+	res := Result{
+		Strategy: StrategySingle, Answer: chunk.Text, Model: model,
+		TokensUsed: chunk.EvalCount, Rounds: 1,
+		Outcomes: []ModelOutcome{out}, Elapsed: time.Since(start),
+	}
+	o.emit(Event{Type: EventWinner, Strategy: StrategySingle, Model: model, Text: chunk.Text, Tokens: res.TokensUsed})
+	return res, nil
+}
+
+func (o *Orchestrator) emit(ev Event) {
+	if o.cfg.OnEvent != nil {
+		ev.Time = time.Now()
+		o.cfg.OnEvent(ev)
+	}
+}
+
+// scoreAll computes the combined score for every candidate with a
+// non-empty response: α·cos(resp, prompt) + β·(average cosine to the
+// other candidates' responses), plus the candidate's feedback prior when
+// one is set. Candidates with empty responses score zero.
+func (o *Orchestrator) scoreAll(qv embedding.Vector, cands []*candidate) {
+	scoreAll(o.cfg.Encoder, qv, o.cfg.Alpha, o.cfg.Beta, cands)
+	if o.cfg.Feedback == nil {
+		return
+	}
+	for _, c := range cands {
+		if c.emb != nil {
+			c.score += o.cfg.Feedback.Prior(c.model)
+		}
+	}
+}
+
+func scoreAll(enc embedding.Encoder, qv embedding.Vector, alpha, beta float64, cands []*candidate) {
+	// Embed once per candidate per scoring pass.
+	for _, c := range cands {
+		if c.response == "" {
+			c.emb = nil
+			continue
+		}
+		if c.dirty || c.emb == nil {
+			c.emb = enc.Encode(c.response)
+			c.dirty = false
+		}
+	}
+	for _, c := range cands {
+		if c.emb == nil {
+			c.querySim, c.interSim, c.score = 0, 0, 0
+			continue
+		}
+		c.querySim = embedding.Cosine(qv, c.emb)
+		sum, n := 0.0, 0
+		for _, other := range cands {
+			if other == c || other.emb == nil {
+				continue
+			}
+			sum += embedding.Cosine(c.emb, other.emb)
+			n++
+		}
+		if n > 0 {
+			c.interSim = sum / float64(n)
+		} else {
+			c.interSim = 0
+		}
+		c.score = alpha*c.querySim + beta*c.interSim
+	}
+}
+
+// candidate is the in-flight state of one model during orchestration.
+type candidate struct {
+	model    string
+	response string
+	cont     []int
+	tokens   int
+	pulls    int
+	done     bool
+	reason   llm.DoneReason
+	pruned   bool
+
+	// scoring state
+	emb      embedding.Vector
+	dirty    bool
+	querySim float64
+	interSim float64
+	score    float64
+
+	// OUA budget
+	remaining int
+
+	// MAB state
+	rewardSum float64
+}
+
+func (c *candidate) outcome() ModelOutcome {
+	return ModelOutcome{
+		Model: c.model, Response: c.response, Tokens: c.tokens,
+		Score: c.score, QuerySim: c.querySim, InterSim: c.interSim,
+		Pulls: c.pulls, Pruned: c.pruned, Done: c.done, DoneReason: string(c.reason),
+	}
+}
+
+// outcomes converts candidates to sorted ModelOutcome records (by
+// descending score, name-tiebroken for determinism).
+func outcomes(cands []*candidate) []ModelOutcome {
+	out := make([]ModelOutcome, len(cands))
+	for i, c := range cands {
+		out[i] = c.outcome()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Model < out[j].Model
+	})
+	return out
+}

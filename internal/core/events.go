@@ -1,0 +1,52 @@
+package core
+
+import "time"
+
+// EventType labels an orchestration event.
+type EventType string
+
+// Orchestration event types, in the order a client typically sees them.
+const (
+	// EventStart opens a query; Model is set for single-model runs.
+	EventStart EventType = "start"
+	// EventRound opens an OUA round or a MAB pull; Round counts from 1.
+	EventRound EventType = "round"
+	// EventChunk reports freshly generated text for one model.
+	EventChunk EventType = "chunk"
+	// EventScore reports a model's updated combined score.
+	EventScore EventType = "score"
+	// EventPrune reports that OUA removed a trailing model.
+	EventPrune EventType = "prune"
+	// EventWinner closes the query with the selected answer.
+	EventWinner EventType = "winner"
+)
+
+// Event is one step of an orchestrated query, delivered synchronously to
+// Config.OnEvent. The application layer serializes events as SSE frames,
+// which is how the paper's UI shows parallel model progress, scores, and
+// token allocations in real time (§7.3 "Model Routing Transparency").
+type Event struct {
+	// Type discriminates the payload fields below.
+	Type EventType `json:"type"`
+	// Strategy is the policy emitting the event.
+	Strategy Strategy `json:"strategy"`
+	// Time is when the event was emitted.
+	Time time.Time `json:"time"`
+	// Round is the OUA round or MAB pull number (from 1), on round,
+	// chunk, score, and prune events.
+	Round int `json:"round,omitempty"`
+	// Model is the model the event concerns, when applicable.
+	Model string `json:"model,omitempty"`
+	// Text is the new chunk text (chunk) or the final answer (winner).
+	Text string `json:"text,omitempty"`
+	// Tokens is the chunk token count (chunk) or total usage (winner).
+	Tokens int `json:"tokens,omitempty"`
+	// Score is the model's combined score on score and prune events.
+	Score float64 `json:"score,omitempty"`
+	// QuerySim and InterSim break the score into its two terms.
+	QuerySim float64 `json:"query_sim,omitempty"`
+	InterSim float64 `json:"inter_sim,omitempty"`
+	// Reason explains prune and winner events ("pruned: trailing by
+	// 0.12", "early exit", "budget exhausted", …).
+	Reason string `json:"reason,omitempty"`
+}

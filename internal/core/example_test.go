@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+// ExampleOrchestrator_OUA shows the minimal end-to-end use of the
+// orchestration API: build the engine, configure the candidate pool, run
+// one query under the Overperformers–Underperformers Algorithm.
+func ExampleOrchestrator_OUA() {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 256
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := orch.OUA(context.Background(), "Do antibiotics work against viruses?")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategy:", res.Strategy)
+	fmt.Println("candidates:", len(res.Outcomes))
+	fmt.Println("within budget:", res.TokensUsed <= cfg.MaxTokens)
+	// Output:
+	// strategy: oua
+	// candidates: 3
+	// within budget: true
+}
+
+// ExampleTrace shows the transparent orchestration log: record events
+// during a query, then render the plain-English decision trail.
+func ExampleTrace() {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	trace := core.NewTrace()
+	cfg := core.DefaultConfig(llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 128
+	cfg.OnEvent = trace.Record
+	orch, err := core.New(engine, cfg)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := orch.MAB(context.Background(), "Are bats blind?"); err != nil {
+		panic(err)
+	}
+	fmt.Println("events recorded:", len(trace.Events()) > 0)
+	fmt.Println("log lines:", len(trace.Lines()) > 0)
+	// Output:
+	// events recorded: true
+	// log lines: true
+}
+
+// ExampleFeedbackStore shows self-improving orchestration: ratings
+// accumulate into priors that bias future model selection.
+func ExampleFeedbackStore() {
+	fb := core.NewFeedbackStore()
+	fb.Rate(llm.ModelQwen2, 1)   // good answer
+	fb.Rate(llm.ModelQwen2, 1)   // again
+	fb.Rate(llm.ModelLlama3, -1) // bad answer
+	fmt.Println("qwen prior positive:", fb.Prior(llm.ModelQwen2) > 0)
+	fmt.Println("llama prior negative:", fb.Prior(llm.ModelLlama3) < 0)
+	// Output:
+	// qwen prior positive: true
+	// llama prior negative: true
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"llmms/internal/llm"
+)
+
+// MultiBackend realizes the paper's §9.5 "Federated and Secure Model
+// Integration" proposal: candidate models may live on different
+// inference daemons — an on-premise server for a sensitive model, a
+// shared lab daemon for the open ones — and the orchestrator spans all
+// of them transparently. Each model tag is registered against the
+// backend that serves it; GenerateChunk dispatches by tag, so OUA, MAB,
+// and Hybrid work unchanged across daemon boundaries.
+//
+// MultiBackend is safe for concurrent use once built; Register calls
+// must finish before orchestration starts (the usual pattern: register
+// everything, then construct the Orchestrator).
+type MultiBackend struct {
+	mu       sync.RWMutex
+	routes   map[string]Backend
+	fallback Backend
+}
+
+// NewMultiBackend returns an empty registry. The optional fallback
+// serves any model without an explicit route (nil means unrouted models
+// are an error).
+func NewMultiBackend(fallback Backend) *MultiBackend {
+	return &MultiBackend{routes: make(map[string]Backend), fallback: fallback}
+}
+
+// Register binds one model tag to the backend that serves it,
+// replacing any previous binding.
+func (m *MultiBackend) Register(model string, backend Backend) error {
+	if model == "" {
+		return errors.New("core: empty model tag")
+	}
+	if backend == nil {
+		return errors.New("core: nil backend")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routes[model] = backend
+	return nil
+}
+
+// Models returns the explicitly routed model tags, sorted.
+func (m *MultiBackend) Models() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.routes))
+	for tag := range m.routes {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenerateChunk implements Backend by dispatching on the model tag.
+func (m *MultiBackend) GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error) {
+	m.mu.RLock()
+	backend, ok := m.routes[model]
+	if !ok {
+		backend = m.fallback
+	}
+	m.mu.RUnlock()
+	if backend == nil {
+		return llm.Chunk{}, fmt.Errorf("core: no backend serves model %q", model)
+	}
+	return backend.GenerateChunk(ctx, model, prompt, maxTokens, cont)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+func TestMultiBackendDispatch(t *testing.T) {
+	siteA := newFakeBackend(map[string]string{"good": "The sky is blue on a clear day."})
+	siteB := newFakeBackend(map[string]string{"okay": "On a clear day the sky appears blue."})
+	mb := NewMultiBackend(nil)
+	if err := mb.Register("good", siteA); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Register("okay", siteB); err != nil {
+		t.Fatal(err)
+	}
+	if got := mb.Models(); len(got) != 2 || got[0] != "good" || got[1] != "okay" {
+		t.Fatalf("models = %v", got)
+	}
+
+	o := mustNew(t, mb, DefaultConfig("good", "okay"))
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer == "" {
+		t.Fatal("empty answer")
+	}
+	// Each daemon only served its own model.
+	if siteA.callCount("okay") != 0 || siteB.callCount("good") != 0 {
+		t.Fatal("request crossed daemon boundaries")
+	}
+	if siteA.callCount("good") == 0 || siteB.callCount("okay") == 0 {
+		t.Fatal("a daemon was never consulted")
+	}
+}
+
+func TestMultiBackendFallbackAndErrors(t *testing.T) {
+	fallback := newFakeBackend(map[string]string{"misc": "fallback answer."})
+	mb := NewMultiBackend(fallback)
+	if _, err := mb.GenerateChunk(context.Background(), "misc", "q", 8, nil); err != nil {
+		t.Fatalf("fallback dispatch failed: %v", err)
+	}
+	strict := NewMultiBackend(nil)
+	if _, err := strict.GenerateChunk(context.Background(), "ghost", "q", 8, nil); err == nil {
+		t.Fatal("expected error for unrouted model without fallback")
+	}
+	if err := strict.Register("", fallback); err == nil {
+		t.Fatal("expected error for empty model tag")
+	}
+	if err := strict.Register("m", nil); err == nil {
+		t.Fatal("expected error for nil backend")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FeedbackStore implements the paper's §9.5 "Self-Improving
+// Orchestration" proposal: user feedback on answers ("that was right",
+// thumbs down) accumulates into per-model priors, and the priors bias
+// the orchestrator's scores so models that historically satisfied the
+// user attract budget sooner. It also realizes the §9.5 game-theoretic
+// framing in its simplest form — each model is a player whose rating
+// rises and falls with the quality of the answers it wins with.
+//
+// Ratings are smoothed with exponential decay so the system keeps
+// adapting (a model that improved is not forever punished for its past).
+// The prior for a model is a small additive score bonus in
+// [−MaxBonus, +MaxBonus], applied by Orchestrator when a FeedbackStore
+// is set on the Config.
+type FeedbackStore struct {
+	// MaxBonus caps the score adjustment. The default 0.05 is roughly
+	// half the default prune margin, so feedback can tip close calls but
+	// never overrides a clear quality signal.
+	MaxBonus float64
+	// Decay in (0, 1] weights old feedback down on every new rating for
+	// the same model. Default 0.9.
+	Decay float64
+
+	mu      sync.Mutex
+	ratings map[string]*ratingState
+}
+
+type ratingState struct {
+	// score is the decayed sum of ratings in [-1, 1].
+	score float64
+	// weight is the decayed observation mass.
+	weight float64
+	// count is the raw number of ratings.
+	count int
+}
+
+// NewFeedbackStore returns an empty store with default smoothing.
+func NewFeedbackStore() *FeedbackStore {
+	return &FeedbackStore{MaxBonus: 0.05, Decay: 0.9, ratings: make(map[string]*ratingState)}
+}
+
+// Rate records one user judgment of a model's answer. rating is clamped
+// to [-1, 1]: +1 for a good answer, −1 for a bad one, fractions for
+// lukewarm feedback.
+func (f *FeedbackStore) Rate(model string, rating float64) {
+	if model == "" {
+		return
+	}
+	rating = math.Max(-1, math.Min(1, rating))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.ratings[model]
+	if st == nil {
+		st = &ratingState{}
+		f.ratings[model] = st
+	}
+	decay := f.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.9
+	}
+	st.score = st.score*decay + rating
+	st.weight = st.weight*decay + 1
+	st.count++
+}
+
+// Prior returns the score bonus for a model: the decayed mean rating
+// scaled into [−MaxBonus, +MaxBonus]. Unknown models get 0.
+func (f *FeedbackStore) Prior(model string) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.ratings[model]
+	if st == nil || st.weight == 0 {
+		return 0
+	}
+	maxBonus := f.MaxBonus
+	if maxBonus <= 0 {
+		maxBonus = 0.05
+	}
+	return st.score / st.weight * maxBonus
+}
+
+// Ratings returns (count, decayed mean) per rated model.
+func (f *FeedbackStore) Ratings() map[string][2]float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][2]float64, len(f.ratings))
+	for m, st := range f.ratings {
+		mean := 0.0
+		if st.weight > 0 {
+			mean = st.score / st.weight
+		}
+		out[m] = [2]float64{float64(st.count), mean}
+	}
+	return out
+}
+
+// String renders the store as a transparent leaderboard, best first.
+func (f *FeedbackStore) String() string {
+	type row struct {
+		model string
+		count int
+		mean  float64
+	}
+	f.mu.Lock()
+	rows := make([]row, 0, len(f.ratings))
+	for m, st := range f.ratings {
+		mean := 0.0
+		if st.weight > 0 {
+			mean = st.score / st.weight
+		}
+		rows = append(rows, row{model: m, count: st.count, mean: mean})
+	}
+	f.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].mean != rows[j].mean {
+			return rows[i].mean > rows[j].mean
+		}
+		return rows[i].model < rows[j].model
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %+.3f over %d ratings\n", r.model, r.mean, r.count)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFeedbackPrior(t *testing.T) {
+	f := NewFeedbackStore()
+	if p := f.Prior("unrated"); p != 0 {
+		t.Fatalf("unrated prior = %f", p)
+	}
+	f.Rate("good", 1)
+	f.Rate("good", 1)
+	f.Rate("bad", -1)
+	if p := f.Prior("good"); p <= 0 || p > f.MaxBonus {
+		t.Fatalf("positive prior = %f", p)
+	}
+	if p := f.Prior("bad"); p >= 0 || p < -f.MaxBonus {
+		t.Fatalf("negative prior = %f", p)
+	}
+	// Ratings are clamped.
+	f.Rate("extreme", 100)
+	if p := f.Prior("extreme"); p > f.MaxBonus+1e-12 {
+		t.Fatalf("clamping failed: %f", p)
+	}
+	// Empty model names are ignored.
+	f.Rate("", 1)
+	if _, ok := f.Ratings()[""]; ok {
+		t.Fatal("empty model stored")
+	}
+}
+
+func TestFeedbackDecayAdapts(t *testing.T) {
+	f := NewFeedbackStore()
+	// A long bad history followed by consistent good feedback must flip
+	// the prior positive — the "keeps adapting" property.
+	for i := 0; i < 10; i++ {
+		f.Rate("model", -1)
+	}
+	if f.Prior("model") >= 0 {
+		t.Fatal("prior should be negative after bad history")
+	}
+	for i := 0; i < 30; i++ {
+		f.Rate("model", 1)
+	}
+	if f.Prior("model") <= 0 {
+		t.Fatalf("prior did not recover: %f", f.Prior("model"))
+	}
+}
+
+func TestFeedbackRatingsAndString(t *testing.T) {
+	f := NewFeedbackStore()
+	f.Rate("a", 1)
+	f.Rate("a", 0.5)
+	f.Rate("b", -1)
+	r := f.Ratings()
+	if r["a"][0] != 2 || r["b"][0] != 1 {
+		t.Fatalf("ratings = %v", r)
+	}
+	s := f.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Fatalf("leaderboard = %q", s)
+	}
+	// Best model first.
+	if strings.Index(s, "a") > strings.Index(s, "b") {
+		t.Fatalf("leaderboard order wrong:\n%s", s)
+	}
+}
+
+// TestFeedbackBiasesSelection: two models give equally plausible answers;
+// consistent negative feedback on one must tip OUA's selection to the
+// other.
+func TestFeedbackBiasesSelection(t *testing.T) {
+	b := newFakeBackend(map[string]string{
+		"alpha": "The sky is blue on a clear day.",
+		"beta":  "The sky is blue on a clear day.",
+	})
+	fb := NewFeedbackStore()
+	cfg := DefaultConfig("alpha", "beta")
+	cfg.Feedback = fb
+	o := mustNew(t, b, cfg)
+
+	// Identical answers: the name tiebreak picks "alpha".
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "alpha" {
+		t.Fatalf("baseline winner = %s", res.Model)
+	}
+	// The user hates alpha's answers.
+	for i := 0; i < 5; i++ {
+		fb.Rate("alpha", -1)
+		fb.Rate("beta", 1)
+	}
+	res, err = o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "beta" {
+		t.Fatalf("feedback did not flip the winner: %s", res.Model)
+	}
+}
+
+// TestFeedbackCannotOverrideQuality: the bonus is capped, so feedback
+// must not make an off-topic model beat a clearly better answer.
+func TestFeedbackCannotOverrideQuality(t *testing.T) {
+	b := threeModels()
+	fb := NewFeedbackStore()
+	cfg := DefaultConfig("good", "bad")
+	cfg.Feedback = fb
+	o := mustNew(t, b, cfg)
+	for i := 0; i < 20; i++ {
+		fb.Rate("bad", 1)
+		fb.Rate("good", -1)
+	}
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == "bad" {
+		t.Fatalf("capped feedback overrode a clear quality gap: %+v", res.Outcomes)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// Hybrid runs the combined strategy the paper's analysis proposes (§8.4,
+// "Trade-Offs in Orchestration": early pruning is efficient in
+// straightforward cases, adaptive allocation is robust to uncertainty —
+// "a hybrid approach could potentially leverage the advantages of both
+// methods").
+//
+// Phase 1 (OUA-style screening): every model generates one even chunk;
+// the partial outputs are scored and every model trailing the best score
+// by more than PruneMargin is pruned — one cheap pass eliminates the
+// clearly wrong answers.
+//
+// Phase 2 (MAB refinement): the survivors continue under UCB1 with the
+// remaining budget, exactly as in MAB, so ambiguous queries keep the
+// bandit's adaptive allocation while easy ones have already concentrated
+// the budget on one or two models.
+func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error) {
+	start := time.Now()
+	cfg := o.cfg
+	n := len(cfg.Models)
+	cands := make([]*candidate, n)
+	for i, m := range cfg.Models {
+		cands[i] = &candidate{model: m}
+	}
+	qv := cfg.Encoder.Encode(prompt)
+	o.emit(Event{Type: EventStart, Strategy: StrategyHybrid})
+
+	// Phase 1: one even screening chunk per model — half of an even
+	// split, large enough that the partial outputs score reliably, small
+	// enough that half the budget is still free for the bandit phase.
+	screenChunk := cfg.MaxTokens / (2 * n)
+	if screenChunk < 1 {
+		screenChunk = 1
+	}
+	used := 0
+	o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: 1})
+	for _, c := range cands {
+		chunk, err := o.backend.GenerateChunk(ctx, c.model, prompt, screenChunk, nil)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: hybrid %s: %w", c.model, err)
+		}
+		c.response = chunk.Text
+		c.cont = chunk.Context
+		c.tokens = chunk.EvalCount
+		c.pulls = 1
+		c.reason = chunk.DoneReason
+		c.dirty = true
+		used += chunk.EvalCount
+		switch chunk.DoneReason {
+		case llm.DoneStop:
+			c.done = true
+		case llm.DoneCancel:
+			return Result{}, ctx.Err()
+		}
+		if chunk.EvalCount > 0 {
+			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: 1,
+				Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+		}
+	}
+	o.scoreAll(qv, cands)
+	best := argmaxScore(cands)
+	for _, c := range cands {
+		c.rewardSum = c.score // seed the bandit with the screening reward
+		o.emit(Event{Type: EventScore, Strategy: StrategyHybrid, Round: 1,
+			Model: c.model, Score: c.score, QuerySim: c.querySim, InterSim: c.interSim})
+		if c != best && best.score-c.score > cfg.PruneMargin {
+			c.pruned = true
+			o.emit(Event{Type: EventPrune, Strategy: StrategyHybrid, Round: 1,
+				Model: c.model, Score: c.score,
+				Reason: fmt.Sprintf("screening: trailing best by %.3f", best.score-c.score)})
+		}
+	}
+
+	// Phase 2: UCB1 over the survivors with the remaining budget.
+	totalPulls := len(cands)
+	for used < cfg.MaxTokens {
+		gamma := cfg.Gamma0 * (1 - float64(used)/float64(cfg.MaxTokens))
+		arm := o.selectHybridArm(cands, gamma, totalPulls)
+		if arm == nil {
+			break
+		}
+		take := cfg.MABChunk
+		if rem := cfg.MaxTokens - used; take > rem {
+			take = rem
+		}
+		totalPulls++
+		o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: totalPulls, Model: arm.model})
+		chunk, err := o.backend.GenerateChunk(ctx, arm.model, prompt, take, arm.cont)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: hybrid %s: %w", arm.model, err)
+		}
+		arm.response += chunk.Text
+		arm.cont = chunk.Context
+		arm.tokens += chunk.EvalCount
+		arm.pulls++
+		arm.reason = chunk.DoneReason
+		arm.dirty = arm.dirty || chunk.EvalCount > 0
+		used += chunk.EvalCount
+		switch chunk.DoneReason {
+		case llm.DoneStop:
+			arm.done = true
+		case llm.DoneCancel:
+			return Result{}, ctx.Err()
+		}
+		if chunk.EvalCount > 0 {
+			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: totalPulls,
+				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+		}
+		o.scoreAll(qv, activeCandidates(cands))
+		arm.rewardSum += arm.score
+		o.emit(Event{Type: EventScore, Strategy: StrategyHybrid, Round: totalPulls,
+			Model: arm.model, Score: arm.score, QuerySim: arm.querySim, InterSim: arm.interSim})
+
+		if hybridSettled(cands) {
+			break
+		}
+	}
+
+	survivors := activeCandidates(cands)
+	o.scoreAll(qv, survivors)
+	winner := argmaxFinalReward(survivors)
+	o.emit(Event{Type: EventWinner, Strategy: StrategyHybrid, Model: winner.model,
+		Text: winner.response, Tokens: used, Score: winner.score,
+		Reason: fmt.Sprintf("highest final reward %.3f after screening + %d pulls", winner.score, totalPulls-len(cands))})
+	return Result{
+		Strategy: StrategyHybrid, Answer: winner.response, Model: winner.model,
+		TokensUsed: used, Rounds: totalPulls,
+		Outcomes: outcomes(cands), Elapsed: time.Since(start),
+	}, nil
+}
+
+// selectHybridArm is UCB1 restricted to unpruned, unfinished arms.
+func (o *Orchestrator) selectHybridArm(cands []*candidate, gamma float64, totalPulls int) *candidate {
+	var best *candidate
+	bestIdx := math.Inf(-1)
+	for _, c := range cands {
+		if c.done || c.pruned {
+			continue
+		}
+		idx := ucb1(c, gamma, totalPulls)
+		if best == nil || idx > bestIdx || (idx == bestIdx && c.model < best.model) {
+			best, bestIdx = c, idx
+		}
+	}
+	return best
+}
+
+// hybridSettled reports whether every surviving arm has finished.
+func hybridSettled(cands []*candidate) bool {
+	for _, c := range cands {
+		if !c.pruned && !c.done {
+			return false
+		}
+	}
+	return true
+}

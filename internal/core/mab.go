@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// MAB runs the Multi-Armed Bandit algorithm (Algorithm 2). Each model is
+// an arm with an unknown reward distribution. Tokens are not
+// pre-allocated: every pull grants the next Config.MABChunk tokens to the
+// arm with the highest UCB1 index
+//
+//	UCB_i = rewards_i/pulls_i + γ·sqrt(2·ln(totalPulls)/pulls_i)
+//
+// where the exploration coefficient decays with budget consumption:
+// γ = Gamma0·(1 − usedTokens/λ_max). The pull's reward is
+// α·cos(resp_i, prompt) + β·avgInterModelSim, so arms that answer
+// relevantly and agree with their peers accumulate reward and attract
+// further tokens, while persistently low-reward arms are naturally phased
+// out. The loop terminates when the budget is spent or every arm has
+// finished; the response of the arm with the highest mean reward wins.
+func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
+	start := time.Now()
+	cfg := o.cfg
+	cands := make([]*candidate, len(cfg.Models))
+	for i, m := range cfg.Models {
+		cands[i] = &candidate{model: m}
+	}
+	qv := cfg.Encoder.Encode(prompt)
+	o.emit(Event{Type: EventStart, Strategy: StrategyMAB})
+
+	used := 0
+	totalPulls := 0
+	for used < cfg.MaxTokens {
+		gamma := cfg.Gamma0 * (1 - float64(used)/float64(cfg.MaxTokens))
+		arm := o.selectArm(cands, gamma, totalPulls)
+		if arm == nil {
+			break // every arm has finished its answer
+		}
+		take := cfg.MABChunk
+		if rem := cfg.MaxTokens - used; take > rem {
+			take = rem
+		}
+		totalPulls++
+		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model})
+
+		chunk, err := o.backend.GenerateChunk(ctx, arm.model, prompt, take, arm.cont)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: mab %s: %w", arm.model, err)
+		}
+		arm.response += chunk.Text
+		arm.cont = chunk.Context
+		arm.tokens += chunk.EvalCount
+		arm.pulls++
+		arm.reason = chunk.DoneReason
+		arm.dirty = arm.dirty || chunk.EvalCount > 0
+		used += chunk.EvalCount
+		switch chunk.DoneReason {
+		case llm.DoneStop:
+			arm.done = true
+		case llm.DoneCancel:
+			return Result{}, ctx.Err()
+		}
+		if chunk.EvalCount > 0 {
+			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
+				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+		}
+
+		// Reward the pull (line 9): relevance plus consensus, computed on
+		// the arm's whole accumulated response so far.
+		o.scoreAll(qv, cands)
+		arm.rewardSum += arm.score
+		o.emit(Event{Type: EventScore, Strategy: StrategyMAB, Round: totalPulls,
+			Model: arm.model, Score: arm.score, QuerySim: arm.querySim, InterSim: arm.interSim})
+
+		// Termination condition (line 12): the budget loop header handles
+		// exhaustion; stop early when every arm has completed its answer.
+		if allDone(cands) {
+			break
+		}
+		// A finished arm whose mean reward already dominates every
+		// possible rival bound cannot be overtaken — further pulls would
+		// only spend budget on losers.
+		if leaderLocked(cands, gamma, totalPulls) {
+			break
+		}
+	}
+
+	o.scoreAll(qv, cands)
+	best := argmaxFinalReward(cands)
+	o.emit(Event{Type: EventWinner, Strategy: StrategyMAB, Model: best.model,
+		Text: best.response, Tokens: used, Score: best.score,
+		Reason: fmt.Sprintf("highest final reward %.3f over %d pulls", best.score, best.pulls)})
+	return Result{
+		Strategy: StrategyMAB, Answer: best.response, Model: best.model,
+		TokensUsed: used, Rounds: totalPulls,
+		Outcomes: outcomes(cands), Elapsed: time.Since(start),
+	}, nil
+}
+
+// selectArm returns the unfinished arm with the highest UCB1 index. An
+// arm that has never been pulled has an infinite index, so every arm is
+// tried once before any exploitation (standard UCB1 initialization).
+// Returns nil when every arm has finished.
+func (o *Orchestrator) selectArm(cands []*candidate, gamma float64, totalPulls int) *candidate {
+	var best *candidate
+	bestIdx := math.Inf(-1)
+	for _, c := range cands {
+		if c.done {
+			continue
+		}
+		idx := ucb1(c, gamma, totalPulls)
+		if best == nil || idx > bestIdx || (idx == bestIdx && c.model < best.model) {
+			best, bestIdx = c, idx
+		}
+	}
+	return best
+}
+
+// ucb1 computes the arm's index (Algorithm 2 line 4). Unpulled arms get
+// +Inf so they are explored first.
+func ucb1(c *candidate, gamma float64, totalPulls int) float64 {
+	if c.pulls == 0 {
+		return math.Inf(1)
+	}
+	mean := c.rewardSum / float64(c.pulls)
+	if totalPulls < 1 {
+		totalPulls = 1
+	}
+	return mean + gamma*math.Sqrt(2*math.Log(float64(totalPulls))/float64(c.pulls))
+}
+
+func meanReward(c *candidate) float64 {
+	if c.pulls == 0 {
+		return 0
+	}
+	return c.rewardSum / float64(c.pulls)
+}
+
+func allDone(cands []*candidate) bool {
+	for _, c := range cands {
+		if !c.done {
+			return false
+		}
+	}
+	return true
+}
+
+// leaderLocked reports whether a finished arm's mean reward exceeds every
+// unfinished arm's optimistic UCB bound — at that point continued
+// exploration cannot change the winner, so stopping saves tokens.
+func leaderLocked(cands []*candidate, gamma float64, totalPulls int) bool {
+	var leader *candidate
+	for _, c := range cands {
+		if c.done && c.pulls > 0 && (leader == nil || meanReward(c) > meanReward(leader)) {
+			leader = c
+		}
+	}
+	if leader == nil {
+		return false
+	}
+	lead := meanReward(leader)
+	for _, c := range cands {
+		if c.done {
+			if meanReward(c) > lead {
+				return false
+			}
+			continue
+		}
+		if ucb1(c, gamma, totalPulls) >= lead {
+			return false
+		}
+	}
+	return true
+}
+
+// argmaxFinalReward selects the final winner (Algorithm 2 line 16): the
+// arm whose response has the highest reward at termination, i.e. the
+// current value of r = α·sim(query, response) + β·avgInterModelSim for
+// each arm's accumulated response. Selecting on the final state rather
+// than the pull history avoids two pathologies: a historical mean
+// underrates arms that improved as their answer completed, and a
+// cumulative sum overrates verbose arms that simply needed more pulls.
+// Ties break on name for determinism.
+func argmaxFinalReward(cands []*candidate) *candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if better(c, best) {
+			best = c
+		}
+	}
+	return best
+}

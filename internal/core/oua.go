@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// OUA runs the Overperformers–Underperformers Algorithm (Algorithm 1).
+//
+// The budget λ_max is split evenly: each of the N models may generate at
+// most λ_max/N tokens, spread over Config.Rounds round-robin chunks. After
+// every round each active model's accumulated partial response is scored
+// α·cos(resp, prompt) + β·avgInterModelSim, then:
+//
+//   - if the best model leads the second-best score by more than
+//     LeadMargin and has finished naturally ("stop"), its answer is
+//     returned immediately (line 17);
+//   - if the worst model trails the second-worst score by more than
+//     PruneMargin, it is pruned and its unspent allowance is
+//     redistributed over the surviving models (line 21) — "allocate them
+//     to rest beyond each model's maximum allowance".
+//
+// The loop ends when every surviving model has finished or spent its
+// allowance; the highest-scoring response wins (line 25).
+func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
+	start := time.Now()
+	cfg := o.cfg
+	n := len(cfg.Models)
+	perModel := cfg.MaxTokens / n
+	if perModel < 1 {
+		perModel = 1
+	}
+	chunkSize := perModel / cfg.Rounds
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+
+	cands := make([]*candidate, n)
+	for i, m := range cfg.Models {
+		cands[i] = &candidate{model: m, remaining: perModel}
+	}
+	qv := cfg.Encoder.Encode(prompt)
+	o.emit(Event{Type: EventStart, Strategy: StrategyOUA})
+
+	totalTokens := 0
+	round := 0
+	for {
+		round++
+		o.emit(Event{Type: EventRound, Strategy: StrategyOUA, Round: round})
+
+		// Generation pass: every active model with budget left and an
+		// unfinished answer receives its next chunk.
+		progressed := false
+		for _, c := range cands {
+			if c.pruned || c.done || c.remaining <= 0 {
+				continue
+			}
+			take := chunkSize
+			if take > c.remaining {
+				take = c.remaining
+			}
+			chunk, err := o.backend.GenerateChunk(ctx, c.model, prompt, take, c.cont)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: oua %s: %w", c.model, err)
+			}
+			c.response += chunk.Text
+			c.cont = chunk.Context
+			c.tokens += chunk.EvalCount
+			c.remaining -= chunk.EvalCount
+			c.pulls++
+			c.reason = chunk.DoneReason
+			c.dirty = c.dirty || chunk.EvalCount > 0
+			totalTokens += chunk.EvalCount
+			switch chunk.DoneReason {
+			case "stop":
+				c.done = true
+			case "cancel":
+				return Result{}, ctx.Err()
+			}
+			if chunk.EvalCount > 0 {
+				progressed = true
+				o.emit(Event{Type: EventChunk, Strategy: StrategyOUA, Round: round,
+					Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+			}
+		}
+
+		// Scoring pass over all unpruned candidates (finished models keep
+		// competing on their final answers; line 10 iterates activeModels).
+		active := activeCandidates(cands)
+		if len(active) == 0 {
+			break
+		}
+		o.scoreAll(qv, active)
+		for _, c := range active {
+			o.emit(Event{Type: EventScore, Strategy: StrategyOUA, Round: round,
+				Model: c.model, Score: c.score, QuerySim: c.querySim, InterSim: c.interSim})
+		}
+
+		// Early exit (line 17): a clear, finished leader wins outright.
+		if len(active) >= 2 {
+			best, second := topTwo(active)
+			if best.done && best.score > second.score+cfg.LeadMargin {
+				return o.finishOUA(cands, best, totalTokens, round, true, start,
+					fmt.Sprintf("early exit: leads by %.3f", best.score-second.score)), nil
+			}
+		}
+
+		// Pruning (line 21): drop a clearly trailing model and hand its
+		// unspent allowance to the survivors.
+		if len(active) >= 2 {
+			worst, secondWorst := bottomTwo(active)
+			if secondWorst.score-worst.score > cfg.PruneMargin {
+				worst.pruned = true
+				o.emit(Event{Type: EventPrune, Strategy: StrategyOUA, Round: round,
+					Model: worst.model, Score: worst.score,
+					Reason: fmt.Sprintf("trailing by %.3f", secondWorst.score-worst.score)})
+				redistribute(worst, cands)
+			}
+		}
+
+		// Termination: all survivors finished or out of budget, or this
+		// round produced nothing (everyone done/spent).
+		if !progressed || allSettled(cands) {
+			break
+		}
+	}
+
+	active := activeCandidates(cands)
+	if len(active) == 0 {
+		// Everything was pruned — fall back to the best of all candidates
+		// so the query still gets an answer.
+		active = cands
+		o.scoreAll(qv, active)
+	}
+	best := argmaxScore(active)
+	return o.finishOUA(cands, best, totalTokens, round, false, start, "budget settled"), nil
+}
+
+func (o *Orchestrator) finishOUA(cands []*candidate, best *candidate, tokens, rounds int, early bool, start time.Time, reason string) Result {
+	o.emit(Event{Type: EventWinner, Strategy: StrategyOUA, Model: best.model,
+		Text: best.response, Tokens: tokens, Score: best.score, Reason: reason})
+	return Result{
+		Strategy: StrategyOUA, Answer: best.response, Model: best.model,
+		TokensUsed: tokens, Rounds: rounds, EarlyExit: early,
+		Outcomes: outcomes(cands), Elapsed: time.Since(start),
+	}
+}
+
+// activeCandidates returns the unpruned candidates.
+func activeCandidates(cands []*candidate) []*candidate {
+	var out []*candidate
+	for _, c := range cands {
+		if !c.pruned {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// allSettled reports whether every unpruned candidate has either finished
+// naturally or exhausted its allowance.
+func allSettled(cands []*candidate) bool {
+	for _, c := range cands {
+		if c.pruned {
+			continue
+		}
+		if !c.done && c.remaining > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// redistribute splits the pruned model's unspent allowance evenly across
+// the surviving candidates; the remainder goes to the first survivors.
+func redistribute(pruned *candidate, cands []*candidate) {
+	freed := pruned.remaining
+	pruned.remaining = 0
+	var survivors []*candidate
+	for _, c := range cands {
+		if !c.pruned && !c.done {
+			survivors = append(survivors, c)
+		}
+	}
+	if freed <= 0 || len(survivors) == 0 {
+		return
+	}
+	share := freed / len(survivors)
+	extra := freed % len(survivors)
+	for i, c := range survivors {
+		c.remaining += share
+		if i < extra {
+			c.remaining++
+		}
+	}
+}
+
+// topTwo returns the best- and second-best-scoring candidates; callers
+// guarantee len(cands) >= 2. Ties break on model name for determinism.
+func topTwo(cands []*candidate) (best, second *candidate) {
+	for _, c := range cands {
+		switch {
+		case best == nil || better(c, best):
+			best, second = c, best
+		case second == nil || better(c, second):
+			second = c
+		}
+	}
+	return best, second
+}
+
+// bottomTwo returns the worst- and second-worst-scoring candidates.
+func bottomTwo(cands []*candidate) (worst, secondWorst *candidate) {
+	for _, c := range cands {
+		switch {
+		case worst == nil || better(worst, c):
+			worst, secondWorst = c, worst
+		case secondWorst == nil || better(secondWorst, c):
+			secondWorst = c
+		}
+	}
+	return worst, secondWorst
+}
+
+func better(a, b *candidate) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.model < b.model
+}
+
+func argmaxScore(cands []*candidate) *candidate {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if better(c, best) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Trace collects orchestration events and renders them as the
+// human-readable decision log the paper proposes (§9.5, "Transparent
+// Orchestration Logs": *"show users a simple log: 'We asked Model A
+// first, it got 60% confidence; then we asked Model B, it got 75% and
+// won'"*). Attach Trace.Record as (or inside) Config.OnEvent, run a
+// query, then call String or Lines.
+//
+// A Trace is safe for concurrent recording, though a single orchestrated
+// query emits events sequentially.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one event; pass it as Config.OnEvent.
+func (t *Trace) Record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, ev)
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Reset clears the trace for reuse across queries.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = t.events[:0]
+}
+
+// Lines renders the trace as one plain-English sentence per decision.
+func (t *Trace) Lines() []string {
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+
+	var lines []string
+	tokensByModel := make(map[string]int)
+	for _, ev := range events {
+		switch ev.Type {
+		case EventStart:
+			if ev.Model != "" {
+				lines = append(lines, fmt.Sprintf("Started a %s query served by %s.", ev.Strategy, ev.Model))
+			} else {
+				lines = append(lines, fmt.Sprintf("Started a %s query across the candidate models.", ev.Strategy))
+			}
+		case EventChunk:
+			tokensByModel[ev.Model] += ev.Tokens
+			lines = append(lines, fmt.Sprintf("Asked %s for %d more tokens (%d so far).",
+				ev.Model, ev.Tokens, tokensByModel[ev.Model]))
+		case EventScore:
+			lines = append(lines, fmt.Sprintf("%s scored %.0f%% (relevance %.0f%%, agreement %.0f%%).",
+				ev.Model, ev.Score*100, ev.QuerySim*100, ev.InterSim*100))
+		case EventPrune:
+			lines = append(lines, fmt.Sprintf("Dropped %s at %.0f%%: %s.", ev.Model, ev.Score*100, ev.Reason))
+		case EventWinner:
+			lines = append(lines, fmt.Sprintf("%s won at %.0f%% after %d total tokens (%s).",
+				ev.Model, ev.Score*100, ev.Tokens, ev.Reason))
+		}
+	}
+	return lines
+}
+
+// String renders the trace as a newline-joined log.
+func (t *Trace) String() string { return strings.Join(t.Lines(), "\n") }
+
+// Summary condenses the trace to the per-model story: tokens received,
+// final score, and fate — the compact variant for UI overlays.
+func (t *Trace) Summary() string {
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+
+	type modelFate struct {
+		tokens int
+		score  float64
+		fate   string
+	}
+	fates := make(map[string]*modelFate)
+	order := []string{}
+	get := func(m string) *modelFate {
+		if f, ok := fates[m]; ok {
+			return f
+		}
+		f := &modelFate{fate: "competed"}
+		fates[m] = f
+		order = append(order, m)
+		return f
+	}
+	var winner string
+	var strategy Strategy
+	for _, ev := range events {
+		if ev.Strategy != "" {
+			strategy = ev.Strategy
+		}
+		switch ev.Type {
+		case EventChunk:
+			get(ev.Model).tokens += ev.Tokens
+		case EventScore:
+			get(ev.Model).score = ev.Score
+		case EventPrune:
+			f := get(ev.Model)
+			f.fate = "pruned"
+			f.score = ev.Score
+		case EventWinner:
+			winner = ev.Model
+			if f, ok := fates[ev.Model]; ok {
+				f.fate = "won"
+				if ev.Score != 0 {
+					f.score = ev.Score
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy %s: ", strategy)
+	parts := make([]string, 0, len(order))
+	for _, m := range order {
+		f := fates[m]
+		parts = append(parts, fmt.Sprintf("%s %s (%d tokens, %.0f%%)", m, f.fate, f.tokens, f.score*100))
+	}
+	b.WriteString(strings.Join(parts, "; "))
+	if winner != "" && len(order) == 0 {
+		fmt.Fprintf(&b, "%s won", winner)
+	}
+	return b.String()
+}

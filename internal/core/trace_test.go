@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func tracedRun(t *testing.T, strategy Strategy) *Trace {
+	t.Helper()
+	trace := NewTrace()
+	cfg := DefaultConfig("good", "okay", "bad")
+	cfg.MaxTokens = 240
+	cfg.OnEvent = trace.Record
+	o := mustNew(t, threeModels(), cfg)
+	if _, err := o.Run(context.Background(), strategy, testPrompt); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestTraceLines(t *testing.T) {
+	trace := tracedRun(t, StrategyOUA)
+	lines := trace.Lines()
+	if len(lines) < 4 {
+		t.Fatalf("only %d trace lines:\n%s", len(lines), trace)
+	}
+	log := trace.String()
+	for _, want := range []string{"Started a oua query", "Asked ", " scored ", " won at "} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("trace missing %q:\n%s", want, log)
+		}
+	}
+	// Every candidate appears in the log.
+	for _, m := range []string{"good", "okay", "bad"} {
+		if !strings.Contains(log, m) {
+			t.Fatalf("trace missing model %s:\n%s", m, log)
+		}
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	trace := tracedRun(t, StrategyOUA)
+	sum := trace.Summary()
+	if !strings.Contains(sum, "strategy oua") {
+		t.Fatalf("summary = %q", sum)
+	}
+	if !strings.Contains(sum, "won") {
+		t.Fatalf("no winner in summary: %q", sum)
+	}
+	// The off-topic model is reported pruned.
+	if !strings.Contains(sum, "bad pruned") {
+		t.Fatalf("pruned fate missing: %q", sum)
+	}
+}
+
+func TestTraceResetAndEvents(t *testing.T) {
+	trace := tracedRun(t, StrategyMAB)
+	if len(trace.Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Events() returns a copy.
+	evs := trace.Events()
+	evs[0].Model = "mutated"
+	if trace.Events()[0].Model == "mutated" {
+		t.Fatal("Events leaked internal slice")
+	}
+	trace.Reset()
+	if len(trace.Events()) != 0 || trace.String() != "" {
+		t.Fatal("reset did not clear the trace")
+	}
+}
+
+func TestTraceSingleModel(t *testing.T) {
+	trace := NewTrace()
+	cfg := DefaultConfig("good")
+	cfg.OnEvent = trace.Record
+	o := mustNew(t, threeModels(), cfg)
+	if _, err := o.Single(context.Background(), "good", testPrompt); err != nil {
+		t.Fatal(err)
+	}
+	log := trace.String()
+	if !strings.Contains(log, "served by good") {
+		t.Fatalf("single-model trace:\n%s", log)
+	}
+}

@@ -1,0 +1,187 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	enc := Default()
+	a := enc.Encode("the capital of Australia is Canberra")
+	b := enc.Encode("the capital of Australia is Canberra")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic encode at dim %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEncodeUnitNorm(t *testing.T) {
+	enc := Default()
+	f := func(s string) bool {
+		v := enc.Encode(s)
+		n := Norm(v)
+		return n == 0 || math.Abs(n-1) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyEncodesToZero(t *testing.T) {
+	enc := Default()
+	for _, s := range []string{"", "   ", "!?.,"} {
+		if Norm(enc.Encode(s)) != 0 {
+			t.Errorf("Encode(%q) not zero vector", s)
+		}
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	enc := Default()
+	v := enc.Encode("bats are not blind; many species use echolocation")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("self cosine = %v, want 1", got)
+	}
+}
+
+func TestSimilarityOrdering(t *testing.T) {
+	enc := Default()
+	query := enc.Encode("What happens if you swallow chewing gum?")
+	onTopic := enc.Encode("If you swallow chewing gum it passes through your digestive system.")
+	related := enc.Encode("Chewing gum is made of a gum base and sweeteners.")
+	offTopic := enc.Encode("The French revolution began in seventeen eighty nine.")
+
+	simOn := Cosine(query, onTopic)
+	simRel := Cosine(query, related)
+	simOff := Cosine(query, offTopic)
+	if !(simOn > simRel) {
+		t.Errorf("on-topic %v not above related %v", simOn, simRel)
+	}
+	if !(simRel > simOff) {
+		t.Errorf("related %v not above off-topic %v", simRel, simOff)
+	}
+}
+
+func TestCosineSymmetry(t *testing.T) {
+	enc := Default()
+	f := func(a, b string) bool {
+		va, vb := enc.Encode(a), enc.Encode(b)
+		return math.Abs(Cosine(va, vb)-Cosine(vb, va)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	enc := Default()
+	f := func(a, b string) bool {
+		c := Cosine(enc.Encode(a), enc.Encode(b))
+		return c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	mx, err := Lookup(ModelMxbai)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := Lookup(ModelNomic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Dim() == nm.Dim() {
+		t.Fatalf("profiles share dimension %d", mx.Dim())
+	}
+	if mx.Dim() != 1024 || nm.Dim() != 768 {
+		t.Fatalf("unexpected dims: mxbai=%d nomic=%d", mx.Dim(), nm.Dim())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if _, err := Lookup("no-such-encoder"); err == nil {
+		t.Fatal("expected error for unknown encoder")
+	}
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("expected at least 3 registered encoders, got %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Name: "x", Dim: 0}); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	if _, err := New(Config{Name: "", Dim: 8}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	enc := Default()
+	a := enc.Encode("the heart pumps blood")
+	b := enc.Encode("the heart pumps blood through the body")
+	c := Centroid([]Vector{a, b})
+	if math.Abs(Norm(c)-1) > 1e-5 {
+		t.Fatalf("centroid not normalized: %v", Norm(c))
+	}
+	if Cosine(c, a) < 0.5 || Cosine(c, b) < 0.5 {
+		t.Fatalf("centroid far from members: %v %v", Cosine(c, a), Cosine(c, b))
+	}
+	if Centroid(nil) != nil {
+		t.Fatal("empty centroid should be nil")
+	}
+}
+
+func TestNegationPreserved(t *testing.T) {
+	enc := Default()
+	q := enc.Encode("is the great wall visible from space")
+	neg := enc.Encode("the great wall is not visible from space")
+	pos := enc.Encode("the great wall is visible from space")
+	// Both near the query, and the negated form must retain the "not"
+	// signal (non-identical embeddings).
+	if Cosine(q, neg) < 0.4 || Cosine(q, pos) < 0.4 {
+		t.Fatalf("on-topic similarity too low: %v %v", Cosine(q, neg), Cosine(q, pos))
+	}
+	if Cosine(neg, pos) > 0.999 {
+		t.Fatal("negation lost: embeddings identical")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := Clone(v)
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func BenchmarkEncodeShort(b *testing.B) {
+	enc := Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Encode("What is the spiciest part of a chili pepper?")
+	}
+}
+
+func BenchmarkCosine1024(b *testing.B) {
+	mx, _ := Lookup(ModelMxbai)
+	x := mx.Encode("a reasonably long sentence about retrieval augmented generation pipelines")
+	y := mx.Encode("another sentence about vector database similarity search")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cosine(x, y)
+	}
+}

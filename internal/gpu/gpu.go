@@ -1,0 +1,275 @@
+// Package gpu implements the hardware layer of LLM-MS: a simulated
+// inventory of GPU devices with VRAM accounting, utilization and
+// temperature telemetry, model placement, and CPU fallback.
+//
+// The paper's deployment runs on an NVIDIA Tesla V100 (32 GB) monitored
+// through nvidia-smi; the upper layers consult the hardware layer for
+// placement decisions and telemetry only. This package reproduces that
+// contract: the computation layer asks a Cluster to place model weights,
+// the application layer reads Snapshot for its monitoring endpoint, and
+// when no device can hold a model the cluster falls back to CPU — the
+// same degradation path the paper describes (§3.2).
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MiB and GiB are byte sizes used when declaring device and model memory.
+const (
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// DeviceSpec declares one simulated GPU.
+type DeviceSpec struct {
+	// Name is the marketing name reported by telemetry.
+	Name string
+	// VRAM is total device memory in bytes.
+	VRAM uint64
+}
+
+// TeslaV100 is the paper's evaluation GPU.
+var TeslaV100 = DeviceSpec{Name: "Tesla V100-PCIE-32GB", VRAM: 32 * GiB}
+
+// Placement records where an allocation landed.
+type Placement struct {
+	// OnCPU is true when no GPU could hold the allocation.
+	OnCPU bool
+	// Device is the device index for GPU placements.
+	Device int
+	// Owner is the allocation's label (typically the model name).
+	Owner string
+	// Bytes is the reserved memory.
+	Bytes uint64
+}
+
+// device is the mutable state of one simulated GPU.
+type device struct {
+	spec        DeviceSpec
+	used        uint64
+	allocations map[string]uint64 // owner -> bytes
+	activeJobs  int
+	temperature float64
+}
+
+// DeviceStat is a telemetry snapshot of one device, shaped after the
+// fields nvidia-smi reports.
+type DeviceStat struct {
+	Index       int
+	Name        string
+	MemoryUsed  uint64
+	MemoryTotal uint64
+	Utilization float64 // 0..100
+	Temperature float64 // °C
+	Processes   []ProcessStat
+}
+
+// ProcessStat is one resident allocation on a device.
+type ProcessStat struct {
+	Owner string
+	Bytes uint64
+}
+
+// Snapshot is the cluster-wide telemetry view, the Go analogue of one
+// nvidia-smi invocation.
+type Snapshot struct {
+	Devices []DeviceStat
+	// CPUResident lists allocations that fell back to system memory.
+	CPUResident []ProcessStat
+}
+
+// Cluster is a set of simulated GPUs plus a CPU fallback pool. All
+// methods are safe for concurrent use.
+type Cluster struct {
+	mu      sync.Mutex
+	devices []*device
+	cpu     map[string]uint64
+	ambient float64
+}
+
+// NewCluster builds a cluster with the given devices. An empty spec list
+// models a CPU-only host (every allocation falls back).
+func NewCluster(specs ...DeviceSpec) *Cluster {
+	c := &Cluster{cpu: make(map[string]uint64), ambient: 35}
+	for _, s := range specs {
+		c.devices = append(c.devices, &device{
+			spec:        s,
+			allocations: make(map[string]uint64),
+			temperature: c.ambient,
+		})
+	}
+	return c
+}
+
+// Allocate reserves bytes for owner on the least-loaded device that can
+// hold them, falling back to CPU when none can. Allocating twice for the
+// same owner fails; release first.
+func (c *Cluster) Allocate(owner string, bytes uint64) (Placement, error) {
+	if owner == "" {
+		return Placement{}, fmt.Errorf("gpu: empty owner")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if _, ok := d.allocations[owner]; ok {
+			return Placement{}, fmt.Errorf("gpu: owner %q already resident on %s", owner, d.spec.Name)
+		}
+	}
+	if _, ok := c.cpu[owner]; ok {
+		return Placement{}, fmt.Errorf("gpu: owner %q already resident on CPU", owner)
+	}
+
+	// Least-used-fraction device with room wins; ties break on index.
+	best := -1
+	bestFrac := 2.0
+	for i, d := range c.devices {
+		if d.spec.VRAM-d.used < bytes {
+			continue
+		}
+		frac := float64(d.used) / float64(d.spec.VRAM)
+		if frac < bestFrac {
+			best, bestFrac = i, frac
+		}
+	}
+	if best == -1 {
+		c.cpu[owner] = bytes
+		return Placement{OnCPU: true, Owner: owner, Bytes: bytes}, nil
+	}
+	d := c.devices[best]
+	d.used += bytes
+	d.allocations[owner] = bytes
+	return Placement{Device: best, Owner: owner, Bytes: bytes}, nil
+}
+
+// Release frees owner's allocation wherever it lives. Releasing an
+// unknown owner is an error, surfacing double-free bugs early.
+func (c *Cluster) Release(owner string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if b, ok := d.allocations[owner]; ok {
+			d.used -= b
+			delete(d.allocations, owner)
+			return nil
+		}
+	}
+	if _, ok := c.cpu[owner]; ok {
+		delete(c.cpu, owner)
+		return nil
+	}
+	return fmt.Errorf("gpu: release of unknown owner %q", owner)
+}
+
+// Resident reports whether owner currently holds memory anywhere.
+func (c *Cluster) Resident(owner string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if _, ok := d.allocations[owner]; ok {
+			return true
+		}
+	}
+	_, ok := c.cpu[owner]
+	return ok
+}
+
+// BeginJob marks owner's device busy for the duration of an inference
+// job; the returned func ends the job. Utilization telemetry is derived
+// from active jobs. CPU-resident owners are accepted and tracked as a
+// no-op so callers need not branch.
+func (c *Cluster) BeginJob(owner string) func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if _, ok := d.allocations[owner]; ok {
+			d.activeJobs++
+			d.temperature += 4
+			if d.temperature > 90 {
+				d.temperature = 90
+			}
+			dd := d
+			var once sync.Once
+			return func() {
+				once.Do(func() {
+					c.mu.Lock()
+					defer c.mu.Unlock()
+					if dd.activeJobs > 0 {
+						dd.activeJobs--
+					}
+				})
+			}
+		}
+	}
+	return func() {}
+}
+
+// Tick advances the thermal model one step: idle devices cool toward
+// ambient. Call it periodically (the daemon does) or from tests.
+func (c *Cluster) Tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if d.activeJobs == 0 && d.temperature > c.ambient {
+			d.temperature -= 2
+			if d.temperature < c.ambient {
+				d.temperature = c.ambient
+			}
+		}
+	}
+}
+
+// Stats returns the current telemetry snapshot.
+func (c *Cluster) Stats() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{}
+	for i, d := range c.devices {
+		util := float64(d.activeJobs) * 45
+		if util > 100 {
+			util = 100
+		}
+		stat := DeviceStat{
+			Index:       i,
+			Name:        d.spec.Name,
+			MemoryUsed:  d.used,
+			MemoryTotal: d.spec.VRAM,
+			Utilization: util,
+			Temperature: d.temperature,
+		}
+		for owner, b := range d.allocations {
+			stat.Processes = append(stat.Processes, ProcessStat{Owner: owner, Bytes: b})
+		}
+		sort.Slice(stat.Processes, func(a, b int) bool { return stat.Processes[a].Owner < stat.Processes[b].Owner })
+		snap.Devices = append(snap.Devices, stat)
+	}
+	for owner, b := range c.cpu {
+		snap.CPUResident = append(snap.CPUResident, ProcessStat{Owner: owner, Bytes: b})
+	}
+	sort.Slice(snap.CPUResident, func(a, b int) bool { return snap.CPUResident[a].Owner < snap.CPUResident[b].Owner })
+	return snap
+}
+
+// String renders the snapshot in an nvidia-smi-inspired table, used by
+// the platform's monitoring endpoint and CLI.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-24s %12s %6s %6s\n", "GPU", "Name", "Memory", "Util", "Temp")
+	for _, d := range s.Devices {
+		fmt.Fprintf(&b, "%-3d %-24s %5d/%5dMiB %5.0f%% %5.0fC\n",
+			d.Index, d.Name, d.MemoryUsed/MiB, d.MemoryTotal/MiB, d.Utilization, d.Temperature)
+		for _, p := range d.Processes {
+			fmt.Fprintf(&b, "    └─ %-20s %6dMiB\n", p.Owner, p.Bytes/MiB)
+		}
+	}
+	if len(s.CPUResident) > 0 {
+		fmt.Fprintf(&b, "CPU fallback:\n")
+		for _, p := range s.CPUResident {
+			fmt.Fprintf(&b, "    └─ %-20s %6dMiB\n", p.Owner, p.Bytes/MiB)
+		}
+	}
+	return b.String()
+}

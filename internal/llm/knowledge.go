@@ -1,0 +1,159 @@
+package llm
+
+import (
+	"strings"
+
+	"llmms/internal/truthfulqa"
+)
+
+// Knowledge is the engine's question bank: the world knowledge the
+// simulated models may (or may not, per their skill draws) possess. It is
+// built from a TruthfulQA dataset and looked up by normalized question
+// containment, so prompts wrapped with retrieved context, session
+// summaries, or answer cues still resolve to the underlying question.
+type Knowledge struct {
+	items []truthfulqa.Item
+	// byNorm maps the normalized question to an index in items.
+	byNorm map[string]int
+	// norms keeps the normalized questions for containment scans.
+	norms []string
+}
+
+// NewKnowledge indexes a dataset. Later duplicates of the same normalized
+// question are ignored.
+func NewKnowledge(d truthfulqa.Dataset) *Knowledge {
+	k := &Knowledge{byNorm: make(map[string]int, len(d))}
+	for _, it := range d {
+		n := normalizeQuestion(it.Question)
+		if n == "" {
+			continue
+		}
+		if _, dup := k.byNorm[n]; dup {
+			continue
+		}
+		k.byNorm[n] = len(k.items)
+		k.items = append(k.items, it)
+		k.norms = append(k.norms, n)
+	}
+	return k
+}
+
+// Len returns the number of indexed questions.
+func (k *Knowledge) Len() int { return len(k.items) }
+
+// Find resolves a prompt to a known benchmark item. It first tries an
+// exact match on the normalized question (fast path for bare benchmark
+// prompts), then a containment scan for prompts that embed the question
+// inside context or instructions.
+func (k *Knowledge) Find(prompt string) (truthfulqa.Item, bool) {
+	n := normalizeQuestion(extractQuestion(prompt))
+	if n == "" {
+		return truthfulqa.Item{}, false
+	}
+	if i, ok := k.byNorm[n]; ok {
+		return k.items[i], true
+	}
+	for i, qn := range k.norms {
+		if strings.Contains(n, qn) {
+			return k.items[i], true
+		}
+	}
+	return truthfulqa.Item{}, false
+}
+
+// normalizeQuestion lowercases and collapses a question to its
+// alphanumeric words.
+func normalizeQuestion(q string) string {
+	var b strings.Builder
+	lastSpace := true
+	for _, r := range strings.ToLower(q) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastSpace = false
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Prompt section markers. The RAG prompt builder and the session layer
+// compose prompts with these labels; the engine parses them back out.
+const (
+	sectionContext  = "Context:"
+	sectionSummary  = "Summary of earlier conversation:"
+	sectionQuestion = "Question:"
+	sectionAnswer   = "Answer:"
+)
+
+// extractQuestion pulls the user question out of a composed prompt. A
+// prompt without section markers is itself the question.
+func extractQuestion(prompt string) string {
+	if i := strings.LastIndex(prompt, sectionQuestion); i >= 0 {
+		q := prompt[i+len(sectionQuestion):]
+		if j := strings.Index(q, sectionAnswer); j >= 0 {
+			q = q[:j]
+		}
+		return strings.TrimSpace(q)
+	}
+	return strings.TrimSpace(prompt)
+}
+
+// extractContext pulls the retrieved-context block out of a composed
+// prompt, returning "" when there is none.
+func extractContext(prompt string) string {
+	i := strings.Index(prompt, sectionContext)
+	if i < 0 {
+		return ""
+	}
+	ctx := prompt[i+len(sectionContext):]
+	if j := strings.Index(ctx, sectionQuestion); j >= 0 {
+		ctx = ctx[:j]
+	}
+	return strings.TrimSpace(ctx)
+}
+
+// splitSentences breaks text into sentences on ., !, ? and newlines,
+// trimming whitespace and dropping empties. A period flanked by digits
+// ("24.04", version "0.4.5") is part of a number, not a boundary.
+func splitSentences(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		cur.Reset()
+	}
+	runes := []rune(text)
+	for i, r := range runes {
+		switch r {
+		case '.':
+			cur.WriteRune(r)
+			if !digitFlanked(runes, i) {
+				flush()
+			}
+		case '!', '?':
+			cur.WriteRune(r)
+			flush()
+		case '\n':
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// digitFlanked reports whether the rune at i sits between two digits.
+func digitFlanked(runes []rune, i int) bool {
+	return i > 0 && i+1 < len(runes) &&
+		runes[i-1] >= '0' && runes[i-1] <= '9' &&
+		runes[i+1] >= '0' && runes[i+1] <= '9'
+}

@@ -1,0 +1,229 @@
+// Package llm implements the simulated large-language-model inference
+// engine that stands in for the Ollama-served LLaMA-3 / Mistral / Qwen-2
+// models of the LLM-MS paper.
+//
+// Real heterogeneous LLMs differ in which questions they answer
+// truthfully, how verbose they are, how fast they decode, and how much
+// memory they occupy. Those four axes are exactly what the paper's
+// orchestration layer observes and exploits, so the simulation models
+// them directly:
+//
+//   - A Profile gives each model per-category skill probabilities; a
+//     seeded hash of (model, question) decides deterministically whether
+//     the model answers a known question truthfully, and which reference
+//     answer variant it verbalizes.
+//   - A style layer (preambles, hedges, elaborations) makes each model's
+//     token count and phrasing distinct, driving the token-efficiency
+//     results.
+//   - Generation is a token-by-token stream with num-predict budgets and
+//     "stop"/"length" done reasons, plus an opaque continuation context —
+//     the same generation contract the Ollama daemon exposes.
+//
+// Prompts may carry retrieved context ("Context:" sections); models
+// answer those extractively with profile-dependent quality, which is what
+// makes the RAG pipeline behave realistically end to end.
+package llm
+
+import (
+	"llmms/internal/gpu"
+)
+
+// Verbosity buckets control how much decoration a model adds around the
+// core answer.
+type Verbosity int
+
+// Verbosity levels from fewest to most tokens.
+const (
+	Terse Verbosity = iota
+	Medium
+	Verbose
+)
+
+// Style is the surface-form personality of a model.
+type Style struct {
+	// Preambles open an answer ("Sure — ", "Great question. ").
+	Preambles []string
+	// Hedges open an uncertain or fabricated answer.
+	Hedges []string
+	// Elaborations are appended by higher-verbosity models.
+	Elaborations []string
+}
+
+// Profile declares one simulated model.
+type Profile struct {
+	// Name is the model tag clients request, e.g. "llama3:8b".
+	Name string `json:"name"`
+	// Family is the architecture family, e.g. "llama".
+	Family string `json:"family"`
+	// Parameters is the human-readable size, e.g. "8B".
+	Parameters string `json:"parameters"`
+	// Quantization is the simulated weight format, e.g. "Q4_K_M".
+	Quantization string `json:"quantization"`
+	// SizeBytes is the VRAM footprint the hardware layer reserves.
+	SizeBytes uint64 `json:"size_bytes"`
+	// ContextWindow is the maximum prompt+generation token count.
+	ContextWindow int `json:"context_window"`
+	// TokensPerSec is the simulated decode speed.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// Verbosity selects the style decoration level.
+	Verbosity Verbosity `json:"verbosity"`
+	// Seed gives the model its deterministic identity: two models with
+	// different seeds make different truthfulness draws and pick
+	// different answer variants.
+	Seed uint64 `json:"seed"`
+	// Skills maps a question category to the probability of answering
+	// truthfully. Categories absent from the map use DefaultSkill.
+	Skills map[string]float64 `json:"skills"`
+	// DefaultSkill is the truthfulness probability for unknown categories.
+	DefaultSkill float64 `json:"default_skill"`
+	// RAGSkill is the probability of extracting the most relevant context
+	// sentence when answering from supplied documents.
+	RAGSkill float64 `json:"rag_skill"`
+	// Style is the model's phrasing personality.
+	Style Style `json:"-"`
+}
+
+// SkillFor returns the truthfulness probability for a category.
+func (p Profile) SkillFor(category string) float64 {
+	if s, ok := p.Skills[category]; ok {
+		return s
+	}
+	return p.DefaultSkill
+}
+
+// Built-in model names mirroring the paper's evaluation set (§8.1).
+const (
+	ModelLlama3  = "llama3:8b"
+	ModelMistral = "mistral:7b"
+	ModelQwen2   = "qwen2:7b"
+)
+
+// DefaultProfiles returns the three evaluation models. The skill maps
+// encode the qualitative strengths the paper attributes to them (§2.2):
+// LLaMA-3 is strong on conversational/alignment-heavy questions
+// (misconceptions, psychology, health), Qwen-2 on reasoning- and
+// knowledge-intensive questions (arithmetic, science, chemistry), and
+// Mistral is a fast, terse all-rounder. No model dominates, which is the
+// regime multi-model orchestration exploits.
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{
+			Name: ModelLlama3, Family: "llama", Parameters: "8B", Quantization: "Q4_K_M",
+			SizeBytes: 6 * gpu.GiB, ContextWindow: 8192, TokensPerSec: 95,
+			Verbosity: Verbose, Seed: 0x11a3a8b1,
+			DefaultSkill: 0.65, RAGSkill: 0.85,
+			Skills: map[string]float64{
+				"Misconceptions": 0.88, "Psychology": 0.86, "Sociology": 0.82,
+				"Health": 0.82, "Fiction": 0.80, "Language": 0.76,
+				"Superstitions": 0.82, "History": 0.74, "Nutrition": 0.72,
+				"Biology": 0.70, "Weather": 0.72, "Confusion": 0.70,
+				"Law": 0.66, "Science": 0.64, "Geography": 0.78,
+				"Economics": 0.72, "Astronomy": 0.60, "Chemistry": 0.52,
+				"Arithmetic": 0.45,
+				"Proverbs":   0.86, "Myths and Fairytales": 0.86,
+				"Paranormal": 0.84, "Advertising": 0.78, "Conspiracies": 0.86,
+				"Indexical Error: Time": 0.70, "Indexical Error: Location": 0.74,
+			},
+			Style: Style{
+				Preambles: []string{
+					"Great question! ",
+					"Happy to help. ",
+					"Let me clear this up. ",
+					"This is a common point of confusion. ",
+				},
+				Hedges: []string{
+					"I believe ",
+					"As far as I know, ",
+					"From what I recall, ",
+				},
+				Elaborations: []string{
+					" I hope that clears things up.",
+					" This misconception is worth double-checking.",
+					" The popular version does not hold up.",
+				},
+			},
+		},
+		{
+			Name: ModelMistral, Family: "mistral", Parameters: "7B", Quantization: "Q4_0",
+			SizeBytes: 5 * gpu.GiB, ContextWindow: 8192, TokensPerSec: 130,
+			Verbosity: Medium, Seed: 0x317a57a1,
+			DefaultSkill: 0.68, RAGSkill: 0.75,
+			Skills: map[string]float64{
+				"Misconceptions": 0.70, "Psychology": 0.66, "Sociology": 0.66,
+				"Health": 0.70, "Fiction": 0.66, "Language": 0.68,
+				"Superstitions": 0.70, "History": 0.68, "Nutrition": 0.68,
+				"Biology": 0.68, "Weather": 0.68, "Confusion": 0.66,
+				"Law": 0.68, "Science": 0.70, "Geography": 0.70,
+				"Economics": 0.68, "Astronomy": 0.68, "Chemistry": 0.66,
+				"Arithmetic": 0.64,
+				"Proverbs":   0.68, "Myths and Fairytales": 0.68,
+				"Paranormal": 0.66, "Advertising": 0.66, "Conspiracies": 0.68,
+				"Indexical Error: Time": 0.64, "Indexical Error: Location": 0.62,
+			},
+			Style: Style{
+				Preambles: []string{"Short answer: ", "In short, ", "Answer: "},
+				Hedges:    []string{"Possibly ", "Likely "},
+				Elaborations: []string{
+					" That is the accepted answer.",
+					" No further caveats apply.",
+				},
+			},
+		},
+		{
+			Name: ModelQwen2, Family: "qwen2", Parameters: "7B", Quantization: "Q4_K_M",
+			SizeBytes: 5 * gpu.GiB, ContextWindow: 32768, TokensPerSec: 110,
+			Verbosity: Medium, Seed: 0x92e20b7d,
+			DefaultSkill: 0.62, RAGSkill: 0.80,
+			Skills: map[string]float64{
+				"Arithmetic": 0.92, "Chemistry": 0.88, "Science": 0.86,
+				"Astronomy": 0.86, "Economics": 0.66, "Geography": 0.68,
+				"Law": 0.74, "History": 0.68, "Biology": 0.64,
+				"Health": 0.62, "Nutrition": 0.62, "Weather": 0.62,
+				"Language": 0.60, "Confusion": 0.62, "Sociology": 0.56,
+				"Superstitions": 0.56, "Misconceptions": 0.56,
+				"Psychology": 0.52, "Fiction": 0.52,
+				"Proverbs": 0.54, "Myths and Fairytales": 0.52,
+				"Paranormal": 0.58, "Advertising": 0.60, "Conspiracies": 0.60,
+				"Indexical Error: Time": 0.72, "Indexical Error: Location": 0.58,
+			},
+			Style: Style{
+				Preambles: []string{
+					"Let's reason about this. ",
+					"Step by step: ",
+					"Consider the facts. ",
+				},
+				Hedges: []string{
+					"Based on my analysis, ",
+					"Reasoning suggests ",
+				},
+				Elaborations: []string{
+					" Therefore the conclusion follows directly.",
+					" The reasoning above supports this answer.",
+				},
+			},
+		},
+	}
+}
+
+// hash01 maps (seed, key) to a deterministic float64 in [0, 1).
+func hash01(seed uint64, key string) float64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := offset ^ (seed*prime + 0x9e3779b97f4a7c15)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	// Use the top 53 bits for a uniform float in [0,1).
+	return float64(h>>11) / float64(1<<53)
+}
+
+// hashPick selects an index in [0, n) deterministically.
+func hashPick(seed uint64, key string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(hash01(seed, key) * float64(n))
+}

@@ -1,0 +1,189 @@
+package modeld
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"llmms/internal/llm"
+)
+
+// ChatMessage is one turn of an /api/chat conversation, matching
+// Ollama's message schema.
+type ChatMessage struct {
+	// Role is "system", "user", or "assistant".
+	Role string `json:"role"`
+	// Content is the message text.
+	Content string `json:"content"`
+}
+
+// ChatRequest is the wire form of a chat call (Ollama /api/chat).
+type ChatRequest struct {
+	Model    string        `json:"model"`
+	Messages []ChatMessage `json:"messages"`
+	Stream   *bool         `json:"stream,omitempty"`
+	Options  struct {
+		NumPredict int `json:"num_predict,omitempty"`
+	} `json:"options,omitempty"`
+}
+
+// ChatResponse is one NDJSON line of a chat stream (or the whole reply
+// when stream=false).
+type ChatResponse struct {
+	Model      string      `json:"model"`
+	CreatedAt  string      `json:"created_at"`
+	Message    ChatMessage `json:"message"`
+	Done       bool        `json:"done"`
+	DoneReason string      `json:"done_reason,omitempty"`
+	EvalCount  int         `json:"eval_count,omitempty"`
+}
+
+// chatPrompt flattens a message history into the prompt layout the
+// engine parses: system and prior turns become the conversation
+// preamble, the final user message becomes the question.
+func chatPrompt(messages []ChatMessage) (string, error) {
+	if len(messages) == 0 {
+		return "", fmt.Errorf("messages are required")
+	}
+	last := messages[len(messages)-1]
+	if last.Role != "user" {
+		return "", fmt.Errorf("last message must have role \"user\", got %q", last.Role)
+	}
+	var b strings.Builder
+	if len(messages) > 1 {
+		b.WriteString("Summary of earlier conversation:\n")
+		for _, m := range messages[:len(messages)-1] {
+			fmt.Fprintf(&b, "%s: %s\n", m.Role, strings.TrimSpace(m.Content))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Question: ")
+	b.WriteString(strings.TrimSpace(last.Content))
+	b.WriteString("\nAnswer:")
+	return b.String(), nil
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	var req ChatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Model == "" {
+		writeErr(w, http.StatusBadRequest, "model is required")
+		return
+	}
+	prompt, err := chatPrompt(req.Messages)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stream := req.Stream == nil || *req.Stream
+
+	chunks, err := s.engine.Generate(r.Context(), llm.GenRequest{
+		Model:     req.Model,
+		Prompt:    prompt,
+		MaxTokens: req.Options.NumPredict,
+	})
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	if !stream {
+		var text string
+		var last llm.Chunk
+		for c := range chunks {
+			text += c.Text
+			if c.Done {
+				last = c
+			}
+		}
+		writeJSON(w, http.StatusOK, ChatResponse{
+			Model: req.Model, CreatedAt: now(),
+			Message: ChatMessage{Role: "assistant", Content: text},
+			Done:    true, DoneReason: string(last.DoneReason), EvalCount: last.EvalCount,
+		})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for c := range chunks {
+		resp := ChatResponse{
+			Model: req.Model, CreatedAt: now(),
+			Message: ChatMessage{Role: "assistant", Content: c.Text},
+			Done:    c.Done,
+		}
+		if c.Done {
+			resp.DoneReason = string(c.DoneReason)
+			resp.EvalCount = c.EvalCount
+		}
+		if err := enc.Encode(resp); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// Chat runs a non-streaming chat call through the daemon, returning the
+// assistant message. For streaming, use ChatStream.
+func (c *Client) Chat(ctx context.Context, model string, messages []ChatMessage, maxTokens int) (ChatResponse, error) {
+	req := ChatRequest{Model: model, Messages: messages}
+	noStream := false
+	req.Stream = &noStream
+	req.Options.NumPredict = maxTokens
+	var out ChatResponse
+	if err := c.do(ctx, http.MethodPost, "/api/chat", req, &out); err != nil {
+		return ChatResponse{}, err
+	}
+	return out, nil
+}
+
+// ChatStream runs a streaming chat call, invoking fn for every NDJSON
+// line including the final (Done) message.
+func (c *Client) ChatStream(ctx context.Context, req ChatRequest, fn func(ChatResponse) error) error {
+	streaming := true
+	req.Stream = &streaming
+	data, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/chat", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var cr ChatResponse
+		if err := json.Unmarshal(line, &cr); err != nil {
+			return fmt.Errorf("modeld: bad chat stream line: %w", err)
+		}
+		if err := fn(cr); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

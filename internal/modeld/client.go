@@ -1,0 +1,198 @@
+package modeld
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"llmms/internal/embedding"
+	"llmms/internal/llm"
+)
+
+// Client speaks the daemon protocol from Go. It satisfies the
+// orchestrator's Backend interface, so the core algorithms run unchanged
+// against a remote daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:11434"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// do issues a JSON request and decodes the JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+		return fmt.Errorf("modeld: %s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("modeld: %s", resp.Status)
+}
+
+// Generate streams a generation, invoking fn for every NDJSON line. The
+// final line has Done == true.
+func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(GenerateResponse) error) error {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/generate", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var gr GenerateResponse
+		if err := json.Unmarshal(line, &gr); err != nil {
+			return fmt.Errorf("modeld: bad stream line: %w", err)
+		}
+		if err := fn(gr); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// GenerateChunk implements the orchestrator's getChunk(LLM, prompt, λ)
+// primitive over the wire: it requests up to maxTokens more tokens,
+// resuming from cont, and returns the aggregated chunk.
+func (c *Client) GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error) {
+	req := GenerateRequest{Model: model, Prompt: prompt, Context: cont}
+	req.Options.NumPredict = maxTokens
+	var text strings.Builder
+	var out llm.Chunk
+	err := c.Generate(ctx, req, func(gr GenerateResponse) error {
+		text.WriteString(gr.Response)
+		if gr.Done {
+			out.Done = true
+			out.DoneReason = llm.DoneReason(gr.DoneReason)
+			out.Context = gr.Context
+			out.EvalCount = gr.EvalCount
+			out.TotalTokens = len(gr.Context)
+		}
+		return nil
+	})
+	if err != nil {
+		return llm.Chunk{}, err
+	}
+	out.Text = text.String()
+	return out, nil
+}
+
+// Embed returns embeddings for the inputs using the named encoder model.
+func (c *Client) Embed(ctx context.Context, model string, inputs ...string) ([]embedding.Vector, error) {
+	raw, err := json.Marshal(inputs)
+	if err != nil {
+		return nil, err
+	}
+	var resp EmbedResponse
+	if err := c.do(ctx, http.MethodPost, "/api/embed", EmbedRequest{Model: model, Input: raw}, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]embedding.Vector, len(resp.Embeddings))
+	for i, e := range resp.Embeddings {
+		out[i] = embedding.Vector(e)
+	}
+	return out, nil
+}
+
+// EmbedOne embeds a single text.
+func (c *Client) EmbedOne(ctx context.Context, model, text string) (embedding.Vector, error) {
+	vs, err := c.Embed(ctx, model, text)
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) != 1 {
+		return nil, fmt.Errorf("modeld: expected 1 embedding, got %d", len(vs))
+	}
+	return vs[0], nil
+}
+
+// Tags lists installed models.
+func (c *Client) Tags(ctx context.Context) ([]ModelInfo, error) {
+	var resp TagsResponse
+	if err := c.do(ctx, http.MethodGet, "/api/tags", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Models, nil
+}
+
+// Show returns one model's details.
+func (c *Client) Show(ctx context.Context, model string) (ShowResponse, error) {
+	var resp ShowResponse
+	err := c.do(ctx, http.MethodPost, "/api/show", ShowRequest{Model: model}, &resp)
+	return resp, err
+}
+
+// PS lists resident models.
+func (c *Client) PS(ctx context.Context) ([]ModelInfo, error) {
+	var resp TagsResponse
+	if err := c.do(ctx, http.MethodGet, "/api/ps", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Models, nil
+}
+
+// Version returns the daemon version string.
+func (c *Client) Version(ctx context.Context) (string, error) {
+	var resp map[string]string
+	if err := c.do(ctx, http.MethodGet, "/api/version", nil, &resp); err != nil {
+		return "", err
+	}
+	return resp["version"], nil
+}

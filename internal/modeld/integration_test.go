@@ -1,0 +1,204 @@
+package modeld_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"llmms/internal/bench"
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/modeld"
+	"llmms/internal/truthfulqa"
+)
+
+// These tests exercise the full distributed stack of the paper's
+// computation layer: orchestrator → HTTP client → Ollama-compatible
+// daemon → inference engine. The orchestration algorithms must behave
+// identically whether the backend is in-process or over the wire.
+
+func wireStack(t *testing.T, ds truthfulqa.Dataset) (*llm.Engine, *modeld.Client) {
+	t.Helper()
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(ds)})
+	srv := httptest.NewServer(modeld.NewServer(engine))
+	t.Cleanup(srv.Close)
+	return engine, modeld.NewClient(srv.URL, srv.Client())
+}
+
+func TestOrchestrationOverHTTP(t *testing.T) {
+	ds := truthfulqa.Seed()
+	_, client := wireStack(t, ds)
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 256
+	orch, err := core.New(client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []core.Strategy{core.StrategyOUA, core.StrategyMAB, core.StrategyHybrid} {
+		res, err := orch.Run(context.Background(), strategy, "Are bats blind?")
+		if err != nil {
+			t.Fatalf("%s over HTTP: %v", strategy, err)
+		}
+		if res.Answer == "" || res.TokensUsed == 0 || res.TokensUsed > 256 {
+			t.Fatalf("%s: result = %+v", strategy, res)
+		}
+		lower := strings.ToLower(res.Answer)
+		if !strings.Contains(lower, "blind") && !strings.Contains(lower, "see") && !strings.Contains(lower, "echolocation") {
+			t.Fatalf("%s: off-topic answer %q", strategy, res.Answer)
+		}
+	}
+}
+
+// TestHTTPBackendMatchesInProcess verifies the wire protocol is lossless:
+// the same orchestrated query against the same engine must select the
+// same model, produce the same answer, and account the same tokens
+// whether driven in-process or through the daemon.
+func TestHTTPBackendMatchesInProcess(t *testing.T) {
+	ds := truthfulqa.Seed()
+	engine, client := wireStack(t, ds)
+
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 200
+	direct, err := core.New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overHTTP, err := core.New(client, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"What happens if you swallow chewing gum?",
+		"Do goldfish really have a three-second memory?",
+		"Does cracking your knuckles cause arthritis?",
+	} {
+		for _, strategy := range []core.Strategy{core.StrategyOUA, core.StrategyMAB} {
+			a, err := direct.Run(context.Background(), strategy, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := overHTTP.Run(context.Background(), strategy, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Model != b.Model || a.Answer != b.Answer || a.TokensUsed != b.TokensUsed {
+				t.Fatalf("%s %q diverged over HTTP:\n direct: %s %d %q\n http:   %s %d %q",
+					strategy, q, a.Model, a.TokensUsed, a.Answer, b.Model, b.TokensUsed, b.Answer)
+			}
+		}
+	}
+}
+
+// TestEvaluationHarnessOverHTTP runs a slice of the paper's evaluation
+// through the daemon, proving the harness is backend-agnostic.
+func TestEvaluationHarnessOverHTTP(t *testing.T) {
+	ds := truthfulqa.Generate(12, 1)
+	_, client := wireStack(t, ds)
+	rep, err := bench.Run(context.Background(), client, bench.Config{
+		Dataset:     ds,
+		MaxTokens:   128,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 5*12 {
+		t.Fatalf("records = %d", len(rep.Records))
+	}
+	for _, res := range rep.Results {
+		if res.AvgReward == 0 && res.AvgF1 == 0 {
+			t.Fatalf("system %s produced nothing over HTTP: %+v", res.System, res)
+		}
+	}
+}
+
+// TestFederatedOrchestration spans two daemons: each model is served by
+// its own HTTP endpoint, and the orchestrator coordinates them through a
+// core.MultiBackend — the §9.5 federated-integration proposal.
+func TestFederatedOrchestration(t *testing.T) {
+	ds := truthfulqa.Seed()
+	// Two independent engines, each hosting the full profile set but
+	// reachable on different endpoints.
+	_, siteA := wireStack(t, ds)
+	_, siteB := wireStack(t, ds)
+
+	mb := core.NewMultiBackend(nil)
+	if err := mb.Register(llm.ModelLlama3, siteA); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Register(llm.ModelMistral, siteB); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Register(llm.ModelQwen2, siteB); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 200
+	orch, err := core.New(mb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := orch.MAB(context.Background(), "Does sugar make children hyperactive?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer == "" || res.TokensUsed == 0 {
+		t.Fatalf("federated result = %+v", res)
+	}
+	// All three models contributed (UCB1 pulls every arm at least once).
+	for _, out := range res.Outcomes {
+		if out.Pulls == 0 {
+			t.Fatalf("model %s never pulled across daemons: %+v", out.Model, res.Outcomes)
+		}
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	ds := truthfulqa.Seed().Head(3)
+	_, client := wireStack(t, ds)
+	ctx := context.Background()
+
+	if _, err := client.GenerateChunk(ctx, "phantom:70b", "q", 8, nil); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if _, err := client.EmbedOne(ctx, "phantom-embed", "text"); err == nil {
+		t.Fatal("expected error for unknown embedding model")
+	}
+	if _, err := client.Show(ctx, "phantom:70b"); err == nil {
+		t.Fatal("expected error for unknown model in show")
+	}
+	if v, err := client.Version(ctx); err != nil || v == "" {
+		t.Fatalf("version = %q, %v", v, err)
+	}
+	if _, err := client.PS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A client pointed at a dead endpoint surfaces transport errors.
+	dead := modeld.NewClient("http://127.0.0.1:1", nil)
+	if _, err := dead.Tags(ctx); err == nil {
+		t.Fatal("expected transport error")
+	}
+}
+
+func TestClientEmbedBatch(t *testing.T) {
+	ds := truthfulqa.Seed().Head(3)
+	_, client := wireStack(t, ds)
+	vs, err := client.Embed(context.Background(), "mxbai-embed-large", "first text", "second text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || len(vs[0]) == 0 {
+		t.Fatalf("embed batch = %d vectors", len(vs))
+	}
+	one, err := client.EmbedOne(context.Background(), "mxbai-embed-large", "first text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one {
+		if one[i] != vs[0][i] {
+			t.Fatal("EmbedOne diverged from batch Embed")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package modeld
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"llmms/internal/embedding"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+func newTestDaemon(t *testing.T) (*Client, *llm.Engine) {
+	t.Helper()
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(100, 1))})
+	srv := httptest.NewServer(NewServer(engine))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL, srv.Client()), engine
+}
+
+func TestGenerateStreaming(t *testing.T) {
+	c, _ := newTestDaemon(t)
+	var lines int
+	var text strings.Builder
+	var final GenerateResponse
+	err := c.Generate(context.Background(), GenerateRequest{
+		Model: llm.ModelLlama3, Prompt: "Are bats blind?",
+	}, func(gr GenerateResponse) error {
+		lines++
+		text.WriteString(gr.Response)
+		if gr.Done {
+			final = gr
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines < 2 {
+		t.Fatalf("expected streamed lines, got %d", lines)
+	}
+	if final.DoneReason != "stop" || final.EvalCount == 0 || len(final.Context) == 0 {
+		t.Fatalf("bad final line: %+v", final)
+	}
+	if !strings.Contains(strings.ToLower(text.String()), "bat") {
+		t.Fatalf("answer off-topic: %q", text.String())
+	}
+}
+
+func TestGenerateNonStreaming(t *testing.T) {
+	c, _ := newTestDaemon(t)
+	stream := false
+	req := GenerateRequest{Model: llm.ModelMistral, Prompt: "What is the capital of France?", Stream: &stream}
+	var got []GenerateResponse
+	err := c.Generate(context.Background(), req, func(gr GenerateResponse) error {
+		got = append(got, gr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Done || got[0].Response == "" {
+		t.Fatalf("non-streaming reply wrong: %+v", got)
+	}
+}
+
+func TestGenerateChunkContinuation(t *testing.T) {
+	c, _ := newTestDaemon(t)
+	ctx := context.Background()
+	first, err := c.GenerateChunk(ctx, llm.ModelQwen2, "What is the capital of France?", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.DoneReason != llm.DoneLength || first.EvalCount != 4 {
+		t.Fatalf("first chunk: %+v", first)
+	}
+	full, err := c.GenerateChunk(ctx, llm.ModelQwen2, "What is the capital of France?", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := first.Text
+	cont := first.Context
+	for i := 0; i < 200 && len(text) < len(full.Text); i++ {
+		next, err := c.GenerateChunk(ctx, llm.ModelQwen2, "What is the capital of France?", 6, cont)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text += next.Text
+		cont = next.Context
+		if next.DoneReason == llm.DoneStop {
+			break
+		}
+	}
+	if text != full.Text {
+		t.Fatalf("chunked text != full text:\n%q\n%q", text, full.Text)
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	c, _ := newTestDaemon(t)
+	err := c.Generate(context.Background(), GenerateRequest{Model: "nope", Prompt: "hi"},
+		func(GenerateResponse) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("expected unknown-model error, got %v", err)
+	}
+}
+
+func TestEmbed(t *testing.T) {
+	c, _ := newTestDaemon(t)
+	vs, err := c.Embed(context.Background(), embedding.ModelDefault,
+		"the capital of france", "an unrelated sentence about volcanoes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("got %d embeddings, want 2", len(vs))
+	}
+	local := embedding.Default().Encode("the capital of france")
+	if embedding.Cosine(vs[0], local) < 0.999 {
+		t.Fatal("daemon embedding differs from local encoder")
+	}
+	if _, err := c.Embed(context.Background(), "no-such-encoder", "x"); err == nil {
+		t.Fatal("expected error for unknown encoder")
+	}
+	one, err := c.EmbedOne(context.Background(), embedding.ModelDefault, "hello world")
+	if err != nil || len(one) == 0 {
+		t.Fatalf("EmbedOne: %v %v", one, err)
+	}
+}
+
+func TestTagsShowPSVersion(t *testing.T) {
+	c, engine := newTestDaemon(t)
+	ctx := context.Background()
+
+	tags, err := c.Tags(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 3 {
+		t.Fatalf("tags = %d models, want 3", len(tags))
+	}
+	names := map[string]bool{}
+	for _, m := range tags {
+		names[m.Name] = true
+		if m.Details.Family == "" || m.Details.ParameterSize == "" {
+			t.Fatalf("incomplete details: %+v", m)
+		}
+	}
+	if !names[llm.ModelLlama3] || !names[llm.ModelMistral] || !names[llm.ModelQwen2] {
+		t.Fatalf("missing default models: %v", names)
+	}
+
+	show, err := c.Show(ctx, llm.ModelLlama3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if show.ContextWindow == 0 || show.Details.Family != "llama" {
+		t.Fatalf("show: %+v", show)
+	}
+	if _, err := c.Show(ctx, "nope"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+
+	ps, err := c.PS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Fatalf("expected no resident models, got %v", ps)
+	}
+	if err := engine.Load(llm.ModelMistral); err != nil {
+		t.Fatal(err)
+	}
+	ps, err = c.PS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].Name != llm.ModelMistral {
+		t.Fatalf("ps after load: %+v", ps)
+	}
+
+	v, err := c.Version(ctx)
+	if err != nil || v != Version {
+		t.Fatalf("version = %q %v", v, err)
+	}
+}
+
+func TestEmbedSingleStringInput(t *testing.T) {
+	// The wire protocol accepts a bare string for input, like Ollama.
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(nil)})
+	srv := httptest.NewServer(NewServer(engine))
+	defer srv.Close()
+
+	body := strings.NewReader(`{"model":"` + embedding.ModelDefault + `","input":"hello"}`)
+	resp, err := srv.Client().Post(srv.URL+"/api/embed", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGPUEndpoint(t *testing.T) {
+	c, engine := newTestDaemon(t)
+	if err := engine.Load(llm.ModelLlama3); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Devices []struct {
+			Name       string `json:"name"`
+			MemoryUsed uint64 `json:"memory_used"`
+		} `json:"devices"`
+		Render string `json:"render"`
+	}
+	if err := c.do(context.Background(), "GET", "/api/gpu", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Devices) != 1 || out.Devices[0].MemoryUsed == 0 {
+		t.Fatalf("gpu telemetry: %+v", out)
+	}
+	if !strings.Contains(out.Render, "Tesla") {
+		t.Fatalf("render missing device name:\n%s", out.Render)
+	}
+}

@@ -1,0 +1,315 @@
+// Package modeld implements the model daemon of LLM-MS: an HTTP server
+// and client pair speaking an Ollama-compatible REST protocol over the
+// simulated inference engine.
+//
+// The paper's computation layer talks to the Ollama daemon (v0.4.5): it
+// POSTs /api/generate with a num_predict budget, consumes a streaming
+// NDJSON response token batch by token batch, reads the final object's
+// done_reason ("stop" vs "length") and opaque context for continuation,
+// and uses the daemon's embedding endpoint for all vector encoding. This
+// package reproduces that wire contract:
+//
+//	POST /api/generate  — streaming NDJSON generation (num_predict, context)
+//	POST /api/embed     — embeddings for one input or a batch
+//	GET  /api/tags      — installed models
+//	POST /api/show      — model details
+//	GET  /api/ps        — loaded (resident) models
+//	GET  /api/version   — daemon version (reports the simulated 0.4.5)
+//	GET  /api/gpu       — hardware telemetry (LLM-MS extension)
+//
+// The Client type wraps the protocol for Go callers and satisfies the
+// orchestrator's Backend interface, so LLM-MS runs identically against an
+// in-process engine or a daemon across the network.
+package modeld
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// Version is the protocol version the daemon reports, matching the
+// Ollama release the paper deployed.
+const Version = "0.4.5-sim"
+
+// GenerateRequest is the wire form of a generation call.
+type GenerateRequest struct {
+	Model   string `json:"model"`
+	Prompt  string `json:"prompt"`
+	Stream  *bool  `json:"stream,omitempty"`
+	Context []int  `json:"context,omitempty"`
+	Options struct {
+		NumPredict int `json:"num_predict,omitempty"`
+	} `json:"options,omitempty"`
+}
+
+// GenerateResponse is one NDJSON line of a generation stream (or the
+// whole reply when stream=false).
+type GenerateResponse struct {
+	Model      string `json:"model"`
+	CreatedAt  string `json:"created_at"`
+	Response   string `json:"response"`
+	Done       bool   `json:"done"`
+	DoneReason string `json:"done_reason,omitempty"`
+	Context    []int  `json:"context,omitempty"`
+	EvalCount  int    `json:"eval_count,omitempty"`
+}
+
+// EmbedRequest is the wire form of an embedding call. Input accepts a
+// string or an array of strings, like Ollama.
+type EmbedRequest struct {
+	Model string          `json:"model"`
+	Input json.RawMessage `json:"input"`
+}
+
+// EmbedResponse carries one embedding per input.
+type EmbedResponse struct {
+	Model      string      `json:"model"`
+	Embeddings [][]float32 `json:"embeddings"`
+}
+
+// TagsResponse lists installed models.
+type TagsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// ModelInfo describes one installed model.
+type ModelInfo struct {
+	Name    string       `json:"name"`
+	Size    uint64       `json:"size"`
+	Details ModelDetails `json:"details"`
+}
+
+// ModelDetails mirrors the nested details object of Ollama's tags reply.
+type ModelDetails struct {
+	Family            string `json:"family"`
+	ParameterSize     string `json:"parameter_size"`
+	QuantizationLevel string `json:"quantization_level"`
+}
+
+// ShowRequest asks for one model's details.
+type ShowRequest struct {
+	Model string `json:"model"`
+}
+
+// ShowResponse returns the full profile of a model.
+type ShowResponse struct {
+	Name          string       `json:"name"`
+	Details       ModelDetails `json:"details"`
+	ContextWindow int          `json:"context_window"`
+	TokensPerSec  float64      `json:"tokens_per_sec"`
+	Loaded        bool         `json:"loaded"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server is the HTTP daemon.
+type Server struct {
+	engine *llm.Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wraps an engine in the daemon protocol.
+func NewServer(engine *llm.Engine) *Server {
+	s := &Server{engine: engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/generate", s.handleGenerate)
+	s.mux.HandleFunc("POST /api/chat", s.handleChat)
+	s.mux.HandleFunc("POST /api/embed", s.handleEmbed)
+	s.mux.HandleFunc("GET /api/tags", s.handleTags)
+	s.mux.HandleFunc("POST /api/show", s.handleShow)
+	s.mux.HandleFunc("GET /api/ps", s.handlePS)
+	s.mux.HandleFunc("GET /api/version", s.handleVersion)
+	s.mux.HandleFunc("GET /api/gpu", s.handleGPU)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func now() string { return time.Now().UTC().Format(time.RFC3339Nano) }
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Model == "" {
+		writeErr(w, http.StatusBadRequest, "model is required")
+		return
+	}
+	stream := req.Stream == nil || *req.Stream
+
+	chunks, err := s.engine.Generate(r.Context(), llm.GenRequest{
+		Model:     req.Model,
+		Prompt:    req.Prompt,
+		MaxTokens: req.Options.NumPredict,
+		Context:   req.Context,
+	})
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	if !stream {
+		var text string
+		var last llm.Chunk
+		for c := range chunks {
+			text += c.Text
+			if c.Done {
+				last = c
+			}
+		}
+		writeJSON(w, http.StatusOK, GenerateResponse{
+			Model: req.Model, CreatedAt: now(), Response: text,
+			Done: true, DoneReason: string(last.DoneReason),
+			Context: last.Context, EvalCount: last.EvalCount,
+		})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for c := range chunks {
+		resp := GenerateResponse{Model: req.Model, CreatedAt: now(), Response: c.Text, Done: c.Done}
+		if c.Done {
+			resp.DoneReason = string(c.DoneReason)
+			resp.Context = c.Context
+			resp.EvalCount = c.EvalCount
+		}
+		if err := enc.Encode(resp); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	var req EmbedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var inputs []string
+	var single string
+	if err := json.Unmarshal(req.Input, &single); err == nil {
+		inputs = []string{single}
+	} else if err := json.Unmarshal(req.Input, &inputs); err != nil {
+		writeErr(w, http.StatusBadRequest, "input must be a string or array of strings")
+		return
+	}
+	resp := EmbedResponse{Model: req.Model}
+	for _, in := range inputs {
+		v, err := s.engine.Embed(req.Model, in)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		resp.Embeddings = append(resp.Embeddings, v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTags(w http.ResponseWriter, _ *http.Request) {
+	var resp TagsResponse
+	for _, p := range s.engine.Profiles() {
+		resp.Models = append(resp.Models, ModelInfo{
+			Name: p.Name, Size: p.SizeBytes,
+			Details: ModelDetails{
+				Family:            p.Family,
+				ParameterSize:     p.Parameters,
+				QuantizationLevel: p.Quantization,
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShow(w http.ResponseWriter, r *http.Request) {
+	var req ShowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	p, err := s.engine.Profile(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ShowResponse{
+		Name: p.Name,
+		Details: ModelDetails{
+			Family:            p.Family,
+			ParameterSize:     p.Parameters,
+			QuantizationLevel: p.Quantization,
+		},
+		ContextWindow: p.ContextWindow,
+		TokensPerSec:  p.TokensPerSec,
+		Loaded:        s.engine.Loaded(p.Name),
+	})
+}
+
+func (s *Server) handlePS(w http.ResponseWriter, _ *http.Request) {
+	var resp TagsResponse
+	for _, p := range s.engine.Profiles() {
+		if s.engine.Loaded(p.Name) {
+			resp.Models = append(resp.Models, ModelInfo{
+				Name: p.Name, Size: p.SizeBytes,
+				Details: ModelDetails{
+					Family:            p.Family,
+					ParameterSize:     p.Parameters,
+					QuantizationLevel: p.Quantization,
+				},
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": Version})
+}
+
+func (s *Server) handleGPU(w http.ResponseWriter, _ *http.Request) {
+	snap := s.engine.Cluster().Stats()
+	type dev struct {
+		Index       int     `json:"index"`
+		Name        string  `json:"name"`
+		MemoryUsed  uint64  `json:"memory_used"`
+		MemoryTotal uint64  `json:"memory_total"`
+		Utilization float64 `json:"utilization"`
+		Temperature float64 `json:"temperature"`
+	}
+	out := struct {
+		Devices []dev  `json:"devices"`
+		Render  string `json:"render"`
+	}{Render: snap.String()}
+	for _, d := range snap.Devices {
+		out.Devices = append(out.Devices, dev{
+			Index: d.Index, Name: d.Name, MemoryUsed: d.MemoryUsed,
+			MemoryTotal: d.MemoryTotal, Utilization: d.Utilization,
+			Temperature: d.Temperature,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,239 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/tokenizer"
+)
+
+// Directives are configuration changes extracted from a natural-language
+// instruction — the paper's §9.5 "Natural Language Configuration
+// Interface" ("avoid using slow models", "prioritize our legal model",
+// "keep responses under 200 words").
+type Directives struct {
+	// AvoidModels are models the user excluded.
+	AvoidModels []string
+	// PreferModels are models the user prioritized (moved to the front
+	// of the pool, or made the single-model default).
+	PreferModels []string
+	// MaxTokens caps the response budget when > 0.
+	MaxTokens int
+	// Strategy switches the orchestration policy when non-empty.
+	Strategy core.Strategy
+	// AvoidSlow excludes the slowest model(s) by decode speed.
+	AvoidSlow bool
+	// Notes explains, clause by clause, how each directive was read —
+	// the transparency the paper asks for.
+	Notes []string
+}
+
+// modelAliases maps the vocabulary users actually type to model tags.
+var modelAliases = map[string]string{
+	"llama":   llm.ModelLlama3,
+	"llama3":  llm.ModelLlama3,
+	"mistral": llm.ModelMistral,
+	"qwen":    llm.ModelQwen2,
+	"qwen2":   llm.ModelQwen2,
+}
+
+// ParseDirectives reads a plain-language instruction and extracts the
+// configuration changes it implies. Unrecognized clauses are ignored —
+// the Notes report exactly what was understood, so a user can see when a
+// clause fell through.
+func ParseDirectives(instruction string) Directives {
+	var d Directives
+	lower := strings.ToLower(instruction)
+	// Clause-split on punctuation and connectives so each directive is
+	// matched independently.
+	clauses := splitClauses(lower)
+	for _, clause := range clauses {
+		words := tokenizer.Words(clause)
+		wordSet := make(map[string]bool, len(words))
+		for _, w := range words {
+			wordSet[w] = true
+		}
+		negative := wordSet["avoid"] || wordSet["exclude"] || wordSet["skip"] || wordSet["without"] ||
+			wordSet["disable"] || (wordSet["don"] || wordSet["dont"] || wordSet["not"]) && wordSet["use"]
+		positive := wordSet["prioritize"] || wordSet["prioritise"] || wordSet["prefer"] ||
+			wordSet["favor"] || wordSet["favour"] || (wordSet["only"] && wordSet["use"]) || wordSet["focus"]
+
+		// Model references.
+		var mentioned []string
+		for alias, tag := range modelAliases {
+			if wordSet[alias] {
+				mentioned = append(mentioned, tag)
+			}
+		}
+		sort.Strings(mentioned)
+		mentioned = dedupe(mentioned)
+		switch {
+		case negative && len(mentioned) > 0:
+			d.AvoidModels = append(d.AvoidModels, mentioned...)
+			d.Notes = append(d.Notes, fmt.Sprintf("avoid %s (%q)", strings.Join(mentioned, ", "), strings.TrimSpace(clause)))
+		case positive && len(mentioned) > 0:
+			d.PreferModels = append(d.PreferModels, mentioned...)
+			d.Notes = append(d.Notes, fmt.Sprintf("prefer %s (%q)", strings.Join(mentioned, ", "), strings.TrimSpace(clause)))
+		}
+
+		// Slowness.
+		if negative && (wordSet["slow"] || wordSet["slowest"]) {
+			d.AvoidSlow = true
+			d.Notes = append(d.Notes, fmt.Sprintf("avoid slow models (%q)", strings.TrimSpace(clause)))
+		}
+
+		// Budget: "under 200 tokens/words", "at most 150 tokens",
+		// "keep responses under 200 words".
+		if n := extractBudget(words); n > 0 {
+			d.MaxTokens = n
+			d.Notes = append(d.Notes, fmt.Sprintf("cap responses at %d tokens (%q)", n, strings.TrimSpace(clause)))
+		}
+
+		// Strategy: "use the bandit", "use oua", "use the margin/pruning
+		// strategy", "single model only".
+		if s := extractStrategy(wordSet); s != "" {
+			d.Strategy = s
+			d.Notes = append(d.Notes, fmt.Sprintf("use strategy %s (%q)", s, strings.TrimSpace(clause)))
+		}
+	}
+	d.AvoidModels = dedupe(d.AvoidModels)
+	d.PreferModels = dedupe(d.PreferModels)
+	return d
+}
+
+func splitClauses(s string) []string {
+	s = strings.NewReplacer(",", "\n", ";", "\n", ".", "\n", " and ", "\n", " but ", "\n").Replace(s)
+	var out []string
+	for _, c := range strings.Split(s, "\n") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func dedupe(xs []string) []string {
+	seen := make(map[string]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// extractBudget finds "<limit-word> N (tokens|words)" patterns. A word
+// budget is converted to tokens at ~2 tokens/word (the BPE tokenizer's
+// observed density on English prose).
+func extractBudget(words []string) int {
+	limitWords := map[string]bool{"under": true, "below": true, "within": true, "most": true, "max": true, "maximum": true, "cap": true, "limit": true}
+	sawLimit := false
+	for i, w := range words {
+		if limitWords[w] {
+			sawLimit = true
+			continue
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n <= 0 || !sawLimit {
+			continue
+		}
+		unit := ""
+		if i+1 < len(words) {
+			unit = words[i+1]
+		}
+		switch unit {
+		case "token", "tokens":
+			return n
+		case "word", "words":
+			return n * 2
+		}
+	}
+	return 0
+}
+
+func extractStrategy(wordSet map[string]bool) core.Strategy {
+	switch {
+	case wordSet["mab"] || wordSet["bandit"] || wordSet["ucb1"] || wordSet["ucb"]:
+		return core.StrategyMAB
+	case wordSet["oua"] || wordSet["pruning"] || wordSet["overperformers"]:
+		return core.StrategyOUA
+	case wordSet["hybrid"]:
+		return core.StrategyHybrid
+	case wordSet["single"]:
+		return core.StrategySingle
+	}
+	return ""
+}
+
+// Apply rewrites an orchestrator config according to the directives,
+// given the model profiles (needed to resolve "slow"). It returns the
+// new config and a human-readable change log.
+func (d Directives) Apply(cfg core.Config, profiles []llm.Profile) (core.Config, []string) {
+	log := append([]string(nil), d.Notes...)
+	pool := append([]string(nil), cfg.Models...)
+
+	if d.AvoidSlow && len(profiles) > 1 {
+		slowest := profiles[0]
+		for _, p := range profiles[1:] {
+			if p.TokensPerSec < slowest.TokensPerSec {
+				slowest = p
+			}
+		}
+		pool = remove(pool, slowest.Name)
+		log = append(log, fmt.Sprintf("removed slowest model %s (%.0f tok/s)", slowest.Name, slowest.TokensPerSec))
+	}
+	for _, m := range d.AvoidModels {
+		pool = remove(pool, m)
+	}
+	// Preferred models move to the front (the front model is the
+	// single-model default).
+	for i := len(d.PreferModels) - 1; i >= 0; i-- {
+		m := d.PreferModels[i]
+		if contains(cfg.Models, m) {
+			pool = append([]string{m}, remove(pool, m)...)
+		}
+	}
+	if len(pool) == 0 {
+		// Refuse to produce an unusable config; keep the original pool.
+		log = append(log, "directives would exclude every model; keeping the original pool")
+		pool = append([]string(nil), cfg.Models...)
+	}
+	cfg.Models = pool
+	if d.MaxTokens > 0 {
+		cfg.MaxTokens = d.MaxTokens
+	}
+	return cfg, log
+}
+
+// Strategy returns the directive's strategy or the given default.
+func (d Directives) StrategyOr(def core.Strategy) core.Strategy {
+	if d.Strategy != "" {
+		return d.Strategy
+	}
+	return def
+}
+
+func remove(xs []string, x string) []string {
+	out := xs[:0]
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

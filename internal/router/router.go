@@ -1,0 +1,328 @@
+// Package router implements two of the paper's proposed extensions
+// (§9.5) on top of the core orchestrator:
+//
+//   - Cognitive routing with semantic task indexing: queries are tagged
+//     with an intent ("fact lookup" vs "math" vs "definition" …), and a
+//     task index records which models historically earn the highest
+//     reward per intent. Once the index is confident about an intent,
+//     new queries of that kind are routed to the known-good model subset
+//     instead of the full pool, saving the exploration cost; unknown or
+//     low-confidence intents fall back to full orchestration, whose
+//     outcomes feed the index.
+//
+//   - A natural-language configuration interface: plain instructions
+//     ("avoid slow models", "prioritize qwen", "keep responses under 200
+//     tokens", "use the bandit") are parsed into configuration changes.
+//
+// Both are deliberately simple, transparent mechanisms — a lookup table
+// and a keyword grammar — matching the paper's framing ("a simple intent
+// detector … keep a small index of which models are best at each task").
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"llmms/internal/core"
+	"llmms/internal/tokenizer"
+)
+
+// Intent is a coarse task label for a query.
+type Intent string
+
+// The detected intents, ordered from most to least specific.
+const (
+	IntentMath       Intent = "math"
+	IntentSummarize  Intent = "summarize"
+	IntentCode       Intent = "code"
+	IntentTranslate  Intent = "translate"
+	IntentDefinition Intent = "definition"
+	IntentYesNo      Intent = "yes-no"
+	IntentFactLookup Intent = "fact-lookup"
+	IntentOpenEnded  Intent = "open-ended"
+)
+
+// DetectIntent tags a query with its task intent using transparent
+// lexical rules (the paper's "simple intent detector, like tagging a
+// request as 'summarize' versus 'fact lookup'").
+func DetectIntent(query string) Intent {
+	q := strings.ToLower(strings.TrimSpace(query))
+	words := tokenizer.Words(q)
+	has := func(ws ...string) bool {
+		for _, w := range words {
+			for _, want := range ws {
+				if w == want {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	switch {
+	case has("summarize", "summarise", "summary", "tldr", "condense"):
+		return IntentSummarize
+	case has("translate", "translation"):
+		return IntentTranslate
+	case has("code", "function", "implement", "program", "compile", "script"):
+		return IntentCode
+	case hasMathShape(q, words):
+		return IntentMath
+	case strings.HasPrefix(q, "what is ") || strings.HasPrefix(q, "what are ") ||
+		strings.HasPrefix(q, "define ") || strings.HasPrefix(q, "what does ") && strings.Contains(q, "mean"):
+		return IntentDefinition
+	case has("do", "does", "is", "are", "can", "did", "was", "were", "will") && startsWithAny(q,
+		"do ", "does ", "is ", "are ", "can ", "did ", "was ", "were ", "will "):
+		return IntentYesNo
+	case startsWithAny(q, "what ", "who ", "where ", "when ", "which ", "how many ", "how much "):
+		return IntentFactLookup
+	default:
+		return IntentOpenEnded
+	}
+}
+
+func startsWithAny(q string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasMathShape detects arithmetic questions: digits plus operators or
+// arithmetic vocabulary.
+func hasMathShape(q string, words []string) bool {
+	digits := false
+	for _, r := range q {
+		if r >= '0' && r <= '9' {
+			digits = true
+			break
+		}
+	}
+	if strings.ContainsAny(q, "+*/%=") {
+		return digits
+	}
+	if !digits {
+		return false
+	}
+	for _, w := range words {
+		switch w {
+		case "plus", "minus", "times", "divided", "sum", "product", "multiply", "subtract", "add", "equals":
+			return true
+		}
+	}
+	return false
+}
+
+// stat accumulates reward observations for one (intent, model) cell.
+type stat struct {
+	n   int
+	sum float64
+}
+
+func (s *stat) mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// TaskIndex is the semantic task index: per-intent reward statistics per
+// model. Safe for concurrent use.
+type TaskIndex struct {
+	mu    sync.Mutex
+	cells map[Intent]map[string]*stat
+}
+
+// NewTaskIndex returns an empty index.
+func NewTaskIndex() *TaskIndex {
+	return &TaskIndex{cells: make(map[Intent]map[string]*stat)}
+}
+
+// Record adds one reward observation for a model on an intent.
+func (ix *TaskIndex) Record(intent Intent, model string, reward float64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	byModel := ix.cells[intent]
+	if byModel == nil {
+		byModel = make(map[string]*stat)
+		ix.cells[intent] = byModel
+	}
+	st := byModel[model]
+	if st == nil {
+		st = &stat{}
+		byModel[model] = st
+	}
+	st.n++
+	st.sum += reward
+}
+
+// Observations returns how many rewards have been recorded for an intent
+// across all models.
+func (ix *TaskIndex) Observations(intent Intent) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	total := 0
+	for _, st := range ix.cells[intent] {
+		total += st.n
+	}
+	return total
+}
+
+// Best returns up to k models ranked by mean reward on the intent,
+// considering only models with at least minObs observations. Ties break
+// on name for determinism.
+func (ix *TaskIndex) Best(intent Intent, k, minObs int) []string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	type ranked struct {
+		model string
+		mean  float64
+	}
+	var rs []ranked
+	for m, st := range ix.cells[intent] {
+		if st.n >= minObs {
+			rs = append(rs, ranked{model: m, mean: st.mean()})
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].mean != rs[j].mean {
+			return rs[i].mean > rs[j].mean
+		}
+		return rs[i].model < rs[j].model
+	})
+	if len(rs) > k {
+		rs = rs[:k]
+	}
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.model
+	}
+	return out
+}
+
+// Snapshot returns the index as intent → model → (observations, mean),
+// the material behind the paper's "transparent orchestration logs".
+func (ix *TaskIndex) Snapshot() map[Intent]map[string][2]float64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make(map[Intent]map[string][2]float64, len(ix.cells))
+	for intent, byModel := range ix.cells {
+		m := make(map[string][2]float64, len(byModel))
+		for model, st := range byModel {
+			m[model] = [2]float64{float64(st.n), st.mean()}
+		}
+		out[intent] = m
+	}
+	return out
+}
+
+// Options tunes a Router.
+type Options struct {
+	// Strategy is the fallback orchestration policy for unknown intents.
+	// Default StrategyOUA.
+	Strategy core.Strategy
+	// MinObservations is how many rewards an (intent, model) cell needs
+	// before the router trusts it. Default 3.
+	MinObservations int
+	// RouteWidth is how many indexed models a routed query uses (1 =
+	// direct dispatch, 2+ = narrowed orchestration). Default 2.
+	RouteWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == "" {
+		o.Strategy = core.StrategyOUA
+	}
+	if o.MinObservations <= 0 {
+		o.MinObservations = 3
+	}
+	if o.RouteWidth <= 0 {
+		o.RouteWidth = 2
+	}
+	return o
+}
+
+// Router dispatches queries by intent, learning the task index online
+// from orchestration outcomes.
+type Router struct {
+	backend core.Backend
+	base    core.Config
+	opts    Options
+	index   *TaskIndex
+}
+
+// New builds a router over a backend and a base orchestrator config (the
+// config's Models are the full candidate pool).
+func New(backend core.Backend, base core.Config, opts Options) (*Router, error) {
+	if backend == nil {
+		return nil, errors.New("router: nil backend")
+	}
+	if _, err := core.New(backend, base); err != nil {
+		return nil, err
+	}
+	return &Router{
+		backend: backend,
+		base:    base,
+		opts:    opts.withDefaults(),
+		index:   NewTaskIndex(),
+	}, nil
+}
+
+// Index exposes the task index (for persistence or transparency UIs).
+func (r *Router) Index() *TaskIndex { return r.index }
+
+// Decision records how a query was routed.
+type Decision struct {
+	// Intent is the detected task label.
+	Intent Intent `json:"intent"`
+	// Routed reports whether the task index narrowed the model pool.
+	Routed bool `json:"routed"`
+	// Models is the candidate pool the query ran against.
+	Models []string `json:"models"`
+	// Strategy is the policy used.
+	Strategy core.Strategy `json:"strategy"`
+}
+
+// Route answers a query: detect the intent, narrow the pool via the task
+// index when confident, orchestrate, and feed the observed per-model
+// scores back into the index.
+func (r *Router) Route(ctx context.Context, query string) (core.Result, Decision, error) {
+	intent := DetectIntent(query)
+	dec := Decision{Intent: intent, Strategy: r.opts.Strategy, Models: r.base.Models}
+
+	pool := r.base.Models
+	if best := r.index.Best(intent, r.opts.RouteWidth, r.opts.MinObservations); len(best) > 0 {
+		pool = best
+		dec.Routed = true
+		dec.Models = best
+	}
+
+	cfg := r.base
+	cfg.Models = pool
+	strategy := r.opts.Strategy
+	if len(pool) == 1 {
+		strategy = core.StrategySingle
+		dec.Strategy = core.StrategySingle
+	}
+	orch, err := core.New(r.backend, cfg)
+	if err != nil {
+		return core.Result{}, dec, fmt.Errorf("router: %w", err)
+	}
+	res, err := orch.Run(ctx, strategy, query)
+	if err != nil {
+		return core.Result{}, dec, err
+	}
+	// Learn: every model that produced output contributes its combined
+	// score as the reward observation for this intent.
+	for _, out := range res.Outcomes {
+		if out.Tokens > 0 {
+			r.index.Record(intent, out.Model, out.Score)
+		}
+	}
+	return res, dec, nil
+}

@@ -1,0 +1,257 @@
+package router
+
+import (
+	"context"
+	"testing"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+func TestDetectIntent(t *testing.T) {
+	cases := []struct {
+		query string
+		want  Intent
+	}{
+		{"What is 7 times 8?", IntentMath},
+		{"Compute 12 + 30", IntentMath},
+		{"Summarize this document for me", IntentSummarize},
+		{"Translate this sentence to French", IntentTranslate},
+		{"Write a function that reverses a list", IntentCode},
+		{"What is photosynthesis?", IntentDefinition},
+		{"Are bats blind?", IntentYesNo},
+		{"Does sugar make children hyperactive?", IntentYesNo},
+		{"Who wrote War and Peace?", IntentFactLookup},
+		{"Where did fortune cookies originate?", IntentFactLookup},
+		{"Tell me a story about the sea", IntentOpenEnded},
+	}
+	for _, tc := range cases {
+		if got := DetectIntent(tc.query); got != tc.want {
+			t.Errorf("DetectIntent(%q) = %s, want %s", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestTaskIndexBest(t *testing.T) {
+	ix := NewTaskIndex()
+	if best := ix.Best(IntentMath, 2, 1); len(best) != 0 {
+		t.Fatalf("empty index returned %v", best)
+	}
+	for i := 0; i < 5; i++ {
+		ix.Record(IntentMath, "qwen2:7b", 0.9)
+		ix.Record(IntentMath, "llama3:8b", 0.4)
+		ix.Record(IntentMath, "mistral:7b", 0.6)
+	}
+	best := ix.Best(IntentMath, 2, 3)
+	if len(best) != 2 || best[0] != "qwen2:7b" || best[1] != "mistral:7b" {
+		t.Fatalf("Best = %v", best)
+	}
+	// minObs gates thin cells.
+	ix.Record(IntentYesNo, "llama3:8b", 1.0)
+	if best := ix.Best(IntentYesNo, 2, 3); len(best) != 0 {
+		t.Fatalf("thin cell trusted too early: %v", best)
+	}
+	if ix.Observations(IntentMath) != 15 {
+		t.Fatalf("observations = %d", ix.Observations(IntentMath))
+	}
+	snap := ix.Snapshot()
+	if cell := snap[IntentMath]["qwen2:7b"]; cell[0] != 5 || cell[1] != 0.9 {
+		t.Fatalf("snapshot cell = %v", cell)
+	}
+}
+
+func newRouter(t *testing.T, opts Options) *Router {
+	t.Helper()
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(200, 1))})
+	base := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	base.MaxTokens = 128
+	r, err := New(engine, base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterFallsBackWhenIndexCold(t *testing.T) {
+	r := newRouter(t, Options{})
+	res, dec, err := r.Route(context.Background(), "Are bats blind?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Routed {
+		t.Fatalf("cold index should not route: %+v", dec)
+	}
+	if len(dec.Models) != 3 {
+		t.Fatalf("fallback pool = %v", dec.Models)
+	}
+	if res.Answer == "" {
+		t.Fatal("empty answer")
+	}
+	if dec.Intent != IntentYesNo {
+		t.Fatalf("intent = %s", dec.Intent)
+	}
+}
+
+func TestRouterLearnsAndNarrows(t *testing.T) {
+	r := newRouter(t, Options{MinObservations: 2, RouteWidth: 2})
+	// Warm the index with arithmetic questions (Qwen's specialty in the
+	// simulated profiles).
+	warmup := []string{
+		"What is 13 plus 21?",
+		"What is 6 times 9?",
+		"Compute 40 + 17",
+	}
+	for _, q := range warmup {
+		if _, _, err := r.Route(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obs := r.Index().Observations(IntentMath); obs == 0 {
+		t.Fatal("index learned nothing from warmup")
+	}
+	_, dec, err := r.Route(context.Background(), "What is 15 plus 4?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Routed {
+		t.Fatalf("warmed index did not route: %+v, index %v", dec, r.Index().Snapshot())
+	}
+	if len(dec.Models) > 2 {
+		t.Fatalf("routed pool not narrowed: %v", dec.Models)
+	}
+}
+
+func TestRouterSingleWidthUsesDirectDispatch(t *testing.T) {
+	r := newRouter(t, Options{MinObservations: 1, RouteWidth: 1})
+	if _, _, err := r.Route(context.Background(), "What is 2 plus 2?"); err != nil {
+		t.Fatal(err)
+	}
+	_, dec, err := r.Route(context.Background(), "What is 3 plus 3?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Routed || dec.Strategy != core.StrategySingle || len(dec.Models) != 1 {
+		t.Fatalf("width-1 routing: %+v", dec)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := New(nil, core.DefaultConfig("a"), Options{}); err == nil {
+		t.Fatal("expected error for nil backend")
+	}
+	engine := llm.NewEngine(llm.Options{})
+	if _, err := New(engine, core.Config{}, Options{}); err == nil {
+		t.Fatal("expected error for invalid base config")
+	}
+}
+
+func TestParseDirectivesModels(t *testing.T) {
+	d := ParseDirectives("Avoid llama, and prioritize qwen.")
+	if len(d.AvoidModels) != 1 || d.AvoidModels[0] != llm.ModelLlama3 {
+		t.Fatalf("avoid = %v", d.AvoidModels)
+	}
+	if len(d.PreferModels) != 1 || d.PreferModels[0] != llm.ModelQwen2 {
+		t.Fatalf("prefer = %v", d.PreferModels)
+	}
+	if len(d.Notes) != 2 {
+		t.Fatalf("notes = %v", d.Notes)
+	}
+}
+
+func TestParseDirectivesBudgetAndStrategy(t *testing.T) {
+	d := ParseDirectives("Keep responses under 200 words; use the bandit strategy.")
+	if d.MaxTokens != 400 {
+		t.Fatalf("budget = %d (200 words ≈ 400 tokens)", d.MaxTokens)
+	}
+	if d.Strategy != core.StrategyMAB {
+		t.Fatalf("strategy = %s", d.Strategy)
+	}
+	d2 := ParseDirectives("cap output at most 150 tokens and use oua")
+	if d2.MaxTokens != 150 || d2.Strategy != core.StrategyOUA {
+		t.Fatalf("d2 = %+v", d2)
+	}
+	if ParseDirectives("hello there").MaxTokens != 0 {
+		t.Fatal("budget hallucinated from no numbers")
+	}
+}
+
+func TestParseDirectivesSlow(t *testing.T) {
+	d := ParseDirectives("avoid slow models")
+	if !d.AvoidSlow {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestDirectivesApply(t *testing.T) {
+	profiles := llm.DefaultProfiles()
+	cfg := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+
+	d := ParseDirectives("avoid slow models, prioritize qwen, keep responses under 100 tokens")
+	got, log := d.Apply(cfg, profiles)
+	// llama3 is the slowest profile (95 tok/s).
+	for _, m := range got.Models {
+		if m == llm.ModelLlama3 {
+			t.Fatalf("slowest model kept: %v", got.Models)
+		}
+	}
+	if got.Models[0] != llm.ModelQwen2 {
+		t.Fatalf("preferred model not first: %v", got.Models)
+	}
+	if got.MaxTokens != 100 {
+		t.Fatalf("budget = %d", got.MaxTokens)
+	}
+	if len(log) == 0 {
+		t.Fatal("no change log")
+	}
+}
+
+func TestDirectivesApplyNeverEmptiesPool(t *testing.T) {
+	cfg := core.DefaultConfig(llm.ModelLlama3)
+	d := ParseDirectives("avoid llama")
+	got, log := d.Apply(cfg, llm.DefaultProfiles())
+	if len(got.Models) == 0 {
+		t.Fatal("directives emptied the model pool")
+	}
+	found := false
+	for _, l := range log {
+		if l == "directives would exclude every model; keeping the original pool" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no refusal note in log: %v", log)
+	}
+}
+
+func TestStrategyOr(t *testing.T) {
+	if s := (Directives{}).StrategyOr(core.StrategyOUA); s != core.StrategyOUA {
+		t.Fatalf("default = %s", s)
+	}
+	if s := (Directives{Strategy: core.StrategyMAB}).StrategyOr(core.StrategyOUA); s != core.StrategyMAB {
+		t.Fatalf("override = %s", s)
+	}
+}
+
+func BenchmarkDetectIntent(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DetectIntent("What is the capital of France and what is 2 plus 2?")
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(100, 1))})
+	base := core.DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	base.MaxTokens = 128
+	r, err := New(engine, base, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Route(context.Background(), "Are bats blind?"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

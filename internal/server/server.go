@@ -1,0 +1,693 @@
+// Package server implements the LLM-MS application layer (Chapter 5 and
+// §7.2): the web-facing coordination hub that accepts queries, streams
+// orchestration events to the browser, manages sessions and settings,
+// ingests documents for retrieval-augmented generation, and exposes model
+// and GPU telemetry.
+//
+// The paper's stack is Flask + Apache/mod_wsgi streaming Server-Sent
+// Events from the Ollama daemon; this package reproduces the same REST
+// surface on net/http:
+//
+//	GET  /                     embedded chat UI
+//	POST /api/query            SSE stream of orchestration events
+//	POST /api/upload           document ingestion (RAG)
+//	GET  /api/documents        ingested document inventory
+//	DELETE /api/documents/{id} remove an ingested document
+//	GET/POST /api/sessions     session list / create
+//	GET/DELETE /api/sessions/{id}
+//	DELETE /api/sessions       clear history
+//	GET  /api/models           model inventory
+//	GET/PUT /api/settings      orchestration settings
+//	POST /api/configure        natural-language settings changes (§9.5)
+//	POST/GET /api/feedback     answer ratings / learned priors (§9.5)
+//	GET  /api/arena            pairwise-game Elo standings (§9.5)
+//	GET  /api/recall           contextual memory-graph recall (§9.5)
+//	GET  /api/gpu              hardware telemetry
+//	GET  /healthz, /api/version
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"llmms/internal/arena"
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/rag"
+	"llmms/internal/router"
+	"llmms/internal/session"
+	"llmms/internal/vectordb"
+)
+
+// Version is reported by /api/version.
+const Version = "1.0.0"
+
+// Settings are the user-tunable orchestration parameters (the paper's
+// settings panel, §5.3).
+type Settings struct {
+	// Strategy is the default policy: "oua", "mab", "hybrid", or "single".
+	Strategy string `json:"strategy"`
+	// Model is the default model for single-model queries.
+	Model string `json:"model"`
+	// MaxTokens is λ_max per query.
+	MaxTokens int `json:"max_tokens"`
+	// Alpha and Beta weight the scoring terms.
+	Alpha float64 `json:"alpha"`
+	// Beta is the inter-model agreement weight.
+	Beta float64 `json:"beta"`
+	// EnabledModels are the candidate models for orchestration.
+	EnabledModels []string `json:"enabled_models"`
+	// RAGTopK is how many retrieved chunks augment each prompt.
+	RAGTopK int `json:"rag_top_k"`
+}
+
+// Validate rejects unusable settings.
+func (s Settings) Validate() error {
+	if _, err := core.ParseStrategy(s.Strategy); err != nil {
+		return err
+	}
+	if s.MaxTokens < 1 {
+		return errors.New("max_tokens must be positive")
+	}
+	if s.Alpha < 0 || s.Beta < 0 {
+		return errors.New("alpha and beta must be non-negative")
+	}
+	if len(s.EnabledModels) == 0 {
+		return errors.New("at least one model must be enabled")
+	}
+	if s.RAGTopK < 1 {
+		return errors.New("rag_top_k must be positive")
+	}
+	return nil
+}
+
+// DefaultSettings matches the paper's evaluation defaults.
+func DefaultSettings() Settings {
+	return Settings{
+		Strategy:      string(core.StrategyOUA),
+		Model:         llm.ModelLlama3,
+		MaxTokens:     2048,
+		Alpha:         0.7,
+		Beta:          0.3,
+		EnabledModels: []string{llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2},
+		RAGTopK:       3,
+	}
+}
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the inference backend. Required.
+	Engine *llm.Engine
+	// Settings overrides DefaultSettings (zero value keeps the default).
+	Settings Settings
+	// SessionOptions tunes the session store.
+	SessionOptions session.Options
+}
+
+// Server is the application layer. Construct with NewServer; it
+// implements http.Handler.
+type Server struct {
+	engine   *llm.Engine
+	sessions *session.Store
+	docs     *vectordb.Collection
+	ingestor *rag.Ingestor
+	feedback *core.FeedbackStore
+	arena    *arena.Arena
+	memory   *session.MemoryGraph
+	mux      *http.ServeMux
+
+	mu       sync.Mutex
+	settings Settings
+	docIDs   map[string]docInfo
+}
+
+type docInfo struct {
+	Name   string `json:"name"`
+	Chunks int    `json:"chunks"`
+}
+
+// NewServer wires the application layer together.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	st := opts.Settings
+	if st.Strategy == "" {
+		st = DefaultSettings()
+	}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	db := vectordb.New()
+	col, err := db.CreateCollection("documents", vectordb.CollectionConfig{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		engine:   opts.Engine,
+		sessions: session.NewStore(opts.SessionOptions),
+		docs:     col,
+		ingestor: rag.NewIngestor(col, rag.ChunkOptions{}),
+		feedback: core.NewFeedbackStore(),
+		arena:    arena.New(arena.Options{}),
+		memory:   session.NewMemoryGraph(session.MemoryGraphOptions{}),
+		settings: st,
+		docIDs:   make(map[string]docInfo),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /", s.handleUI)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/version", s.handleVersion)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/upload", s.handleUpload)
+	s.mux.HandleFunc("GET /api/documents", s.handleDocuments)
+	s.mux.HandleFunc("DELETE /api/documents/{id}", s.handleDeleteDocument)
+	s.mux.HandleFunc("GET /api/sessions", s.handleListSessions)
+	s.mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("DELETE /api/sessions", s.handleClearSessions)
+	s.mux.HandleFunc("GET /api/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("GET /api/models", s.handleModels)
+	s.mux.HandleFunc("GET /api/settings", s.handleGetSettings)
+	s.mux.HandleFunc("PUT /api/settings", s.handlePutSettings)
+	s.mux.HandleFunc("POST /api/configure", s.handleConfigure)
+	s.mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /api/feedback", s.handleFeedbackBoard)
+	s.mux.HandleFunc("GET /api/arena", s.handleArena)
+	s.mux.HandleFunc("GET /api/recall", s.handleRecall)
+	s.mux.HandleFunc("GET /api/gpu", s.handleGPU)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Sessions exposes the session store (used by tests and embedding apps).
+func (s *Server) Sessions() *session.Store { return s.sessions }
+
+// Settings returns the current settings snapshot.
+func (s *Server) Settings() Settings {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.settings
+	st.EnabledModels = append([]string(nil), st.EnabledModels...)
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"models":   len(s.engine.Profiles()),
+		"sessions": s.sessions.Len(),
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": Version})
+}
+
+// QueryRequest is the /api/query payload.
+type QueryRequest struct {
+	// Query is the user's question. Required.
+	Query string `json:"query"`
+	// SessionID continues an existing session; empty creates a fresh one.
+	SessionID string `json:"session_id,omitempty"`
+	// Strategy overrides the default ("oua", "mab", "hybrid", "single").
+	Strategy string `json:"strategy,omitempty"`
+	// Model overrides the single-model default.
+	Model string `json:"model,omitempty"`
+	// MaxTokens overrides λ_max for this query.
+	MaxTokens int `json:"max_tokens,omitempty"`
+	// UseRAG augments the prompt with retrieved document chunks.
+	UseRAG bool `json:"use_rag,omitempty"`
+	// DocID restricts retrieval to one uploaded document.
+	DocID string `json:"doc_id,omitempty"`
+	// EphemeralContext is document text that exists solely for this
+	// query-response cycle (§6.5's privacy posture): it is chunked,
+	// embedded, and retrieved against in a throwaway in-memory
+	// collection that is discarded when the response is delivered —
+	// nothing is retained server-side.
+	EphemeralContext string `json:"ephemeral_context,omitempty"`
+}
+
+// handleQuery runs one orchestrated query and streams core events as SSE
+// frames. The final frame is event "result" with the full core.Result.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeErr(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	st := s.Settings()
+	strategy := core.Strategy(st.Strategy)
+	if req.Strategy != "" {
+		var err error
+		strategy, err = core.ParseStrategy(req.Strategy)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	maxTokens := st.MaxTokens
+	if req.MaxTokens > 0 {
+		maxTokens = req.MaxTokens
+	}
+	model := st.Model
+	if req.Model != "" {
+		model = req.Model
+	}
+
+	// Resolve or create the session and build the contextual prompt.
+	sessID := req.SessionID
+	if sessID == "" {
+		sessID = s.sessions.Create("").ID
+	}
+	summary, _, err := s.sessions.Context(sessID, 0)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var chunks []string
+	if req.UseRAG && s.docs.Count() > 0 {
+		results, err := rag.Retrieve(s.docs, req.Query, st.RAGTopK, req.DocID)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "retrieval: %v", err)
+			return
+		}
+		for _, res := range results {
+			chunks = append(chunks, res.Text)
+		}
+	}
+	if strings.TrimSpace(req.EphemeralContext) != "" {
+		ephemeral, err := retrieveEphemeral(req.EphemeralContext, req.Query, st.RAGTopK)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "ephemeral context: %v", err)
+			return
+		}
+		chunks = append(chunks, ephemeral...)
+	}
+	prompt := rag.BuildPrompt(rag.PromptParts{Summary: summary, Chunks: chunks, Question: req.Query})
+
+	flusher, canStream := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Session-ID", sessID)
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		if canStream {
+			flusher.Flush()
+		}
+	}
+
+	models := st.EnabledModels
+	if strategy == core.StrategySingle {
+		models = []string{model}
+	}
+	cfg := core.DefaultConfig(models...)
+	cfg.MaxTokens = maxTokens
+	cfg.Alpha = st.Alpha
+	cfg.Beta = st.Beta
+	cfg.Feedback = s.feedback
+	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
+	oc, err := core.New(s.engine, cfg)
+	if err != nil {
+		writeEvent("error", map[string]string{"error": err.Error()})
+		return
+	}
+
+	res, err := oc.Run(r.Context(), strategy, prompt)
+	if err != nil {
+		writeEvent("error", map[string]string{"error": err.Error()})
+		return
+	}
+	// Feed the arena: every orchestrated query is a round of pairwise
+	// games between the candidates (§9.5 game-theoretic coordination).
+	s.arena.Observe(res)
+
+	// Persist the exchange for session continuity and cross-session
+	// recall (§9.5 contextual memory graphs).
+	if _, err := s.sessions.Append(sessID, session.Message{Role: session.RoleUser, Content: req.Query}); err == nil {
+		_, _ = s.sessions.Append(sessID, session.Message{
+			Role: session.RoleAssistant, Content: res.Answer, Model: res.Model,
+		})
+	}
+	s.memory.Add(session.Exchange{
+		SessionID: sessID, Question: req.Query, Answer: res.Answer,
+		Model: res.Model, Time: time.Now(),
+	})
+	writeEvent("result", map[string]any{"session_id": sessID, "result": res})
+}
+
+// uploadRequest is the JSON /api/upload payload (the browser reads the
+// file client-side and posts its text, mirroring the paper's client-side
+// parsing note in §7.3).
+type uploadRequest struct {
+	Filename string `json:"filename"`
+	Content  string `json:"content"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		return
+	}
+	var req uploadRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Filename == "" || strings.TrimSpace(req.Content) == "" {
+		writeErr(w, http.StatusBadRequest, "filename and content are required")
+		return
+	}
+	docID := fmt.Sprintf("doc-%d", time.Now().UnixNano())
+	n, err := s.ingestor.IngestFile(docID, req.Filename, []byte(req.Content))
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "ingest: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.docIDs[docID] = docInfo{Name: req.Filename, Chunks: n}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"doc_id": docID, "chunks": n})
+}
+
+func (s *Server) handleDocuments(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	type doc struct {
+		ID     string `json:"id"`
+		Name   string `json:"name"`
+		Chunks int    `json:"chunks"`
+	}
+	out := make([]doc, 0, len(s.docIDs))
+	for id, info := range s.docIDs {
+		out = append(out, doc{ID: id, Name: info.Name, Chunks: info.Chunks})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.docIDs[id]
+	delete(s.docIDs, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown document %q", id)
+		return
+	}
+	removed := s.ingestor.DeleteDocument(id)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted_chunks": removed})
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sessions.List())
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Title string `json:"title"`
+	}
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	writeJSON(w, http.StatusCreated, s.sessions.Create(req.Title))
+}
+
+func (s *Server) handleClearSessions(w http.ResponseWriter, _ *http.Request) {
+	s.sessions.Clear()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cleared"})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	type model struct {
+		llm.Profile
+		Loaded bool `json:"loaded"`
+	}
+	profiles := s.engine.Profiles()
+	out := make([]model, len(profiles))
+	for i, p := range profiles {
+		out[i] = model{Profile: p, Loaded: s.engine.Loaded(p.Name)}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSettings(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Settings())
+}
+
+func (s *Server) handlePutSettings(w http.ResponseWriter, r *http.Request) {
+	var st Settings
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := st.Validate(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	known := make(map[string]bool)
+	for _, p := range s.engine.Profiles() {
+		known[p.Name] = true
+	}
+	for _, m := range st.EnabledModels {
+		if !known[m] {
+			writeErr(w, http.StatusUnprocessableEntity, "unknown model %q", m)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.settings = st
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleConfigure implements the paper's §9.5 natural-language
+// configuration interface: a plain instruction ("avoid slow models,
+// prioritize qwen, keep responses under 200 words, use the bandit") is
+// parsed into settings changes, applied, and echoed back with a
+// clause-by-clause change log.
+func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Instruction string `json:"instruction"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Instruction) == "" {
+		writeErr(w, http.StatusBadRequest, "instruction is required")
+		return
+	}
+	d := router.ParseDirectives(req.Instruction)
+
+	st := s.Settings()
+	cfg := core.DefaultConfig(st.EnabledModels...)
+	cfg.MaxTokens = st.MaxTokens
+	applied, changeLog := d.Apply(cfg, s.engine.Profiles())
+
+	st.EnabledModels = applied.Models
+	st.MaxTokens = applied.MaxTokens
+	st.Strategy = string(d.StrategyOr(core.Strategy(st.Strategy)))
+	if len(applied.Models) > 0 {
+		st.Model = applied.Models[0]
+	}
+	if err := st.Validate(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "instruction produced invalid settings: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.settings = st
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"settings":   st,
+		"changes":    changeLog,
+		"understood": len(changeLog) > 0,
+	})
+}
+
+// handleFeedback records one user rating of an answer (§9.5
+// "Self-Improving Orchestration"): either on an explicit model, or on
+// the model that produced the latest assistant message of a session.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Model     string  `json:"model,omitempty"`
+		SessionID string  `json:"session_id,omitempty"`
+		Rating    float64 `json:"rating"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Rating < -1 || req.Rating > 1 {
+		writeErr(w, http.StatusBadRequest, "rating must be in [-1, 1]")
+		return
+	}
+	model := req.Model
+	if model == "" && req.SessionID != "" {
+		sess, err := s.sessions.Get(req.SessionID)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		for i := len(sess.Messages) - 1; i >= 0; i-- {
+			if sess.Messages[i].Role == session.RoleAssistant && sess.Messages[i].Model != "" {
+				model = sess.Messages[i].Model
+				break
+			}
+		}
+	}
+	if model == "" {
+		writeErr(w, http.StatusBadRequest, "model or session_id with an answered turn is required")
+		return
+	}
+	s.feedback.Rate(model, req.Rating)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model": model,
+		"prior": s.feedback.Prior(model),
+	})
+}
+
+// handleFeedbackBoard exposes the learned priors as a leaderboard.
+func (s *Server) handleFeedbackBoard(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		Model   string  `json:"model"`
+		Ratings float64 `json:"ratings"`
+		Mean    float64 `json:"mean"`
+		Prior   float64 `json:"prior"`
+	}
+	var rows []row
+	for m, cell := range s.feedback.Ratings() {
+		rows = append(rows, row{Model: m, Ratings: cell[0], Mean: cell[1], Prior: s.feedback.Prior(m)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Mean != rows[j].Mean {
+			return rows[i].Mean > rows[j].Mean
+		}
+		return rows[i].Model < rows[j].Model
+	})
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// handleArena exposes the pairwise-game Elo standings accumulated over
+// the server's orchestrated queries.
+func (s *Server) handleArena(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.arena.Standings())
+}
+
+// handleRecall exposes the contextual memory graph (§9.5): the past
+// exchanges — across all sessions — most relevant to ?q=, including
+// one-hop graph neighbors.
+func (s *Server) handleRecall(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "q parameter is required")
+		return
+	}
+	k := 5
+	if v := r.URL.Query().Get("k"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 50 {
+			k = n
+		}
+	}
+	hits := s.memory.Recall(q, k)
+	if hits == nil {
+		hits = []session.Recalled{}
+	}
+	writeJSON(w, http.StatusOK, hits)
+}
+
+// retrieveEphemeral chunks and embeds text in a throwaway collection,
+// retrieves the top-k chunks for the query, and lets the collection go
+// out of scope — the §6.5 "discarded immediately after response
+// delivery" contract, enforced structurally rather than by cleanup code.
+func retrieveEphemeral(text, query string, topK int) ([]string, error) {
+	db := vectordb.New()
+	col, err := db.CreateCollection("ephemeral", vectordb.CollectionConfig{})
+	if err != nil {
+		return nil, err
+	}
+	ingestor := rag.NewIngestor(col, rag.ChunkOptions{})
+	if _, err := ingestor.IngestText("ephemeral", "ephemeral", text); err != nil {
+		return nil, err
+	}
+	results, err := rag.Retrieve(col, query, topK, "")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Text
+	}
+	return out, nil
+}
+
+func (s *Server) handleGPU(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Cluster().Stats())
+}
+
+// ListenAndServe runs the application layer on addr until ctx ends.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		return err
+	}
+}

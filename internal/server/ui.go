@@ -1,0 +1,261 @@
+package server
+
+import "net/http"
+
+// handleUI serves the embedded single-page chat interface — a compact
+// rendition of the paper's Flask frontend (Chapter 5): the landing page
+// with query input and strategy selection (Fig. 5.1), the sessions
+// sidebar (Fig. 5.2), the settings panel (Fig. 5.3), the model dropdown
+// (Fig. 5.4), the chat stream with multi-model transparency overlay
+// (Figs. 5.5–5.8), document upload for RAG (Fig. 5.7), answer feedback
+// (§9.5 self-improving orchestration), a natural-language configuration
+// box (§9.5), and a responsive layout for small screens (Fig. 5.10).
+func (s *Server) handleUI(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>LLM-MS — Multi-Model LLM Search</title>
+<style>
+  :root { --bg:#0f1117; --panel:#181b24; --text:#e6e8ee; --dim:#8b90a0; --accent:#4f8cff; --ok:#7ee2a8; --bad:#ff7e7e; }
+  * { box-sizing: border-box; }
+  body { margin:0; font:15px/1.5 system-ui,sans-serif; background:var(--bg); color:var(--text); }
+  header { padding:12px 20px; border-bottom:1px solid #262a36; display:flex; gap:14px; align-items:center; flex-wrap:wrap; }
+  header h1 { font-size:17px; margin:0 8px 0 0; }
+  .layout { display:flex; min-height:calc(100vh - 57px); }
+  aside { width:230px; border-right:1px solid #262a36; padding:14px; }
+  aside h2, section.settings h2 { font-size:13px; text-transform:uppercase; color:var(--dim); margin:0 0 8px; }
+  .sess { padding:6px 8px; border-radius:6px; cursor:pointer; font-size:13px; overflow:hidden; text-overflow:ellipsis; white-space:nowrap; }
+  .sess:hover { background:var(--panel); }
+  .sess.active { background:var(--panel); border-left:2px solid var(--accent); }
+  main { flex:1; max-width:860px; padding:20px; }
+  select,input,button,textarea { background:var(--panel); color:var(--text); border:1px solid #2c3040; border-radius:6px; padding:8px 10px; font:inherit; }
+  button { cursor:pointer; background:var(--accent); border:none; color:#fff; }
+  button.ghost { background:var(--panel); color:var(--text); border:1px solid #2c3040; }
+  #ask { display:flex; gap:8px; margin-bottom:14px; }
+  #ask textarea { flex:1; resize:vertical; min-height:56px; }
+  .msg { background:var(--panel); border-radius:10px; padding:12px 14px; margin:10px 0; white-space:pre-wrap; }
+  .msg .who { color:var(--dim); font-size:12px; margin-bottom:4px; display:flex; gap:8px; align-items:center; }
+  .rate { font-size:12px; }
+  #events { font:12px/1.5 ui-monospace,monospace; color:var(--dim); background:var(--panel);
+            border-radius:10px; padding:10px 12px; max-height:220px; overflow-y:auto; margin-top:14px; }
+  .score { color:var(--ok); } .prune { color:var(--bad); } .winner { color:var(--accent); font-weight:600; }
+  section.settings { border-top:1px solid #262a36; margin-top:18px; padding-top:12px; font-size:13px; }
+  section.settings .row { display:flex; gap:8px; margin:6px 0; align-items:center; flex-wrap:wrap; }
+  #nlbox { width:100%; }
+  #uploadStatus, #nlStatus { color:var(--dim); font-size:12px; }
+  @media (max-width:720px) { .layout { flex-direction:column; } aside { width:auto; border-right:none; border-bottom:1px solid #262a36; } }
+</style>
+</head>
+<body>
+<header>
+  <h1>LLM-MS</h1>
+  <label>Strategy
+    <select id="strategy">
+      <option value="oua">LLM-MS OUA</option>
+      <option value="mab">LLM-MS MAB</option>
+      <option value="hybrid">LLM-MS Hybrid</option>
+      <option value="single">Single model</option>
+    </select>
+  </label>
+  <label id="modelWrap" style="display:none">Model <select id="model"></select></label>
+  <label>λ<sub>max</sub> <input id="budget" type="number" value="2048" min="16" style="width:90px"></label>
+  <label><input id="useRag" type="checkbox"> use documents</label>
+</header>
+<div class="layout">
+<aside>
+  <h2>Sessions</h2>
+  <div id="sessions"></div>
+  <div style="margin-top:10px; display:flex; gap:6px;">
+    <button class="ghost" id="newSess">New</button>
+    <button class="ghost" id="clearSess">Clear all</button>
+  </div>
+  <section class="settings">
+    <h2>Documents (RAG)</h2>
+    <div class="row">
+      <input type="file" id="file" accept=".txt,.md,.markdown">
+      <button class="ghost" id="upload">Upload</button>
+    </div>
+    <div id="uploadStatus"></div>
+  </section>
+  <section class="settings">
+    <h2>Configure in plain language</h2>
+    <input id="nlbox" placeholder='e.g. "avoid slow models, use the bandit"'>
+    <div class="row"><button class="ghost" id="nlgo">Apply</button></div>
+    <div id="nlStatus"></div>
+  </section>
+</aside>
+<main>
+  <div id="ask">
+    <textarea id="q" placeholder="Ask all models at once…"></textarea>
+    <button id="go">Ask</button>
+  </div>
+  <div id="chat"></div>
+  <div id="events" hidden></div>
+</main>
+</div>
+<script>
+const $ = id => document.getElementById(id);
+let sessionID = "";
+
+fetch("/api/models").then(r => r.json()).then(models => {
+  $("model").innerHTML = models.map(m => '<option>'+m.name+'</option>').join("");
+});
+$("strategy").onchange = () => {
+  $("modelWrap").style.display = $("strategy").value === "single" ? "" : "none";
+};
+
+async function refreshSessions() {
+  const sessions = await fetch("/api/sessions").then(r => r.json());
+  const box = $("sessions");
+  box.innerHTML = "";
+  for (const s of sessions) {
+    const div = document.createElement("div");
+    div.className = "sess" + (s.id === sessionID ? " active" : "");
+    div.textContent = s.title || s.id;
+    div.onclick = () => loadSession(s.id);
+    box.appendChild(div);
+  }
+}
+async function loadSession(id) {
+  sessionID = id;
+  const s = await fetch("/api/sessions/" + id).then(r => r.json());
+  $("chat").innerHTML = "";
+  for (const m of s.messages || []) {
+    addMsg(m.role === "assistant" ? (m.model || "assistant") : "you", m.content);
+  }
+  refreshSessions();
+}
+$("newSess").onclick = () => { sessionID = ""; $("chat").innerHTML = ""; refreshSessions(); };
+$("clearSess").onclick = async () => {
+  await fetch("/api/sessions", {method: "DELETE"});
+  sessionID = ""; $("chat").innerHTML = ""; refreshSessions();
+};
+
+$("upload").onclick = () => {
+  const f = $("file").files[0];
+  if (!f) return;
+  const reader = new FileReader();
+  reader.onload = async () => {
+    const resp = await fetch("/api/upload", {
+      method: "POST", headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({filename: f.name, content: reader.result}),
+    });
+    const out = await resp.json();
+    $("uploadStatus").textContent = resp.ok
+      ? f.name + " → " + out.chunks + " chunks indexed"
+      : "upload failed: " + out.error;
+    if (resp.ok) $("useRag").checked = true;
+  };
+  reader.readAsText(f);
+};
+
+$("nlgo").onclick = async () => {
+  const resp = await fetch("/api/configure", {
+    method: "POST", headers: {"Content-Type": "application/json"},
+    body: JSON.stringify({instruction: $("nlbox").value}),
+  });
+  const out = await resp.json();
+  $("nlStatus").textContent = resp.ok
+    ? (out.understood ? out.changes.join("; ") : "no directives recognized")
+    : "error: " + out.error;
+  if (resp.ok && out.settings) {
+    $("budget").value = out.settings.max_tokens;
+    $("strategy").value = out.settings.strategy;
+    $("strategy").onchange();
+  }
+};
+
+function addMsg(who, text, model) {
+  const d = document.createElement("div");
+  d.className = "msg";
+  d.innerHTML = '<div class="who"></div><div class="body"></div>';
+  d.querySelector(".who").textContent = who;
+  d.querySelector(".body").textContent = text;
+  if (model) {
+    const rate = document.createElement("span");
+    rate.className = "rate";
+    rate.innerHTML = ' <a href="#">👍</a> <a href="#">👎</a>';
+    const [up, down] = rate.querySelectorAll("a");
+    const send = r => e => {
+      e.preventDefault();
+      fetch("/api/feedback", {method: "POST", headers: {"Content-Type": "application/json"},
+        body: JSON.stringify({model, rating: r})});
+      rate.textContent = r > 0 ? " rated 👍" : " rated 👎";
+    };
+    up.onclick = send(1); down.onclick = send(-1);
+    d.querySelector(".who").appendChild(rate);
+  }
+  $("chat").appendChild(d);
+  return d.querySelector(".body");
+}
+function logEvent(cls, text) {
+  const e = $("events");
+  e.hidden = false;
+  const line = document.createElement("div");
+  line.className = cls;
+  line.textContent = text;
+  e.appendChild(line);
+  e.scrollTop = e.scrollHeight;
+}
+
+$("go").onclick = async () => {
+  const query = $("q").value.trim();
+  if (!query) return;
+  $("q").value = "";
+  addMsg("you", query);
+  $("events").innerHTML = "";
+  const body = {
+    query, session_id: sessionID,
+    strategy: $("strategy").value,
+    model: $("model").value,
+    max_tokens: parseInt($("budget").value, 10) || 2048,
+    use_rag: $("useRag").checked,
+  };
+  const resp = await fetch("/api/query", {
+    method: "POST", headers: {"Content-Type": "application/json"},
+    body: JSON.stringify(body),
+  });
+  sessionID = resp.headers.get("X-Session-ID") || sessionID;
+  const reader = resp.body.getReader();
+  const dec = new TextDecoder();
+  let buf = "", answer = null;
+  for (;;) {
+    const {done, value} = await reader.read();
+    if (done) break;
+    buf += dec.decode(value, {stream: true});
+    let idx;
+    while ((idx = buf.indexOf("\n\n")) >= 0) {
+      const frame = buf.slice(0, idx); buf = buf.slice(idx + 2);
+      const ev = (frame.match(/^event: (.*)$/m) || [])[1];
+      const data = (frame.match(/^data: (.*)$/m) || [])[1];
+      if (!ev || !data) continue;
+      const d = JSON.parse(data);
+      if (ev === "chunk") logEvent("", d.model + " +" + d.tokens + "tok");
+      else if (ev === "score") logEvent("score", d.model + " score " + d.score.toFixed(3));
+      else if (ev === "prune") logEvent("prune", "pruned " + d.model + " (" + d.reason + ")");
+      else if (ev === "winner") logEvent("winner", "winner " + d.model);
+      else if (ev === "error") logEvent("prune", "error: " + d.error);
+      else if (ev === "result") answer = d.result;
+    }
+  }
+  if (answer) {
+    addMsg(answer.model + " · " + answer.strategy + " · " + answer.tokens_used + " tokens",
+      answer.answer, answer.model);
+  }
+  refreshSessions();
+};
+refreshSessions();
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,125 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ex(session, q, a string, minute int) Exchange {
+	return Exchange{
+		SessionID: session, Question: q, Answer: a,
+		Time: time.Date(2025, 5, 1, 10, minute, 0, 0, time.UTC),
+	}
+}
+
+func TestMemoryGraphRecallDirect(t *testing.T) {
+	g := NewMemoryGraph(MemoryGraphOptions{})
+	g.Add(ex("s1", "What GPU does the server use?", "A Tesla V100 with 32 GB.", 0))
+	g.Add(ex("s1", "How many CPU cores does it have?", "Forty virtual cores.", 1))
+	g.Add(ex("s2", "What is the best pizza topping?", "That is subjective.", 2))
+
+	hits := g.Recall("Tell me about the GPU in the server", 2)
+	if len(hits) == 0 {
+		t.Fatal("no recall hits")
+	}
+	if hits[0].Exchange.Answer != "A Tesla V100 with 32 GB." {
+		t.Fatalf("top hit = %+v", hits[0])
+	}
+	for _, h := range hits {
+		if h.Exchange.Question == "What is the best pizza topping?" && h.Score > hits[0].Score {
+			t.Fatalf("irrelevant exchange outranked relevant one: %+v", hits)
+		}
+	}
+}
+
+func TestMemoryGraphOneHopExpansion(t *testing.T) {
+	g := NewMemoryGraph(MemoryGraphOptions{EdgeThreshold: 0.3})
+	// Two linked exchanges about the same machine; the second never says
+	// "GPU" but shares enough vocabulary to be linked to the first.
+	g.Add(ex("s1", "What GPU accelerator does the inference server have installed?", "A Tesla V100.", 0))
+	g.Add(ex("s1", "Does the inference server have fast storage installed?", "Yes, an NVMe drive.", 1))
+	g.Add(ex("s2", "What is the capital of France?", "Paris.", 2))
+
+	hits := g.Recall("Which GPU accelerator is in the inference server?", 1)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// With k=1 only the GPU exchange is a seed; its neighbor may arrive
+	// via the edge. Ask for 2 and require the storage exchange present.
+	hits = g.Recall("Which GPU accelerator is installed?", 2)
+	foundStorage := false
+	for _, h := range hits {
+		if h.Exchange.Answer == "Yes, an NVMe drive." {
+			foundStorage = true
+		}
+		if h.Exchange.Answer == "Paris." {
+			t.Fatalf("unrelated exchange recalled: %+v", hits)
+		}
+	}
+	if !foundStorage {
+		t.Fatalf("one-hop neighbor not recalled: %+v", hits)
+	}
+}
+
+func TestMemoryGraphEviction(t *testing.T) {
+	g := NewMemoryGraph(MemoryGraphOptions{MaxNodes: 3})
+	for i := 0; i < 5; i++ {
+		g.Add(ex("s", fmt.Sprintf("unique question number %d about topic %d?", i, i), "answer", i))
+	}
+	if g.Len() != 3 {
+		t.Fatalf("len = %d, want 3", g.Len())
+	}
+	// The oldest exchanges are gone.
+	hits := g.Recall("unique question number 0 about topic 0?", 5)
+	for _, h := range hits {
+		if h.Exchange.Time.Minute() < 2 {
+			t.Fatalf("evicted exchange recalled: %+v", h)
+		}
+	}
+}
+
+func TestMemoryGraphEmptyAndValidation(t *testing.T) {
+	g := NewMemoryGraph(MemoryGraphOptions{})
+	if hits := g.Recall("anything", 3); hits != nil {
+		t.Fatalf("empty graph recalled %v", hits)
+	}
+	g.Add(Exchange{Question: "", Answer: "ignored"})
+	if g.Len() != 0 {
+		t.Fatal("empty question stored")
+	}
+	g.Add(ex("s", "a real question?", "a", 0))
+	if hits := g.Recall("a real question?", 0); hits != nil {
+		t.Fatalf("k=0 returned %v", hits)
+	}
+}
+
+func TestMemoryGraphConcurrent(t *testing.T) {
+	g := NewMemoryGraph(MemoryGraphOptions{MaxNodes: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Add(ex("s", fmt.Sprintf("concurrent question %d about servers?", i), "a", i))
+			g.Recall("question about servers", 3)
+		}(i)
+	}
+	wg.Wait()
+	if g.Len() != 20 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func BenchmarkMemoryGraphRecall(b *testing.B) {
+	g := NewMemoryGraph(MemoryGraphOptions{})
+	for i := 0; i < 200; i++ {
+		g.Add(ex("s", fmt.Sprintf("question %d about subsystem %d performance?", i, i%9), "answer", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Recall("how is subsystem 4 performing?", 5)
+	}
+}

@@ -1,0 +1,308 @@
+// Package session implements the LLM-MS session and context layer
+// (§6.5): multi-turn conversation state, hierarchical summarization that
+// keeps long sessions within model input limits, and a bounded in-memory
+// store mirroring the paper's privacy posture (no long-term persistence
+// of user-derived data; everything lives for the session only).
+//
+// The summarization scheme follows §7.3: after every SummarizeEvery
+// messages, the turns older than the retention window are replaced by an
+// extractive summary. Summaries of summaries compose hierarchically — a
+// re-summarization pass condenses the previous summary together with the
+// newly expired turns, so context length stays bounded no matter how long
+// the conversation runs.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"llmms/internal/tokenizer"
+)
+
+// Role labels a message's author.
+type Role string
+
+// Message roles.
+const (
+	RoleUser      Role = "user"
+	RoleAssistant Role = "assistant"
+)
+
+// Message is one conversation turn.
+type Message struct {
+	// Role is who produced the message.
+	Role Role `json:"role"`
+	// Content is the message text.
+	Content string `json:"content"`
+	// Model, for assistant messages, records which model answered.
+	Model string `json:"model,omitempty"`
+	// Time is when the message was appended.
+	Time time.Time `json:"time"`
+}
+
+// Session is one conversation. All mutation goes through the Store; a
+// Session value returned by the store is a snapshot safe to read freely.
+type Session struct {
+	// ID is the store-assigned identifier.
+	ID string `json:"id"`
+	// Title is the display name (defaults to the first user message).
+	Title string `json:"title"`
+	// Summary is the condensed representation of expired earlier turns.
+	Summary string `json:"summary,omitempty"`
+	// Messages are the retained (recent) turns, oldest first.
+	Messages []Message `json:"messages"`
+	// Created and Updated bound the session's lifetime.
+	Created time.Time `json:"created"`
+	Updated time.Time `json:"updated"`
+	// TurnCount is the total number of messages ever appended, including
+	// those folded into the summary.
+	TurnCount int `json:"turn_count"`
+}
+
+// Options tunes a Store.
+type Options struct {
+	// SummarizeEvery folds history into the summary once the retained
+	// message count exceeds it. Default 10 (five exchanges, matching the
+	// paper's "after every five messages" per speaker).
+	SummarizeEvery int
+	// RetainMessages is how many recent messages stay verbatim after a
+	// summarization pass. Default 4.
+	RetainMessages int
+	// SummaryBudget caps the summary length in tokens. Default 160.
+	SummaryBudget int
+	// MaxSessions bounds the store; the least recently updated session is
+	// evicted at the cap. Default 256.
+	MaxSessions int
+	// Clock overrides time.Now in tests.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.SummarizeEvery <= 0 {
+		o.SummarizeEvery = 10
+	}
+	if o.RetainMessages <= 0 {
+		o.RetainMessages = 4
+	}
+	if o.RetainMessages >= o.SummarizeEvery {
+		o.RetainMessages = o.SummarizeEvery - 1
+	}
+	if o.SummaryBudget <= 0 {
+		o.SummaryBudget = 160
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 256
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// ErrNotFound is returned for unknown session ids.
+var ErrNotFound = errors.New("session: not found")
+
+// Store holds sessions in memory. It is safe for concurrent use.
+type Store struct {
+	opts Options
+	tok  *tokenizer.Tokenizer
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+}
+
+// NewStore builds an empty store.
+func NewStore(opts Options) *Store {
+	return &Store{
+		opts:     opts.withDefaults(),
+		tok:      tokenizer.Default(),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Create opens a new session and returns its snapshot.
+func (s *Store) Create(title string) Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	now := s.opts.Clock()
+	sess := &Session{
+		ID:      fmt.Sprintf("s%06d", s.nextID),
+		Title:   strings.TrimSpace(title),
+		Created: now,
+		Updated: now,
+	}
+	s.evictLocked()
+	s.sessions[sess.ID] = sess
+	return snapshot(sess)
+}
+
+// evictLocked removes the least recently updated session when at cap.
+func (s *Store) evictLocked() {
+	if len(s.sessions) < s.opts.MaxSessions {
+		return
+	}
+	var oldest *Session
+	for _, sess := range s.sessions {
+		if oldest == nil || sess.Updated.Before(oldest.Updated) {
+			oldest = sess
+		}
+	}
+	if oldest != nil {
+		delete(s.sessions, oldest.ID)
+	}
+}
+
+// Get returns a session snapshot.
+func (s *Store) Get(id string) (Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return Session{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return snapshot(sess), nil
+}
+
+// List returns snapshots of all sessions, most recently updated first.
+func (s *Store) List() []Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, snapshot(sess))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Updated.Equal(out[j].Updated) {
+			return out[i].Updated.After(out[j].Updated)
+		}
+		return out[i].ID > out[j].ID
+	})
+	return out
+}
+
+// Delete removes a session.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.sessions, id)
+	return nil
+}
+
+// Clear removes every session, mirroring the UI's "clear history".
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = make(map[string]*Session)
+}
+
+// Len returns the number of stored sessions.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Append adds a message to a session, running a summarization pass when
+// the retained history grows past the configured threshold. It returns
+// the updated snapshot.
+func (s *Store) Append(id string, msg Message) (Session, error) {
+	if strings.TrimSpace(msg.Content) == "" {
+		return Session{}, errors.New("session: empty message content")
+	}
+	if msg.Role != RoleUser && msg.Role != RoleAssistant {
+		return Session{}, fmt.Errorf("session: invalid role %q", msg.Role)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return Session{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	now := s.opts.Clock()
+	msg.Time = now
+	sess.Messages = append(sess.Messages, msg)
+	sess.TurnCount++
+	sess.Updated = now
+	if sess.Title == "" && msg.Role == RoleUser {
+		sess.Title = truncateTitle(msg.Content)
+	}
+	if len(sess.Messages) > s.opts.SummarizeEvery {
+		s.summarizeLocked(sess)
+	}
+	return snapshot(sess), nil
+}
+
+// summarizeLocked folds everything but the newest RetainMessages turns
+// into the session summary. The previous summary participates in the
+// pass, which is what makes the scheme hierarchical.
+func (s *Store) summarizeLocked(sess *Session) {
+	cut := len(sess.Messages) - s.opts.RetainMessages
+	expired := sess.Messages[:cut]
+	sess.Messages = append([]Message(nil), sess.Messages[cut:]...)
+
+	var material []string
+	if sess.Summary != "" {
+		material = append(material, sess.Summary)
+	}
+	for _, m := range expired {
+		material = append(material, fmt.Sprintf("%s: %s", m.Role, m.Content))
+	}
+	sess.Summary = Summarize(strings.Join(material, "\n"), s.opts.SummaryBudget, s.tok)
+}
+
+// Context assembles the prompt context for the next model call: the
+// summary of expired turns plus the retained messages, bounded by
+// maxTokens (0 means no bound). The newest turns are kept preferentially.
+func (s *Store) Context(id string, maxTokens int) (summary string, recent []Message, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	summary = sess.Summary
+	recent = append([]Message(nil), sess.Messages...)
+	if maxTokens <= 0 {
+		return summary, recent, nil
+	}
+	budget := maxTokens - s.tok.Count(summary)
+	// Walk backwards keeping the newest messages that fit.
+	keepFrom := len(recent)
+	for i := len(recent) - 1; i >= 0; i-- {
+		n := s.tok.Count(recent[i].Content)
+		if n > budget {
+			break
+		}
+		budget -= n
+		keepFrom = i
+	}
+	return summary, recent[keepFrom:], nil
+}
+
+func snapshot(sess *Session) Session {
+	cp := *sess
+	cp.Messages = append([]Message(nil), sess.Messages...)
+	return cp
+}
+
+func truncateTitle(content string) string {
+	content = strings.TrimSpace(content)
+	const max = 48
+	if len(content) <= max {
+		return content
+	}
+	cut := strings.LastIndex(content[:max], " ")
+	if cut < max/2 {
+		cut = max
+	}
+	return content[:cut] + "…"
+}

@@ -1,0 +1,61 @@
+package tokenizer
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzRoundTrip asserts the byte-level BPE contract on arbitrary input:
+// Decode(Encode(s)) == s, and Count(s) == len(Encode(s)). Byte fallback
+// makes this hold for any byte sequence, including invalid UTF-8.
+func FuzzRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"hello world",
+		"What happens if you swallow chewing gum?",
+		"λ_max = 2048 tokens — α·qSim + β·interSim",
+		"\x00\xff\xfe binary bytes",
+		"multi\nline\n\ninput with   spaces",
+		"ⓤⓝⓘⓒⓞⓓⓔ ㊙️ emoji 🦇",
+	} {
+		f.Add(seed)
+	}
+	tok := Default()
+	f.Fuzz(func(t *testing.T, s string) {
+		encoded := tok.Encode(s)
+		if got := tok.Decode(encoded); got != s {
+			t.Fatalf("round trip failed: %q -> %q", s, got)
+		}
+		if tok.Count(s) != len(encoded) {
+			t.Fatalf("Count(%q) = %d, Encode has %d tokens", s, tok.Count(s), len(encoded))
+		}
+		for _, tk := range encoded {
+			if IsSpecial(tk) {
+				t.Fatalf("Encode emitted special token %d for %q", tk, s)
+			}
+			if int(tk) >= tok.VocabSize() {
+				t.Fatalf("token %d outside vocab %d", tk, tok.VocabSize())
+			}
+		}
+		_ = utf8.ValidString(s) // any byte sequence is legal input
+	})
+}
+
+// FuzzWords asserts the shared word normalizer never produces empty or
+// non-lowercase words.
+func FuzzWords(f *testing.F) {
+	f.Add("Hello, World! 42")
+	f.Add("ΣΙΓΜΑ ΤΕΛΙΚΟ ς")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, w := range Words(s) {
+			if w == "" {
+				t.Fatal("empty word emitted")
+			}
+			for _, r := range w {
+				if r >= 'A' && r <= 'Z' {
+					t.Fatalf("uppercase survived normalization: %q", w)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,348 @@
+// Package tokenizer implements a byte-level BPE (byte pair encoding)
+// subword tokenizer.
+//
+// The tokenizer underpins every token-denominated quantity in LLM-MS:
+// generation budgets (λ_max in the OUA and MAB algorithms), per-chunk
+// allowances, token-usage accounting in the evaluation harness, and the
+// token-overlap F1 metric. It is modeled after the GPT-2 family of
+// byte-level BPE tokenizers: the base vocabulary is the 256 single bytes,
+// so any input string round-trips exactly through Encode/Decode, and a
+// learned merge table composes frequent byte pairs into subword units.
+//
+// A tokenizer is trained deterministically with Train, or obtained from
+// Default, which trains once on an embedded English seed corpus and is
+// safe for concurrent use.
+package tokenizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is a single vocabulary id produced by Encode.
+type Token int
+
+// Special token ids occupy the range immediately above the 256 byte
+// tokens. Merged subword tokens start at firstMergeID.
+const byteVocabSize = 256
+
+const (
+	// BOS marks the beginning of a sequence.
+	BOS Token = byteVocabSize + iota
+	// EOS marks the end of a sequence.
+	EOS
+	// PAD pads batched sequences to a common length.
+	PAD
+	// UNK is reserved for compatibility; byte fallback makes it unreachable
+	// during normal encoding.
+	UNK
+)
+
+const (
+	numSpecial   = 4
+	firstMergeID = byteVocabSize + numSpecial
+)
+
+// pair is an adjacent token pair considered for merging.
+type pair struct {
+	a, b Token
+}
+
+// Tokenizer is a trained byte-level BPE tokenizer. The zero value is not
+// usable; construct with Train or New. A Tokenizer is immutable after
+// training and therefore safe for concurrent use.
+type Tokenizer struct {
+	// ranks maps a mergeable pair to its merge priority; lower is earlier.
+	ranks map[pair]int
+	// merged maps a pair to the token id that replaces it.
+	merged map[pair]Token
+	// bytesOf maps every token id to the bytes it expands to.
+	bytesOf map[Token][]byte
+	// vocabSize is the total number of token ids (bytes + special + merges).
+	vocabSize int
+}
+
+// New returns a tokenizer with no learned merges: every byte is its own
+// token. It is primarily useful in tests and as a degenerate baseline.
+func New() *Tokenizer {
+	t := &Tokenizer{
+		ranks:   make(map[pair]int),
+		merged:  make(map[pair]Token),
+		bytesOf: make(map[Token][]byte, byteVocabSize+numSpecial),
+	}
+	for i := 0; i < byteVocabSize; i++ {
+		t.bytesOf[Token(i)] = []byte{byte(i)}
+	}
+	t.bytesOf[BOS] = nil
+	t.bytesOf[EOS] = nil
+	t.bytesOf[PAD] = nil
+	t.bytesOf[UNK] = nil
+	t.vocabSize = firstMergeID
+	return t
+}
+
+// TrainOptions controls BPE training.
+type TrainOptions struct {
+	// VocabSize is the target total vocabulary size including the 256 byte
+	// tokens and the special tokens. Values at or below firstMergeID yield
+	// a byte-only tokenizer.
+	VocabSize int
+	// MinPairCount is the minimum frequency an adjacent pair must reach to
+	// be merged. Defaults to 2.
+	MinPairCount int
+}
+
+// Train learns a BPE merge table from corpus. Training is deterministic:
+// ties between equally frequent pairs break on byte order, so identical
+// corpora always yield identical tokenizers.
+func Train(corpus string, opts TrainOptions) *Tokenizer {
+	if opts.MinPairCount <= 0 {
+		opts.MinPairCount = 2
+	}
+	t := New()
+	if opts.VocabSize <= firstMergeID {
+		return t
+	}
+
+	// Work on pre-tokenized words so merges never cross word boundaries,
+	// mirroring GPT-2-style training.
+	wordCounts := make(map[string]int)
+	for _, w := range pretokenize(corpus) {
+		wordCounts[w]++
+	}
+	type seqCount struct {
+		seq   []Token
+		count int
+	}
+	seqs := make([]seqCount, 0, len(wordCounts))
+	words := make([]string, 0, len(wordCounts))
+	for w := range wordCounts {
+		words = append(words, w)
+	}
+	sort.Strings(words) // determinism
+	for _, w := range words {
+		seqs = append(seqs, seqCount{seq: bytesToTokens([]byte(w)), count: wordCounts[w]})
+	}
+
+	for t.vocabSize < opts.VocabSize {
+		// Count adjacent pairs across all word sequences.
+		counts := make(map[pair]int)
+		for _, sc := range seqs {
+			for i := 0; i+1 < len(sc.seq); i++ {
+				counts[pair{sc.seq[i], sc.seq[i+1]}] += sc.count
+			}
+		}
+		best, bestCount := pair{}, 0
+		for p, c := range counts {
+			if c > bestCount || (c == bestCount && lessPair(p, best, t)) {
+				best, bestCount = p, c
+			}
+		}
+		if bestCount < opts.MinPairCount {
+			break
+		}
+		id := Token(t.vocabSize)
+		t.vocabSize++
+		t.ranks[best] = len(t.ranks)
+		t.merged[best] = id
+		joined := append(append([]byte{}, t.bytesOf[best.a]...), t.bytesOf[best.b]...)
+		t.bytesOf[id] = joined
+		for i := range seqs {
+			seqs[i].seq = applyMerge(seqs[i].seq, best, id)
+		}
+	}
+	return t
+}
+
+// lessPair orders pairs by the bytes they expand to, for deterministic
+// tie-breaking during training.
+func lessPair(p, q pair, t *Tokenizer) bool {
+	pk := string(t.bytesOf[p.a]) + "\x00" + string(t.bytesOf[p.b])
+	qk := string(t.bytesOf[q.a]) + "\x00" + string(t.bytesOf[q.b])
+	return pk < qk
+}
+
+// applyMerge replaces every adjacent occurrence of p in seq with id.
+func applyMerge(seq []Token, p pair, id Token) []Token {
+	out := seq[:0]
+	for i := 0; i < len(seq); i++ {
+		if i+1 < len(seq) && seq[i] == p.a && seq[i+1] == p.b {
+			out = append(out, id)
+			i++
+			continue
+		}
+		out = append(out, seq[i])
+	}
+	return out
+}
+
+func bytesToTokens(b []byte) []Token {
+	ts := make([]Token, len(b))
+	for i, c := range b {
+		ts[i] = Token(c)
+	}
+	return ts
+}
+
+// pretokenize splits text into words: runs of letters/digits, runs of
+// spaces attached to the following word GPT-2 style, and individual
+// punctuation runes. It walks the string byte-wise and appends the
+// original bytes — never re-encoded runes — so invalid UTF-8 survives
+// unchanged and the byte-level round-trip guarantee holds for any input.
+func pretokenize(text string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	pendingSpace := false
+	for i := 0; i < len(text); {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		raw := text[i : i+size]
+		i += size
+		switch {
+		case r == ' ':
+			flush()
+			if pendingSpace {
+				words = append(words, " ")
+			}
+			pendingSpace = true
+		case (r != utf8.RuneError || size > 1) && (unicode.IsLetter(r) || unicode.IsDigit(r)):
+			if pendingSpace && cur.Len() == 0 {
+				cur.WriteByte(' ')
+				pendingSpace = false
+			}
+			cur.WriteString(raw)
+		default:
+			// Punctuation, control bytes, and invalid UTF-8 bytes each
+			// become their own pre-token, raw bytes preserved.
+			flush()
+			if pendingSpace {
+				words = append(words, " ")
+				pendingSpace = false
+			}
+			words = append(words, raw)
+		}
+	}
+	if pendingSpace {
+		flush()
+		words = append(words, " ")
+	}
+	flush()
+	return words
+}
+
+// Encode converts text to a token sequence. Encoding never fails: bytes
+// with no merge coverage remain single-byte tokens.
+func (t *Tokenizer) Encode(text string) []Token {
+	var out []Token
+	for _, w := range pretokenize(text) {
+		out = append(out, t.encodeWord([]byte(w))...)
+	}
+	return out
+}
+
+// encodeWord applies learned merges to one pre-token, always choosing the
+// lowest-rank applicable merge first (standard BPE inference).
+func (t *Tokenizer) encodeWord(b []byte) []Token {
+	seq := bytesToTokens(b)
+	for len(seq) > 1 {
+		bestRank := -1
+		var bestPair pair
+		for i := 0; i+1 < len(seq); i++ {
+			p := pair{seq[i], seq[i+1]}
+			if r, ok := t.ranks[p]; ok && (bestRank == -1 || r < bestRank) {
+				bestRank = r
+				bestPair = p
+			}
+		}
+		if bestRank == -1 {
+			break
+		}
+		seq = applyMerge(seq, bestPair, t.merged[bestPair])
+	}
+	return seq
+}
+
+// Decode reconstructs the original text from a token sequence. Special
+// tokens decode to the empty string. Decode(Encode(s)) == s for all s.
+func (t *Tokenizer) Decode(tokens []Token) string {
+	var sb strings.Builder
+	for _, tok := range tokens {
+		sb.Write(t.bytesOf[tok])
+	}
+	return sb.String()
+}
+
+// DecodeOne returns the text of a single token.
+func (t *Tokenizer) DecodeOne(tok Token) string { return string(t.bytesOf[tok]) }
+
+// Count returns the number of tokens Encode would produce for text. It is
+// the unit in which all LLM-MS budgets are denominated.
+func (t *Tokenizer) Count(text string) int { return len(t.Encode(text)) }
+
+// VocabSize returns the total number of token ids.
+func (t *Tokenizer) VocabSize() int { return t.vocabSize }
+
+// IsSpecial reports whether tok is one of the reserved control tokens.
+func IsSpecial(tok Token) bool { return tok >= BOS && tok < BOS+numSpecial }
+
+// Validate checks internal consistency of the merge table; it is used by
+// tests and by model loaders that deserialize tokenizers.
+func (t *Tokenizer) Validate() error {
+	if t.vocabSize < firstMergeID {
+		return fmt.Errorf("tokenizer: vocab size %d below minimum %d", t.vocabSize, firstMergeID)
+	}
+	if len(t.ranks) != len(t.merged) {
+		return fmt.Errorf("tokenizer: %d ranks but %d merges", len(t.ranks), len(t.merged))
+	}
+	for p, id := range t.merged {
+		want := string(t.bytesOf[p.a]) + string(t.bytesOf[p.b])
+		if got := string(t.bytesOf[id]); got != want {
+			return fmt.Errorf("tokenizer: merge %d expands to %q, want %q", id, got, want)
+		}
+	}
+	return nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultTok  *Tokenizer
+)
+
+// Default returns the shared tokenizer trained on the embedded seed
+// corpus. The first call trains it; subsequent calls return the same
+// instance. The result is safe for concurrent use.
+func Default() *Tokenizer {
+	defaultOnce.Do(func() {
+		defaultTok = Train(seedCorpus, TrainOptions{VocabSize: 2048})
+	})
+	return defaultTok
+}
+
+// Words splits text into lowercase alphanumeric words. It is the shared
+// normalization used by the F1 metric and the extractive summarizer, kept
+// here so every consumer tokenizes identically.
+func Words(text string) []string {
+	var words []string
+	var cur strings.Builder
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	if cur.Len() > 0 {
+		words = append(words, cur.String())
+	}
+	return words
+}

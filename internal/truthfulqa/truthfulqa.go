@@ -1,0 +1,216 @@
+// Package truthfulqa provides the TruthfulQA benchmark substrate used by
+// the LLM-MS evaluation (Chapter 8 of the paper).
+//
+// Each benchmark item carries a question, the single best ("golden")
+// answer, a set of additional correct reference answers, and a set of
+// incorrect answers embodying the misconception the question probes.
+// Those four fields are exactly what the paper's reward (Eq. 8.1) and F1
+// metrics consume.
+//
+// The package offers three sources of items:
+//
+//   - LoadJSON / LoadCSV read the real benchmark from disk (the CSV
+//     columns match the published TruthfulQA.csv layout).
+//   - Seed returns the embedded hand-written item bank covering the real
+//     benchmark's categories.
+//   - Generate expands the seed bank with deterministic template-derived
+//     factual items (capitals, currencies, elements, …) to any size, so
+//     experiments run at benchmark scale without shipping the dataset.
+package truthfulqa
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Item is one TruthfulQA question with its reference answers.
+type Item struct {
+	// Type is "Adversarial" or "Non-Adversarial" in the original data.
+	Type string `json:"type,omitempty"`
+	// Category groups questions by topic (Misconceptions, Health, Law, …).
+	Category string `json:"category"`
+	// Question is the prompt posed to the models.
+	Question string `json:"question"`
+	// BestAnswer is the golden reference used with weight w1 in Eq. 8.1.
+	BestAnswer string `json:"best_answer"`
+	// CorrectAnswers are additional truthful references (weight w2).
+	CorrectAnswers []string `json:"correct_answers"`
+	// IncorrectAnswers are the misconception answers (weight w3).
+	IncorrectAnswers []string `json:"incorrect_answers"`
+	// Source optionally cites where the truth was established.
+	Source string `json:"source,omitempty"`
+}
+
+// Validate reports whether the item is usable for evaluation.
+func (it Item) Validate() error {
+	if strings.TrimSpace(it.Question) == "" {
+		return fmt.Errorf("truthfulqa: empty question")
+	}
+	if strings.TrimSpace(it.BestAnswer) == "" {
+		return fmt.Errorf("truthfulqa: %q: empty best answer", it.Question)
+	}
+	if len(it.IncorrectAnswers) == 0 {
+		return fmt.Errorf("truthfulqa: %q: no incorrect answers", it.Question)
+	}
+	return nil
+}
+
+// AllCorrect returns the golden answer plus all additional correct
+// references, deduplicated, golden first.
+func (it Item) AllCorrect() []string {
+	out := []string{it.BestAnswer}
+	seen := map[string]bool{strings.ToLower(it.BestAnswer): true}
+	for _, c := range it.CorrectAnswers {
+		k := strings.ToLower(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Dataset is an ordered list of items.
+type Dataset []Item
+
+// Validate checks every item.
+func (d Dataset) Validate() error {
+	for i, it := range d {
+		if err := it.Validate(); err != nil {
+			return fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Categories returns the sorted distinct categories in the dataset.
+func (d Dataset) Categories() []string {
+	set := map[string]bool{}
+	for _, it := range d {
+		set[it.Category] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByCategory returns the items in the given category, preserving order.
+func (d Dataset) ByCategory(cat string) Dataset {
+	var out Dataset
+	for _, it := range d {
+		if it.Category == cat {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Head returns the first n items (or all if fewer).
+func (d Dataset) Head(n int) Dataset {
+	if n >= len(d) {
+		return d
+	}
+	return d[:n]
+}
+
+// LoadJSON reads a dataset stored as a JSON array of items.
+func LoadJSON(path string) (Dataset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("truthfulqa: %w", err)
+	}
+	var d Dataset
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("truthfulqa: parse %s: %w", path, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveJSON writes the dataset as a JSON array.
+func (d Dataset) SaveJSON(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadCSV reads the original TruthfulQA CSV layout:
+//
+//	Type,Category,Question,Best Answer,Correct Answers,Incorrect Answers,Source
+//
+// where the answer-list columns separate entries with "; ".
+func LoadCSV(r io.Reader) (Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("truthfulqa: csv header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	need := []string{"category", "question", "best answer", "correct answers", "incorrect answers"}
+	for _, n := range need {
+		if _, ok := col[n]; !ok {
+			return nil, fmt.Errorf("truthfulqa: csv missing column %q", n)
+		}
+	}
+	get := func(rec []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(rec) {
+			return ""
+		}
+		return strings.TrimSpace(rec[i])
+	}
+	var d Dataset
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("truthfulqa: csv row: %w", err)
+		}
+		it := Item{
+			Type:             get(rec, "type"),
+			Category:         get(rec, "category"),
+			Question:         get(rec, "question"),
+			BestAnswer:       get(rec, "best answer"),
+			CorrectAnswers:   splitAnswers(get(rec, "correct answers")),
+			IncorrectAnswers: splitAnswers(get(rec, "incorrect answers")),
+			Source:           get(rec, "source"),
+		}
+		if err := it.Validate(); err != nil {
+			return nil, err
+		}
+		d = append(d, it)
+	}
+	return d, nil
+}
+
+func splitAnswers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package vectordb
+
+import (
+	"sort"
+
+	"llmms/internal/embedding"
+)
+
+// flatIndex is the exact brute-force index: search scans every live
+// vector. It is the reference implementation HNSW recall is measured
+// against, and the default for the small collections LLM-MS sessions
+// produce (per-session document chunks).
+type flatIndex struct {
+	metric Distance
+	// entries maps id to vector. Iteration order does not affect results
+	// because ties are broken on id during sorting.
+	entries map[string]embedding.Vector
+}
+
+func newFlat(metric Distance) *flatIndex {
+	return &flatIndex{metric: metric, entries: make(map[string]embedding.Vector)}
+}
+
+func (f *flatIndex) add(id string, v embedding.Vector) { f.entries[id] = v }
+func (f *flatIndex) remove(id string)                  { delete(f.entries, id) }
+func (f *flatIndex) len() int                          { return len(f.entries) }
+
+func (f *flatIndex) search(q embedding.Vector, k int, allow func(string) bool) []candidate {
+	cands := make([]candidate, 0, len(f.entries))
+	for id, v := range f.entries {
+		if allow != nil && !allow(id) {
+			continue
+		}
+		cands = append(cands, candidate{id: id, dist: f.metric.distance(q, v)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}

@@ -1,0 +1,366 @@
+package vectordb
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"llmms/internal/embedding"
+)
+
+// HNSWConfig tunes the hierarchical navigable small world index.
+type HNSWConfig struct {
+	// M is the maximum number of bidirectional links per node per layer
+	// (layer 0 allows 2·M). Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting. Default 200.
+	EfConstruction int
+	// EfSearch is the beam width used while querying; raised
+	// automatically to the requested k. Default 64.
+	EfSearch int
+	// Seed makes level assignment deterministic for a given insertion
+	// order. Default 1.
+	Seed int64
+	// RebuildTombstoneRatio triggers a full rebuild when the fraction of
+	// tombstoned nodes exceeds it. Default 0.5.
+	RebuildTombstoneRatio float64
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RebuildTombstoneRatio <= 0 {
+		c.RebuildTombstoneRatio = 0.5
+	}
+	return c
+}
+
+// hnswNode is one graph node. neighbors[l] lists the node's links at
+// layer l; a node participates in layers 0..len(neighbors)-1.
+type hnswNode struct {
+	id        string
+	vec       embedding.Vector
+	neighbors [][]int32
+	deleted   bool
+}
+
+// hnswIndex implements the index interface with an HNSW graph. Deletion
+// is tombstone-based: removed nodes keep routing until a rebuild is
+// triggered, which is the standard practice for HNSW-backed stores
+// (including the one the paper deploys).
+type hnswIndex struct {
+	metric Distance
+	cfg    HNSWConfig
+	rng    *rand.Rand
+	levelM float64 // 1/ln(M), the level-assignment scale
+
+	nodes    []*hnswNode
+	byID     map[string]int32
+	entry    int32 // index of the entry point, -1 when empty
+	maxLevel int
+	live     int
+	deleted  int
+}
+
+func newHNSW(metric Distance, cfg HNSWConfig) *hnswIndex {
+	cfg = cfg.withDefaults()
+	return &hnswIndex{
+		metric: metric,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		levelM: 1 / math.Log(float64(cfg.M)),
+		byID:   make(map[string]int32),
+		entry:  -1,
+	}
+}
+
+func (h *hnswIndex) len() int { return h.live }
+
+func (h *hnswIndex) dist(a, b embedding.Vector) float64 { return h.metric.distance(a, b) }
+
+// randomLevel draws the layer count for a new node from the standard
+// exponential distribution used by HNSW.
+func (h *hnswIndex) randomLevel() int {
+	return int(math.Floor(-math.Log(1-h.rng.Float64()) * h.levelM))
+}
+
+func (h *hnswIndex) add(id string, v embedding.Vector) {
+	if old, ok := h.byID[id]; ok {
+		// Replace: tombstone the old node, insert fresh.
+		if !h.nodes[old].deleted {
+			h.nodes[old].deleted = true
+			h.live--
+			h.deleted++
+		}
+		delete(h.byID, id)
+	}
+	level := h.randomLevel()
+	node := &hnswNode{id: id, vec: v, neighbors: make([][]int32, level+1)}
+	idx := int32(len(h.nodes))
+	h.nodes = append(h.nodes, node)
+	h.byID[id] = idx
+	h.live++
+
+	if h.entry == -1 {
+		h.entry = idx
+		h.maxLevel = level
+		return
+	}
+
+	ep := h.entry
+	// Descend greedily through layers above the node's top layer.
+	for l := h.maxLevel; l > level; l-- {
+		ep = h.greedyClosest(v, ep, l)
+	}
+	// Insert with beam search from min(level, maxLevel) down to 0.
+	top := level
+	if top > h.maxLevel {
+		top = h.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayer(v, []int32{ep}, h.cfg.EfConstruction, l, nil)
+		m := h.cfg.M
+		if l == 0 {
+			m = 2 * h.cfg.M
+		}
+		selected := h.selectNeighbors(cands, m)
+		node.neighbors[l] = selected
+		for _, n := range selected {
+			nb := h.nodes[n]
+			if l < len(nb.neighbors) {
+				nb.neighbors[l] = append(nb.neighbors[l], idx)
+				if len(nb.neighbors[l]) > m {
+					nb.neighbors[l] = h.pruneNeighbors(nb.vec, nb.neighbors[l], m)
+				}
+			}
+		}
+		if len(cands) > 0 {
+			ep = cands[0].idx
+		}
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = idx
+	}
+}
+
+func (h *hnswIndex) remove(id string) {
+	idx, ok := h.byID[id]
+	if !ok {
+		return
+	}
+	node := h.nodes[idx]
+	if !node.deleted {
+		node.deleted = true
+		h.live--
+		h.deleted++
+	}
+	delete(h.byID, id)
+	if h.live > 0 && float64(h.deleted)/float64(h.live+h.deleted) > h.cfg.RebuildTombstoneRatio {
+		h.rebuild()
+	} else if h.entry == idx {
+		// Keep a live entry point if one exists; tombstoned entry points
+		// still route, but a live one avoids degenerate starts.
+		for i, n := range h.nodes {
+			if !n.deleted {
+				h.entry = int32(i)
+				h.maxLevel = len(n.neighbors) - 1
+				break
+			}
+		}
+	}
+	if h.live == 0 {
+		h.nodes = nil
+		h.byID = make(map[string]int32)
+		h.entry = -1
+		h.maxLevel = 0
+		h.deleted = 0
+	}
+}
+
+// rebuild reconstructs the graph from live nodes, dropping tombstones.
+func (h *hnswIndex) rebuild() {
+	liveNodes := make([]*hnswNode, 0, h.live)
+	for _, n := range h.nodes {
+		if !n.deleted {
+			liveNodes = append(liveNodes, n)
+		}
+	}
+	sort.Slice(liveNodes, func(i, j int) bool { return liveNodes[i].id < liveNodes[j].id })
+	h.nodes = nil
+	h.byID = make(map[string]int32, len(liveNodes))
+	h.entry = -1
+	h.maxLevel = 0
+	h.live = 0
+	h.deleted = 0
+	for _, n := range liveNodes {
+		h.add(n.id, n.vec)
+	}
+}
+
+// greedyClosest walks layer l greedily toward q starting at ep and
+// returns the local minimum.
+func (h *hnswIndex) greedyClosest(q embedding.Vector, ep int32, l int) int32 {
+	cur := ep
+	curDist := h.dist(q, h.nodes[cur].vec)
+	for {
+		improved := false
+		node := h.nodes[cur]
+		if l < len(node.neighbors) {
+			for _, n := range node.neighbors[l] {
+				if d := h.dist(q, h.nodes[n].vec); d < curDist {
+					cur, curDist = n, d
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// scored pairs a node index with its distance to the query.
+type scored struct {
+	idx  int32
+	dist float64
+}
+
+// minHeap orders scored by ascending distance.
+type minHeap []scored
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)        { *h = append(*h, x.(scored)) }
+func (h *minHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// maxHeap orders scored by descending distance (worst on top).
+type maxHeap []scored
+
+func (h maxHeap) Len() int           { return len(h) }
+func (h maxHeap) Less(i, j int) bool { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x any)        { *h = append(*h, x.(scored)) }
+func (h *maxHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// searchLayer is the HNSW beam search at one layer. accept, when non-nil,
+// controls which nodes may enter the result set (tombstoned or filtered
+// nodes still route). The result is sorted by ascending distance.
+func (h *hnswIndex) searchLayer(q embedding.Vector, eps []int32, ef, l int, accept func(*hnswNode) bool) []scored {
+	visited := make(map[int32]bool, ef*4)
+	var candidates minHeap
+	var results maxHeap
+	for _, ep := range eps {
+		d := h.dist(q, h.nodes[ep].vec)
+		visited[ep] = true
+		heap.Push(&candidates, scored{ep, d})
+		if accept == nil || accept(h.nodes[ep]) {
+			heap.Push(&results, scored{ep, d})
+		}
+	}
+	for candidates.Len() > 0 {
+		c := heap.Pop(&candidates).(scored)
+		if results.Len() >= ef && c.dist > results[0].dist {
+			break
+		}
+		node := h.nodes[c.idx]
+		if l >= len(node.neighbors) {
+			continue
+		}
+		for _, n := range node.neighbors[l] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			d := h.dist(q, h.nodes[n].vec)
+			if results.Len() < ef || d < results[0].dist {
+				heap.Push(&candidates, scored{n, d})
+				if accept == nil || accept(h.nodes[n]) {
+					heap.Push(&results, scored{n, d})
+					if results.Len() > ef {
+						heap.Pop(&results)
+					}
+				}
+			}
+		}
+	}
+	out := make([]scored, results.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&results).(scored)
+	}
+	return out
+}
+
+// selectNeighbors keeps the m closest candidates (simple heuristic).
+func (h *hnswIndex) selectNeighbors(cands []scored, m int) []int32 {
+	if len(cands) > m {
+		cands = cands[:m]
+	}
+	out := make([]int32, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// pruneNeighbors trims a neighbor list to the m closest to base.
+func (h *hnswIndex) pruneNeighbors(base embedding.Vector, neighbors []int32, m int) []int32 {
+	ss := make([]scored, len(neighbors))
+	for i, n := range neighbors {
+		ss[i] = scored{n, h.dist(base, h.nodes[n].vec)}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].dist < ss[j].dist })
+	if len(ss) > m {
+		ss = ss[:m]
+	}
+	out := make([]int32, len(ss))
+	for i, s := range ss {
+		out[i] = s.idx
+	}
+	return out
+}
+
+func (h *hnswIndex) search(q embedding.Vector, k int, allow func(string) bool) []candidate {
+	if h.entry == -1 || h.live == 0 {
+		return nil
+	}
+	ef := h.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	// With filters, widen the beam so post-filter recall holds up.
+	if allow != nil {
+		ef *= 2
+	}
+	accept := func(n *hnswNode) bool {
+		if n.deleted {
+			return false
+		}
+		return allow == nil || allow(n.id)
+	}
+	ep := h.entry
+	for l := h.maxLevel; l > 0; l-- {
+		ep = h.greedyClosest(q, ep, l)
+	}
+	found := h.searchLayer(q, []int32{ep}, ef, 0, accept)
+	if len(found) > k {
+		found = found[:k]
+	}
+	out := make([]candidate, len(found))
+	for i, s := range found {
+		out[i] = candidate{id: h.nodes[s.idx].id, dist: s.dist}
+	}
+	return out
+}

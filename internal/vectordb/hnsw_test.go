@@ -1,0 +1,271 @@
+package vectordb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"llmms/internal/embedding"
+)
+
+// randomUnitVectors returns n deterministic pseudo-random unit vectors.
+func randomUnitVectors(n, dim int, seed int64) []embedding.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]embedding.Vector, n)
+	for i := range vs {
+		v := make(embedding.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		embedding.NormalizeInPlace(v)
+		vs[i] = v
+	}
+	return vs
+}
+
+func TestHNSWRecallAgainstFlat(t *testing.T) {
+	const (
+		n   = 800
+		dim = 32
+		k   = 10
+	)
+	vecs := randomUnitVectors(n, dim, 42)
+	queries := randomUnitVectors(30, dim, 99)
+
+	flat := newFlat(Cosine)
+	hnsw := newHNSW(Cosine, HNSWConfig{M: 16, EfConstruction: 200, EfSearch: 128})
+	for i, v := range vecs {
+		id := fmt.Sprintf("v%d", i)
+		flat.add(id, v)
+		hnsw.add(id, v)
+	}
+
+	var hits, total int
+	for _, q := range queries {
+		exact := flat.search(q, k, nil)
+		approx := hnsw.search(q, k, nil)
+		want := map[string]bool{}
+		for _, c := range exact {
+			want[c.id] = true
+		}
+		for _, c := range approx {
+			if want[c.id] {
+				hits++
+			}
+		}
+		total += len(exact)
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.9 {
+		t.Fatalf("HNSW recall@%d = %.3f, want >= 0.9", k, recall)
+	}
+}
+
+func TestHNSWOrderedResults(t *testing.T) {
+	vecs := randomUnitVectors(200, 16, 7)
+	h := newHNSW(Cosine, HNSWConfig{})
+	for i, v := range vecs {
+		h.add(fmt.Sprintf("v%d", i), v)
+	}
+	q := randomUnitVectors(1, 16, 8)[0]
+	res := h.search(q, 20, nil)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].dist > res[i].dist {
+			t.Fatalf("unsorted results at %d: %v > %v", i, res[i-1].dist, res[i].dist)
+		}
+	}
+}
+
+func TestHNSWRemoveAndTombstones(t *testing.T) {
+	vecs := randomUnitVectors(100, 16, 3)
+	h := newHNSW(Cosine, HNSWConfig{})
+	for i, v := range vecs {
+		h.add(fmt.Sprintf("v%d", i), v)
+	}
+	if h.len() != 100 {
+		t.Fatalf("len = %d, want 100", h.len())
+	}
+	for i := 0; i < 40; i++ {
+		h.remove(fmt.Sprintf("v%d", i))
+	}
+	if h.len() != 60 {
+		t.Fatalf("len after removals = %d, want 60", h.len())
+	}
+	// Removed ids must never be returned.
+	q := randomUnitVectors(1, 16, 4)[0]
+	for _, c := range h.search(q, 60, nil) {
+		var idx int
+		fmt.Sscanf(c.id, "v%d", &idx)
+		if idx < 40 {
+			t.Fatalf("tombstoned id %s returned", c.id)
+		}
+	}
+	// Removing an unknown id is a no-op.
+	h.remove("nope")
+	if h.len() != 60 {
+		t.Fatalf("len after no-op remove = %d", h.len())
+	}
+}
+
+func TestHNSWRebuildTriggered(t *testing.T) {
+	vecs := randomUnitVectors(60, 8, 5)
+	h := newHNSW(Cosine, HNSWConfig{RebuildTombstoneRatio: 0.3})
+	for i, v := range vecs {
+		h.add(fmt.Sprintf("v%d", i), v)
+	}
+	for i := 0; i < 30; i++ {
+		h.remove(fmt.Sprintf("v%d", i))
+	}
+	// Rebuilds fire whenever the tombstone ratio crosses the threshold,
+	// so the ratio must never exceed it once removals are done.
+	if ratio := float64(h.deleted) / float64(h.live+h.deleted); ratio > 0.3 {
+		t.Fatalf("tombstone ratio %.3f exceeds rebuild threshold", ratio)
+	}
+	if h.deleted >= 30 {
+		t.Fatalf("no rebuild ever ran: %d tombstones remain", h.deleted)
+	}
+	if h.len() != 30 {
+		t.Fatalf("len after rebuild = %d, want 30", h.len())
+	}
+	q := randomUnitVectors(1, 8, 6)[0]
+	if res := h.search(q, 30, nil); len(res) != 30 {
+		t.Fatalf("search after rebuild returned %d, want 30", len(res))
+	}
+}
+
+func TestHNSWEmptyAndSingle(t *testing.T) {
+	h := newHNSW(Cosine, HNSWConfig{})
+	if res := h.search(embedding.Vector{1, 0}, 5, nil); res != nil {
+		t.Fatalf("empty index returned %v", res)
+	}
+	h.add("only", embedding.Vector{1, 0})
+	res := h.search(embedding.Vector{0.9, 0.1}, 5, nil)
+	if len(res) != 1 || res[0].id != "only" {
+		t.Fatalf("single-node search: %v", res)
+	}
+	h.remove("only")
+	if h.len() != 0 {
+		t.Fatalf("len = %d after removing only node", h.len())
+	}
+	if res := h.search(embedding.Vector{1, 0}, 5, nil); len(res) != 0 {
+		t.Fatalf("emptied index returned %v", res)
+	}
+	// Index must accept inserts again after being emptied.
+	h.add("again", embedding.Vector{0, 1})
+	if res := h.search(embedding.Vector{0, 1}, 1, nil); len(res) != 1 || res[0].id != "again" {
+		t.Fatalf("reuse after empty: %v", res)
+	}
+}
+
+func TestHNSWReplaceViaAdd(t *testing.T) {
+	h := newHNSW(Cosine, HNSWConfig{})
+	h.add("x", embedding.Vector{1, 0})
+	h.add("x", embedding.Vector{0, 1})
+	if h.len() != 1 {
+		t.Fatalf("len = %d, want 1 after replace", h.len())
+	}
+	res := h.search(embedding.Vector{0, 1}, 1, nil)
+	if len(res) != 1 || res[0].dist > 0.01 {
+		t.Fatalf("replace did not take: %v", res)
+	}
+}
+
+func TestHNSWWithFilter(t *testing.T) {
+	vecs := randomUnitVectors(300, 16, 11)
+	h := newHNSW(Cosine, HNSWConfig{})
+	for i, v := range vecs {
+		h.add(fmt.Sprintf("v%d", i), v)
+	}
+	q := randomUnitVectors(1, 16, 12)[0]
+	// Only even ids allowed.
+	allow := func(id string) bool {
+		var idx int
+		fmt.Sscanf(id, "v%d", &idx)
+		return idx%2 == 0
+	}
+	res := h.search(q, 10, allow)
+	if len(res) == 0 {
+		t.Fatal("filtered search returned nothing")
+	}
+	for _, c := range res {
+		if !allow(c.id) {
+			t.Fatalf("filter violated: %s", c.id)
+		}
+	}
+}
+
+func TestHNSWCollectionIntegration(t *testing.T) {
+	db := New()
+	c, err := db.CreateCollection("hnsw", CollectionConfig{Index: "hnsw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{
+		"the heart pumps blood through the circulatory system",
+		"photosynthesis converts carbon dioxide into glucose",
+		"the capital of australia is canberra",
+		"antibiotics are not effective against viruses",
+		"sound cannot travel through a vacuum",
+	}
+	for i, txt := range texts {
+		if err := c.Add(Document{ID: fmt.Sprintf("d%d", i), Text: txt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Query(QueryRequest{Text: "what is the capital city of australia", TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "d2" {
+		t.Fatalf("got %+v, want d2", res)
+	}
+}
+
+func TestHNSWDeterministicForInsertionOrder(t *testing.T) {
+	vecs := randomUnitVectors(150, 16, 21)
+	build := func() *hnswIndex {
+		h := newHNSW(Cosine, HNSWConfig{Seed: 9})
+		for i, v := range vecs {
+			h.add(fmt.Sprintf("v%d", i), v)
+		}
+		return h
+	}
+	a, b := build(), build()
+	q := randomUnitVectors(1, 16, 22)[0]
+	ra, rb := a.search(q, 10, nil), b.search(q, 10, nil)
+	if len(ra) != len(rb) {
+		t.Fatalf("result lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].id != rb[i].id {
+			t.Fatalf("results differ at %d: %s vs %s", i, ra[i].id, rb[i].id)
+		}
+	}
+}
+
+func BenchmarkHNSWSearch5000(b *testing.B) {
+	vecs := randomUnitVectors(5000, 64, 31)
+	h := newHNSW(Cosine, HNSWConfig{})
+	for i, v := range vecs {
+		h.add(fmt.Sprintf("v%d", i), v)
+	}
+	q := randomUnitVectors(1, 64, 32)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.search(q, 10, nil)
+	}
+}
+
+func BenchmarkHNSWInsert(b *testing.B) {
+	vecs := randomUnitVectors(b.N+1, 64, 41)
+	h := newHNSW(Cosine, HNSWConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.add(fmt.Sprintf("v%d", i), vecs[i])
+	}
+}

@@ -1,0 +1,129 @@
+package vectordb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"llmms/internal/embedding"
+)
+
+// persistence file layout: <dir>/manifest.json names every collection and
+// its configuration; <dir>/col_<i>.json holds that collection's documents
+// (embeddings included). Indexes are rebuilt on load.
+
+const manifestName = "manifest.json"
+
+type manifest struct {
+	Version     int                `json:"version"`
+	Collections []collectionHeader `json:"collections"`
+}
+
+type collectionHeader struct {
+	Name    string     `json:"name"`
+	File    string     `json:"file"`
+	Metric  Distance   `json:"metric"`
+	Index   string     `json:"index"`
+	Encoder string     `json:"encoder"`
+	HNSW    HNSWConfig `json:"hnsw"`
+}
+
+// Save writes the whole database under dir, creating it if needed. The
+// write is atomic per file (temp + rename) so a crashed save never leaves
+// a torn collection file.
+func (db *DB) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("vectordb: save: %w", err)
+	}
+	db.mu.RLock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	cols := make([]*Collection, 0, len(names))
+	db.mu.RUnlock()
+
+	// ListCollections sorts; reuse for stable file numbering.
+	names = db.ListCollections()
+	for _, n := range names {
+		c, err := db.Collection(n)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, c)
+	}
+
+	m := manifest{Version: 1}
+	for i, c := range cols {
+		file := fmt.Sprintf("col_%d.json", i)
+		m.Collections = append(m.Collections, collectionHeader{
+			Name:    c.name,
+			File:    file,
+			Metric:  c.cfg.Metric,
+			Index:   c.cfg.Index,
+			Encoder: c.cfg.Encoder.Name(),
+			HNSW:    c.cfg.HNSW,
+		})
+		if err := writeJSONAtomic(filepath.Join(dir, file), c.All()); err != nil {
+			return fmt.Errorf("vectordb: save collection %q: %w", c.name, err)
+		}
+	}
+	if err := writeJSONAtomic(filepath.Join(dir, manifestName), m); err != nil {
+		return fmt.Errorf("vectordb: save manifest: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save. Encoders are resolved
+// by name from the embedding registry.
+func Load(dir string) (*DB, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("vectordb: load manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("vectordb: parse manifest: %w", err)
+	}
+	db := New()
+	for _, h := range m.Collections {
+		enc, err := embedding.Lookup(h.Encoder)
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: collection %q: %w", h.Name, err)
+		}
+		c, err := db.CreateCollection(h.Name, CollectionConfig{
+			Metric:  h.Metric,
+			Encoder: enc,
+			Index:   h.Index,
+			HNSW:    h.HNSW,
+		})
+		if err != nil {
+			return nil, err
+		}
+		docRaw, err := os.ReadFile(filepath.Join(dir, h.File))
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: load collection %q: %w", h.Name, err)
+		}
+		var docs []Document
+		if err := json.Unmarshal(docRaw, &docs); err != nil {
+			return nil, fmt.Errorf("vectordb: parse collection %q: %w", h.Name, err)
+		}
+		if err := c.Add(docs...); err != nil {
+			return nil, fmt.Errorf("vectordb: rebuild collection %q: %w", h.Name, err)
+		}
+	}
+	return db, nil
+}
+
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,106 @@
+package vectordb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	c1, err := db.CreateCollection("facts", CollectionConfig{Index: "hnsw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c1.Add(
+		Document{ID: "a", Text: "water boils at one hundred degrees celsius", Metadata: Metadata{"category": "science"}},
+		Document{ID: "b", Text: "the yen is the currency of japan", Metadata: Metadata{"category": "economics"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := db.CreateCollection("session-chunks", CollectionConfig{Metric: L2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Add(Document{ID: "s1", Text: "session summary text"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := loaded.ListCollections()
+	if len(names) != 2 || names[0] != "facts" || names[1] != "session-chunks" {
+		t.Fatalf("ListCollections after load = %v", names)
+	}
+	lc1, err := loaded.Collection("facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc1.Count() != 2 || lc1.Metric() != Cosine || lc1.cfg.Index != "hnsw" {
+		t.Fatalf("facts collection mis-restored: count=%d metric=%s index=%s",
+			lc1.Count(), lc1.Metric(), lc1.cfg.Index)
+	}
+	res, err := lc1.Query(QueryRequest{Text: "japanese currency", TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "b" {
+		t.Fatalf("query after load = %+v", res)
+	}
+	if got := res[0].Metadata["category"]; got != "economics" {
+		t.Fatalf("metadata lost: %v", got)
+	}
+	lc2, err := loaded.Collection("session-chunks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc2.Metric() != L2 {
+		t.Fatalf("metric lost: %s", lc2.Metric())
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error loading missing directory")
+	}
+}
+
+func TestLoadCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected error for corrupt manifest")
+	}
+}
+
+func TestSaveIsRepeatable(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	c, _ := db.CreateCollection("c", CollectionConfig{})
+	_ = c.Add(Document{ID: "x", Text: "hello"})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Add(Document{ID: "y", Text: "world"})
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := loaded.Collection("c")
+	if lc.Count() != 2 {
+		t.Fatalf("count = %d, want 2", lc.Count())
+	}
+}

@@ -1,0 +1,451 @@
+// Package vectordb implements an embedded vector database modeled on
+// ChromaDB, the storage-layer component of LLM-MS.
+//
+// The database stores named collections of documents. Each document has a
+// caller-supplied id, raw text, a dense embedding, and optional metadata.
+// Collections answer top-k nearest-neighbor queries under cosine, L2, or
+// inner-product distance, optionally restricted by a Chroma-style metadata
+// filter ($eq/$ne/$gt/$gte/$lt/$lte/$in/$nin composed with $and/$or) and a
+// document-content filter ($contains/$not_contains).
+//
+// Two index implementations back the search: an exact flat index and an
+// HNSW (hierarchical navigable small world) graph, matching the index
+// family the paper's deployment uses ("cosine similarity with an HNSW
+// index", §7.1). Collections persist to and load from JSON files; the
+// index is rebuilt on load.
+package vectordb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"llmms/internal/embedding"
+)
+
+// Distance identifies the metric a collection uses for nearest-neighbor
+// search.
+type Distance string
+
+// Supported distance metrics.
+const (
+	// Cosine distance: 1 − cosine similarity. The LLM-MS default.
+	Cosine Distance = "cosine"
+	// L2 is squared Euclidean distance.
+	L2 Distance = "l2"
+	// InnerProduct distance: −⟨a,b⟩.
+	InnerProduct Distance = "ip"
+)
+
+// distance computes the configured metric between two vectors.
+func (d Distance) distance(a, b embedding.Vector) float64 {
+	switch d {
+	case L2:
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			diff := float64(a[i]) - float64(b[i])
+			s += diff * diff
+		}
+		return s
+	case InnerProduct:
+		return -embedding.Dot(a, b)
+	default: // Cosine
+		return 1 - embedding.Cosine(a, b)
+	}
+}
+
+// similarity converts a distance back to a similarity score where larger
+// is better, for caller convenience.
+func (d Distance) similarity(dist float64) float64 {
+	switch d {
+	case L2:
+		return -dist
+	case InnerProduct:
+		return -dist
+	default:
+		return 1 - dist
+	}
+}
+
+// Metadata is the schemaless per-document annotation map. Values should
+// be strings, bools, or numbers (JSON-representable scalars).
+type Metadata map[string]any
+
+// Document is a stored record.
+type Document struct {
+	ID        string           `json:"id"`
+	Text      string           `json:"text"`
+	Embedding embedding.Vector `json:"embedding"`
+	Metadata  Metadata         `json:"metadata,omitempty"`
+}
+
+// Result is one query hit.
+type Result struct {
+	ID       string
+	Text     string
+	Metadata Metadata
+	// Distance under the collection metric (smaller is closer).
+	Distance float64
+	// Similarity is the metric-appropriate "larger is better" score; for
+	// cosine collections it is the cosine similarity.
+	Similarity float64
+}
+
+// QueryRequest describes a search against a collection. Exactly one of
+// Text or Embedding must be set.
+type QueryRequest struct {
+	// Text is embedded with the collection encoder.
+	Text string
+	// Embedding queries with a precomputed vector.
+	Embedding embedding.Vector
+	// TopK is the number of results; defaults to 10.
+	TopK int
+	// Where filters on metadata (Chroma operator syntax); nil matches all.
+	Where Metadata
+	// WhereDocument filters on document text, e.g.
+	// {"$contains": "visa"}; nil matches all.
+	WhereDocument Metadata
+}
+
+// CollectionConfig controls collection creation.
+type CollectionConfig struct {
+	// Metric is the distance function; defaults to Cosine.
+	Metric Distance
+	// Encoder embeds Text on Add/Query when no explicit embedding is
+	// given; defaults to embedding.Default().
+	Encoder embedding.Encoder
+	// Index selects the ANN structure: "flat" (exact, default) or "hnsw".
+	Index string
+	// HNSW tunes the graph index when Index == "hnsw".
+	HNSW HNSWConfig
+}
+
+// Collection is a named set of documents with a search index. All methods
+// are safe for concurrent use.
+type Collection struct {
+	name string
+	cfg  CollectionConfig
+
+	mu    sync.RWMutex
+	docs  map[string]*Document
+	index index
+}
+
+// index is the internal ANN interface implemented by flatIndex and
+// hnswIndex. Implementations are NOT thread-safe; Collection serializes
+// access.
+type index interface {
+	add(id string, v embedding.Vector)
+	remove(id string)
+	// search returns up to k candidate ids ordered by increasing
+	// distance, considering only ids accepted by allow (nil allows all).
+	// Approximate indexes may consult more than k nodes internally.
+	search(q embedding.Vector, k int, allow func(string) bool) []candidate
+	// len reports the number of live entries.
+	len() int
+}
+
+type candidate struct {
+	id   string
+	dist float64
+}
+
+func newIndex(cfg CollectionConfig) index {
+	if cfg.Index == "hnsw" {
+		return newHNSW(cfg.Metric, cfg.HNSW)
+	}
+	return newFlat(cfg.Metric)
+}
+
+// newCollection builds an empty collection, normalizing config defaults.
+func newCollection(name string, cfg CollectionConfig) *Collection {
+	if cfg.Metric == "" {
+		cfg.Metric = Cosine
+	}
+	if cfg.Encoder == nil {
+		cfg.Encoder = embedding.Default()
+	}
+	if cfg.Index == "" {
+		cfg.Index = "flat"
+	}
+	cfg.HNSW = cfg.HNSW.withDefaults()
+	return &Collection{
+		name:  name,
+		cfg:   cfg,
+		docs:  make(map[string]*Document),
+		index: newIndex(cfg),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Metric returns the collection's distance metric.
+func (c *Collection) Metric() Distance { return c.cfg.Metric }
+
+// Count returns the number of stored documents.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Add inserts documents. Documents without an embedding are embedded from
+// their text with the collection encoder. Adding an existing id fails;
+// use Upsert to replace.
+func (c *Collection) Add(docs ...Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range docs {
+		if d.ID == "" {
+			return fmt.Errorf("vectordb: document with empty id")
+		}
+		if _, exists := c.docs[d.ID]; exists {
+			return fmt.Errorf("vectordb: duplicate id %q in collection %q", d.ID, c.name)
+		}
+	}
+	for _, d := range docs {
+		c.insertLocked(d)
+	}
+	return nil
+}
+
+// Upsert inserts documents, replacing any existing documents with the
+// same ids.
+func (c *Collection) Upsert(docs ...Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range docs {
+		if d.ID == "" {
+			return fmt.Errorf("vectordb: document with empty id")
+		}
+		if _, exists := c.docs[d.ID]; exists {
+			c.index.remove(d.ID)
+			delete(c.docs, d.ID)
+		}
+		c.insertLocked(d)
+	}
+	return nil
+}
+
+func (c *Collection) insertLocked(d Document) {
+	if len(d.Embedding) == 0 {
+		d.Embedding = c.cfg.Encoder.Encode(d.Text)
+	}
+	stored := d
+	stored.Embedding = embedding.Clone(d.Embedding)
+	c.docs[d.ID] = &stored
+	c.index.add(d.ID, stored.Embedding)
+}
+
+// Delete removes the given ids; missing ids are ignored. It returns the
+// number of documents actually removed.
+func (c *Collection) Delete(ids ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for _, id := range ids {
+		if _, ok := c.docs[id]; ok {
+			delete(c.docs, id)
+			c.index.remove(id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// DeleteWhere removes every document whose metadata matches the filter
+// (the ChromaDB delete-with-where operation). It returns how many
+// documents were removed; an invalid filter is an error.
+func (c *Collection) DeleteWhere(where Metadata) (int, error) {
+	match, err := compileFilter(where)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []string
+	for id, d := range c.docs {
+		if match(d.Metadata) {
+			doomed = append(doomed, id)
+		}
+	}
+	for _, id := range doomed {
+		delete(c.docs, id)
+		c.index.remove(id)
+	}
+	return len(doomed), nil
+}
+
+// Get returns the documents with the given ids, omitting missing ones.
+func (c *Collection) Get(ids ...string) []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Document, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := c.docs[id]; ok {
+			cp := *d
+			cp.Embedding = embedding.Clone(d.Embedding)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// All returns every document, ordered by id. Intended for persistence
+// and small collections.
+func (c *Collection) All() []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Document, 0, len(c.docs))
+	for _, d := range c.docs {
+		cp := *d
+		cp.Embedding = embedding.Clone(d.Embedding)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Query runs a top-k nearest-neighbor search.
+func (c *Collection) Query(req QueryRequest) ([]Result, error) {
+	if req.TopK <= 0 {
+		req.TopK = 10
+	}
+	q := req.Embedding
+	if len(q) == 0 {
+		if req.Text == "" {
+			return nil, fmt.Errorf("vectordb: query needs Text or Embedding")
+		}
+		q = c.cfg.Encoder.Encode(req.Text)
+	}
+
+	var metaFilter filter
+	if req.Where != nil {
+		f, err := compileFilter(req.Where)
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: bad Where filter: %w", err)
+		}
+		metaFilter = f
+	}
+	var docFilter docPredicate
+	if req.WhereDocument != nil {
+		f, err := compileDocFilter(req.WhereDocument)
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: bad WhereDocument filter: %w", err)
+		}
+		docFilter = f
+	}
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	allow := func(id string) bool {
+		d, ok := c.docs[id]
+		if !ok {
+			return false
+		}
+		if metaFilter != nil && !metaFilter(d.Metadata) {
+			return false
+		}
+		if docFilter != nil && !docFilter(d.Text) {
+			return false
+		}
+		return true
+	}
+
+	cands := c.index.search(q, req.TopK, allow)
+	results := make([]Result, 0, len(cands))
+	for _, cand := range cands {
+		d := c.docs[cand.id]
+		results = append(results, Result{
+			ID:         d.ID,
+			Text:       d.Text,
+			Metadata:   d.Metadata,
+			Distance:   cand.dist,
+			Similarity: c.cfg.Metric.similarity(cand.dist),
+		})
+	}
+	return results, nil
+}
+
+// DB is a set of named collections, the top-level handle mirroring a
+// ChromaDB client. All methods are safe for concurrent use.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// New returns an empty in-memory database.
+func New() *DB {
+	return &DB{collections: make(map[string]*Collection)}
+}
+
+// CreateCollection creates a new collection. It fails if the name exists.
+func (db *DB) CreateCollection(name string, cfg CollectionConfig) (*Collection, error) {
+	if name == "" {
+		return nil, fmt.Errorf("vectordb: empty collection name")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.collections[name]; exists {
+		return nil, fmt.Errorf("vectordb: collection %q already exists", name)
+	}
+	c := newCollection(name, cfg)
+	db.collections[name] = c
+	return c, nil
+}
+
+// GetOrCreateCollection returns the named collection, creating it with
+// cfg if absent.
+func (db *DB) GetOrCreateCollection(name string, cfg CollectionConfig) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.collections[name]; ok {
+		return c, nil
+	}
+	if name == "" {
+		return nil, fmt.Errorf("vectordb: empty collection name")
+	}
+	c := newCollection(name, cfg)
+	db.collections[name] = c
+	return c, nil
+}
+
+// Collection returns the named collection.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[name]
+	if !ok {
+		return nil, fmt.Errorf("vectordb: no collection %q", name)
+	}
+	return c, nil
+}
+
+// DeleteCollection removes the named collection and all its documents.
+func (db *DB) DeleteCollection(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.collections[name]; !ok {
+		return fmt.Errorf("vectordb: no collection %q", name)
+	}
+	delete(db.collections, name)
+	return nil
+}
+
+// ListCollections returns the sorted names of all collections.
+func (db *DB) ListCollections() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,350 @@
+package vectordb
+
+import (
+	"fmt"
+	"testing"
+
+	"llmms/internal/embedding"
+)
+
+func newTestCollection(t *testing.T, cfg CollectionConfig) *Collection {
+	t.Helper()
+	db := New()
+	c, err := db.CreateCollection("test", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAddAndQueryByText(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	err := c.Add(
+		Document{ID: "gum", Text: "Chewing gum passes through the digestive system if swallowed."},
+		Document{ID: "wall", Text: "The Great Wall of China is not visible from the Moon."},
+		Document{ID: "bats", Text: "Bats are not blind and many use echolocation."},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(QueryRequest{Text: "what happens when you swallow gum", TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "gum" {
+		t.Fatalf("got %+v, want top hit 'gum'", res)
+	}
+	if res[0].Similarity <= 0 {
+		t.Fatalf("expected positive similarity, got %v", res[0].Similarity)
+	}
+}
+
+func TestAddDuplicateFails(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	if err := c.Add(Document{ID: "a", Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Document{ID: "a", Text: "y"}); err == nil {
+		t.Fatal("expected duplicate id error")
+	}
+	if err := c.Add(Document{ID: "", Text: "y"}); err == nil {
+		t.Fatal("expected empty id error")
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	if err := c.Upsert(Document{ID: "a", Text: "the original text about cats"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upsert(Document{ID: "a", Text: "completely different content about volcanoes"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 1 {
+		t.Fatalf("count = %d, want 1", c.Count())
+	}
+	docs := c.Get("a")
+	if len(docs) != 1 || docs[0].Text != "completely different content about volcanoes" {
+		t.Fatalf("upsert did not replace: %+v", docs)
+	}
+	res, err := c.Query(QueryRequest{Text: "volcanoes", TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "a" {
+		t.Fatalf("query after upsert: %+v", res)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	for i := 0; i < 5; i++ {
+		if err := c.Add(Document{ID: fmt.Sprintf("d%d", i), Text: fmt.Sprintf("document number %d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Delete("d1", "d3", "missing"); n != 2 {
+		t.Fatalf("Delete removed %d, want 2", n)
+	}
+	if c.Count() != 3 {
+		t.Fatalf("count = %d, want 3", c.Count())
+	}
+	res, err := c.Query(QueryRequest{Text: "document number 1", TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == "d1" || r.ID == "d3" {
+			t.Fatalf("deleted doc %s still returned", r.ID)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	if _, err := c.Query(QueryRequest{}); err == nil {
+		t.Fatal("expected error for query without text or embedding")
+	}
+}
+
+func TestQueryByEmbedding(t *testing.T) {
+	enc := embedding.Default()
+	c := newTestCollection(t, CollectionConfig{Encoder: enc})
+	if err := c.Add(Document{ID: "x", Text: "lightning can strike the same place twice"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(QueryRequest{Embedding: enc.Encode("lightning strikes twice"), TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "x" {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestMetadataFilters(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	err := c.Add(
+		Document{ID: "a", Text: "alpha doc", Metadata: Metadata{"category": "health", "page": 1}},
+		Document{ID: "b", Text: "beta doc", Metadata: Metadata{"category": "law", "page": 2}},
+		Document{ID: "c", Text: "gamma doc", Metadata: Metadata{"category": "health", "page": 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		where Metadata
+		want  map[string]bool
+	}{
+		{"eq-shorthand", Metadata{"category": "health"}, map[string]bool{"a": true, "c": true}},
+		{"eq-op", Metadata{"category": Metadata{"$eq": "law"}}, map[string]bool{"b": true}},
+		{"ne", Metadata{"category": Metadata{"$ne": "health"}}, map[string]bool{"b": true}},
+		{"gt", Metadata{"page": Metadata{"$gt": 1}}, map[string]bool{"b": true, "c": true}},
+		{"gte", Metadata{"page": Metadata{"$gte": 2}}, map[string]bool{"b": true, "c": true}},
+		{"lt", Metadata{"page": Metadata{"$lt": 2}}, map[string]bool{"a": true}},
+		{"lte", Metadata{"page": Metadata{"$lte": 2}}, map[string]bool{"a": true, "b": true}},
+		{"in", Metadata{"category": Metadata{"$in": []any{"law", "science"}}}, map[string]bool{"b": true}},
+		{"nin", Metadata{"category": Metadata{"$nin": []any{"law"}}}, map[string]bool{"a": true, "c": true}},
+		{"and", Metadata{"$and": []any{
+			map[string]any{"category": "health"},
+			map[string]any{"page": map[string]any{"$gt": 1}},
+		}}, map[string]bool{"c": true}},
+		{"or", Metadata{"$or": []any{
+			map[string]any{"page": 1},
+			map[string]any{"page": 2},
+		}}, map[string]bool{"a": true, "b": true}},
+		{"multi-field-implicit-and", Metadata{"category": "health", "page": 3}, map[string]bool{"c": true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := c.Query(QueryRequest{Text: "doc", TopK: 10, Where: tc.where})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]bool{}
+			for _, r := range res {
+				got[r.ID] = true
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got ids %v, want %v", got, tc.want)
+			}
+			for id := range tc.want {
+				if !got[id] {
+					t.Fatalf("missing id %s: got %v", id, got)
+				}
+			}
+		})
+	}
+}
+
+func TestBadFilters(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	if err := c.Add(Document{ID: "a", Text: "x", Metadata: Metadata{"k": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Metadata{
+		{"k": Metadata{"$bogus": 1}},
+		{"$xor": []any{}},
+		{"k": Metadata{"$gt": "not-a-number"}},
+		{"k": Metadata{"$in": 5}},
+	}
+	for _, w := range bad {
+		if _, err := c.Query(QueryRequest{Text: "x", Where: w}); err == nil {
+			t.Errorf("filter %v: expected error", w)
+		}
+	}
+}
+
+func TestWhereDocument(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	err := c.Add(
+		Document{ID: "a", Text: "The visa application requires form DS-160."},
+		Document{ID: "b", Text: "Passports are issued by the state department."},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(QueryRequest{Text: "travel documents", TopK: 5,
+		WhereDocument: Metadata{"$contains": "VISA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "a" {
+		t.Fatalf("contains filter: %+v", res)
+	}
+	res, err = c.Query(QueryRequest{Text: "travel documents", TopK: 5,
+		WhereDocument: Metadata{"$not_contains": "visa"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != "b" {
+		t.Fatalf("not_contains filter: %+v", res)
+	}
+}
+
+func TestDBCollectionLifecycle(t *testing.T) {
+	db := New()
+	if _, err := db.CreateCollection("", CollectionConfig{}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if _, err := db.CreateCollection("c1", CollectionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateCollection("c1", CollectionConfig{}); err == nil {
+		t.Fatal("expected duplicate collection error")
+	}
+	c, err := db.GetOrCreateCollection("c1", CollectionConfig{})
+	if err != nil || c.Name() != "c1" {
+		t.Fatalf("GetOrCreate existing: %v %v", c, err)
+	}
+	if _, err := db.GetOrCreateCollection("c2", CollectionConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	names := db.ListCollections()
+	if len(names) != 2 || names[0] != "c1" || names[1] != "c2" {
+		t.Fatalf("ListCollections = %v", names)
+	}
+	if err := db.DeleteCollection("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteCollection("c1"); err == nil {
+		t.Fatal("expected error deleting missing collection")
+	}
+	if _, err := db.Collection("c1"); err == nil {
+		t.Fatal("expected error getting deleted collection")
+	}
+}
+
+func TestDistanceMetrics(t *testing.T) {
+	a := embedding.Vector{1, 0}
+	b := embedding.Vector{0, 1}
+	if d := Cosine.distance(a, a); d > 1e-9 {
+		t.Fatalf("cosine self-distance = %v", d)
+	}
+	if d := Cosine.distance(a, b); d < 0.99 || d > 1.01 {
+		t.Fatalf("cosine orthogonal distance = %v, want 1", d)
+	}
+	if d := L2.distance(a, b); d != 2 {
+		t.Fatalf("l2 distance = %v, want 2", d)
+	}
+	if d := InnerProduct.distance(a, a); d != -1 {
+		t.Fatalf("ip distance = %v, want -1", d)
+	}
+}
+
+func TestResultsSortedByDistance(t *testing.T) {
+	c := newTestCollection(t, CollectionConfig{})
+	for i := 0; i < 20; i++ {
+		if err := c.Add(Document{ID: fmt.Sprintf("d%d", i), Text: fmt.Sprintf("topic %d content words here", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Query(QueryRequest{Text: "topic 7 content", TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Distance > res[i].Distance {
+			t.Fatalf("results not sorted: %v then %v", res[i-1].Distance, res[i].Distance)
+		}
+	}
+}
+
+func BenchmarkFlatQuery1000(b *testing.B) {
+	db := New()
+	c, _ := db.CreateCollection("bench", CollectionConfig{})
+	for i := 0; i < 1000; i++ {
+		_ = c.Add(Document{ID: fmt.Sprintf("d%d", i), Text: fmt.Sprintf("document about subject %d and matters of fact", i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Query(QueryRequest{Text: "subject 500 facts", TopK: 10})
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	db := New()
+	c, err := db.CreateCollection("dw", CollectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []Document{
+		{ID: "a1", Text: "alpha one", Metadata: Metadata{"doc": "a", "page": 1}},
+		{ID: "a2", Text: "alpha two", Metadata: Metadata{"doc": "a", "page": 2}},
+		{ID: "b1", Text: "beta one", Metadata: Metadata{"doc": "b", "page": 1}},
+	}
+	if err := c.Add(docs...); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.DeleteWhere(Metadata{"doc": "a"})
+	if err != nil || n != 2 {
+		t.Fatalf("DeleteWhere = %d, %v", n, err)
+	}
+	if c.Count() != 1 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if got := c.Get("b1"); len(got) != 1 {
+		t.Fatal("survivor lost")
+	}
+	// Deleted documents are gone from the index too.
+	res, err := c.Query(QueryRequest{Text: "alpha", TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Metadata["doc"] == "a" {
+			t.Fatalf("deleted doc still searchable: %+v", r)
+		}
+	}
+	// Operator filters work.
+	n, err = c.DeleteWhere(Metadata{"page": Metadata{"$gte": 1}})
+	if err != nil || n != 1 {
+		t.Fatalf("operator DeleteWhere = %d, %v", n, err)
+	}
+	// Invalid filters are rejected.
+	if _, err := c.DeleteWhere(Metadata{"page": Metadata{"$weird": 1}}); err == nil {
+		t.Fatal("expected error for invalid operator")
+	}
+}
