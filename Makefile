@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# check is the pre-merge gate: static analysis plus the full test suite
+# under the race detector (the fan-out orchestration is concurrent, so
+# every run doubles as a race hunt).
+check:
+	./scripts/check.sh

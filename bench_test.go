@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"llmms/internal/bench"
 	"llmms/internal/core"
@@ -173,4 +174,52 @@ func BenchmarkAblateMABChunk(b *testing.B) {
 // score (α·qSim + (1−α)·interSim); the paper fixes α=0.7.
 func BenchmarkAblateAlpha(b *testing.B) {
 	ablationBench(b, bench.AblateAlpha, []float64{0.5, 0.7, 1.0})
+}
+
+// TestFanOutWallClock proves the concurrency claim of the fan-out
+// orchestration: with identical simulated transport latency injected in
+// front of every model, a generation round over M models costs roughly
+// the slowest call (the max), not the sum. The serial baseline is the
+// same workload run with MaxConcurrent=1, so the assertion
+// self-calibrates to however many rounds the strategy actually runs —
+// both runs are checked to have issued the identical call count.
+func TestFanOutWallClock(t *testing.T) {
+	const perCall = 20 * time.Millisecond
+	models := []string{llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2}
+	run := func(maxConcurrent int) (time.Duration, int) {
+		t.Helper()
+		ds := truthfulqa.Generate(32, 1)
+		engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(ds)})
+		fb := core.NewFaultBackend(engine)
+		for _, m := range models {
+			fb.SetLatency(m, perCall)
+		}
+		cfg := core.DefaultConfig(models...)
+		cfg.MaxTokens = benchBudget
+		cfg.MaxConcurrent = maxConcurrent
+		orch, err := core.New(fb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := orch.OUA(context.Background(), ds[0].Question); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), fb.TotalCalls()
+	}
+	serial, serialCalls := run(1)
+	fanout, fanCalls := run(0)
+	if serialCalls != fanCalls {
+		t.Fatalf("workloads diverged: %d serial calls vs %d fan-out calls", serialCalls, fanCalls)
+	}
+	if serialCalls < len(models) {
+		t.Fatalf("only %d chunk calls issued; latency injection never engaged", serialCalls)
+	}
+	t.Logf("%d chunk calls at %v each: serial %v, fan-out %v", fanCalls, perCall, serial, fanout)
+	// With 3 models per round the fan-out run should take about a third
+	// of the serial wall-clock; half is a generous scheduling margin.
+	if fanout*2 >= serial {
+		t.Fatalf("fan-out %v is not meaningfully faster than serial %v over %d calls",
+			fanout, serial, fanCalls)
+	}
 }

@@ -36,11 +36,15 @@ import (
 
 // Backend produces partial generations. llm.Engine and modeld.Client both
 // satisfy it; GenerateChunk is the paper's getChunk(LLM_i, p, λ): generate
-// up to maxTokens more tokens of the model's answer to prompt, resuming
-// from cont (nil starts fresh), returning the aggregated text so far this
-// call, the done reason, and the continuation state.
+// up to req.MaxTokens more tokens of the model's answer to req.Prompt,
+// resuming from req.Cont (nil starts fresh), returning the aggregated
+// text so far this call, the done reason, and the continuation state.
+//
+// The orchestrator issues GenerateChunk calls concurrently — one
+// in-flight call per active model during a fan-out round — so
+// implementations must be safe for concurrent use across models.
 type Backend interface {
-	GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error)
+	GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error)
 }
 
 // Strategy names an orchestration policy.
@@ -109,6 +113,16 @@ type Config struct {
 	// "Self-Improving Orchestration") to its combined score, so models
 	// the user has rated well attract budget sooner.
 	Feedback *FeedbackStore
+	// Retry is the per-chunk fault-tolerance budget: every GenerateChunk
+	// call is retried with exponential backoff under a per-attempt
+	// timeout before its model is declared failed. The zero value takes
+	// DefaultRetryPolicy.
+	Retry RetryPolicy
+	// MaxConcurrent bounds the in-flight GenerateChunk calls of one
+	// fan-out round. Zero (the default) runs one goroutine per active
+	// model, which is the paper's "stream partial outputs concurrently";
+	// a positive value caps the workers for backends that throttle.
+	MaxConcurrent int
 }
 
 // DefaultConfig returns the tuned configuration used throughout the
@@ -160,6 +174,7 @@ func (c Config) withDefaults() Config {
 	if c.Encoder == nil {
 		c.Encoder = embedding.Default()
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -184,6 +199,9 @@ func (c Config) validate() error {
 	if c.Alpha < 0 || c.Beta < 0 {
 		return errors.New("core: alpha and beta must be non-negative")
 	}
+	if c.MaxConcurrent < 0 {
+		return errors.New("core: MaxConcurrent must be non-negative")
+	}
 	return nil
 }
 
@@ -203,12 +221,18 @@ type ModelOutcome struct {
 	InterSim float64 `json:"inter_sim"`
 	// Pulls is how many generation calls the model received.
 	Pulls int `json:"pulls"`
-	// Pruned reports whether OUA removed the model before completion.
+	// Pruned reports whether the model was removed before completion —
+	// by trailing the scoreboard or by failing its chunk calls.
 	Pruned bool `json:"pruned"`
 	// Done reports whether the model finished its answer naturally.
 	Done bool `json:"done"`
 	// DoneReason is the final generation status ("stop", "length", "").
 	DoneReason string `json:"done_reason,omitempty"`
+	// Failed reports that the model's backend kept erroring after the
+	// retry budget and was dropped from the query (graceful degradation).
+	Failed bool `json:"failed,omitempty"`
+	// Error is the final backend error of a failed model.
+	Error string `json:"error,omitempty"`
 }
 
 // Result is the outcome of one orchestrated query.
@@ -297,8 +321,13 @@ func (o *Orchestrator) Single(ctx context.Context, model, prompt string) (Result
 		return Result{}, fmt.Errorf("core: model %q is not configured", model)
 	}
 	o.emit(Event{Type: EventStart, Strategy: StrategySingle, Model: model})
-	chunk, err := o.backend.GenerateChunk(ctx, model, prompt, o.cfg.MaxTokens, nil)
+	chunk, attempts, err := generateWithRetry(ctx, o.backend,
+		llm.ChunkRequest{Model: model, Prompt: prompt, MaxTokens: o.cfg.MaxTokens}, o.cfg.Retry)
 	if err != nil {
+		// One model is the whole candidate pool: its failure is the
+		// everyone-failed case, not a degradable one.
+		o.emit(Event{Type: EventModelFailed, Strategy: StrategySingle, Model: model,
+			Attempts: attempts, Reason: err.Error()})
 		return Result{}, fmt.Errorf("core: single %s: %w", model, err)
 	}
 	o.emit(Event{Type: EventChunk, Strategy: StrategySingle, Model: model, Text: chunk.Text, Tokens: chunk.EvalCount})
@@ -386,6 +415,8 @@ type candidate struct {
 	done     bool
 	reason   llm.DoneReason
 	pruned   bool
+	failed   bool
+	failErr  error
 
 	// scoring state
 	emb      embedding.Vector
@@ -402,11 +433,16 @@ type candidate struct {
 }
 
 func (c *candidate) outcome() ModelOutcome {
-	return ModelOutcome{
+	out := ModelOutcome{
 		Model: c.model, Response: c.response, Tokens: c.tokens,
 		Score: c.score, QuerySim: c.querySim, InterSim: c.interSim,
 		Pulls: c.pulls, Pruned: c.pruned, Done: c.done, DoneReason: string(c.reason),
+		Failed: c.failed,
 	}
+	if c.failErr != nil {
+		out.Error = c.failErr.Error()
+	}
+	return out
 }
 
 // outcomes converts candidates to sorted ModelOutcome records (by

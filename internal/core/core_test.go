@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -31,11 +32,11 @@ func newFakeBackend(answers map[string]string) *fakeBackend {
 	}
 }
 
-func (f *fakeBackend) GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error) {
+func (f *fakeBackend) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
 	f.mu.Lock()
-	f.calls[model]++
-	err := f.fail[model]
-	full, ok := f.answers[model]
+	f.calls[req.Model]++
+	err := f.fail[req.Model]
+	full, ok := f.answers[req.Model]
 	f.mu.Unlock()
 	if err != nil {
 		return llm.Chunk{}, err
@@ -47,14 +48,14 @@ func (f *fakeBackend) GenerateChunk(ctx context.Context, model, prompt string, m
 		return llm.Chunk{Done: true, DoneReason: llm.DoneCancel}, nil
 	}
 	tokens := f.tok.Encode(full)
-	cursor := len(cont)
+	cursor := len(req.Cont)
 	if cursor > len(tokens) {
 		cursor = len(tokens)
 	}
 	end := len(tokens)
 	reason := llm.DoneStop
-	if maxTokens > 0 && cursor+maxTokens < end {
-		end = cursor + maxTokens
+	if req.MaxTokens > 0 && cursor+req.MaxTokens < end {
+		end = cursor + req.MaxTokens
 		reason = llm.DoneLength
 	}
 	text := f.tok.Decode(tokens[cursor:end])
@@ -75,6 +76,9 @@ func (f *fakeBackend) callCount(model string) int {
 }
 
 const testPrompt = "What color is the sky on a clear day?"
+
+// errBoom is the scripted backend failure used across the fault tests.
+var errBoom = errors.New("daemon exploded")
 
 // threeModels builds a backend where "good" answers the prompt directly,
 // "okay" is related, and "bad" rambles off-topic — a clean separation the
@@ -330,12 +334,39 @@ func TestOUASingleModelDegenerate(t *testing.T) {
 	}
 }
 
-func TestOUABackendError(t *testing.T) {
+// fastRetry is the test retry policy: two attempts, no backoff sleeps,
+// no per-attempt deadline — failure paths resolve instantly.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 2, BaseBackoff: -1, MaxBackoff: -1, ChunkTimeout: -1}
+}
+
+func TestOUABackendErrorDegradesGracefully(t *testing.T) {
+	// A permanently failing model no longer kills the query: it is
+	// pruned with an EventModelFailed and the survivor answers.
 	b := threeModels()
-	b.fail = map[string]error{"okay": context.DeadlineExceeded}
-	o := mustNew(t, b, DefaultConfig("good", "okay"))
-	if _, err := o.OUA(context.Background(), testPrompt); err == nil {
-		t.Fatal("expected backend error to propagate")
+	b.fail = map[string]error{"okay": errBoom}
+	cfg := DefaultConfig("good", "okay")
+	cfg.Retry = fastRetry()
+	var failed []Event
+	cfg.OnEvent = func(ev Event) {
+		if ev.Type == EventModelFailed {
+			failed = append(failed, ev)
+		}
+	}
+	o := mustNew(t, b, cfg)
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "good" {
+		t.Fatalf("winner = %s, want the surviving model", res.Model)
+	}
+	if len(failed) != 1 || failed[0].Model != "okay" || failed[0].Attempts != 2 {
+		t.Fatalf("model_failed events = %+v", failed)
+	}
+	okay, ok := res.Outcome("okay")
+	if !ok || !okay.Failed || !okay.Pruned || okay.Error == "" {
+		t.Fatalf("failed outcome = %+v", okay)
 	}
 }
 
@@ -432,12 +463,22 @@ func TestMABStopsWhenAllArmsDone(t *testing.T) {
 	}
 }
 
-func TestMABBackendError(t *testing.T) {
+func TestMABBackendErrorDegradesGracefully(t *testing.T) {
 	b := threeModels()
-	b.fail = map[string]error{"bad": context.DeadlineExceeded}
-	o := mustNew(t, b, DefaultConfig("good", "okay", "bad"))
-	if _, err := o.MAB(context.Background(), testPrompt); err == nil {
-		t.Fatal("expected backend error to propagate")
+	b.fail = map[string]error{"bad": errBoom}
+	cfg := DefaultConfig("good", "okay", "bad")
+	cfg.Retry = fastRetry()
+	o := mustNew(t, b, cfg)
+	res, err := o.MAB(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == "bad" {
+		t.Fatalf("failed arm won: %+v", res)
+	}
+	badOut, ok := res.Outcome("bad")
+	if !ok || !badOut.Failed {
+		t.Fatalf("failed arm outcome = %+v", badOut)
 	}
 }
 

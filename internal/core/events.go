@@ -17,6 +17,11 @@ const (
 	EventScore EventType = "score"
 	// EventPrune reports that OUA removed a trailing model.
 	EventPrune EventType = "prune"
+	// EventModelFailed reports that a model's backend kept erroring past
+	// the per-chunk retry budget and was dropped from the query; the
+	// survivors keep competing (graceful degradation). Reason carries the
+	// final error, Attempts the tries spent.
+	EventModelFailed EventType = "model_failed"
 	// EventWinner closes the query with the selected answer.
 	EventWinner EventType = "winner"
 )
@@ -46,7 +51,10 @@ type Event struct {
 	// QuerySim and InterSim break the score into its two terms.
 	QuerySim float64 `json:"query_sim,omitempty"`
 	InterSim float64 `json:"inter_sim,omitempty"`
-	// Reason explains prune and winner events ("pruned: trailing by
-	// 0.12", "early exit", "budget exhausted", …).
+	// Reason explains prune, model_failed, and winner events ("pruned:
+	// trailing by 0.12", "early exit", the final backend error, …).
 	Reason string `json:"reason,omitempty"`
+	// Attempts is how many generation tries were spent before a
+	// model_failed event.
+	Attempts int `json:"attempts,omitempty"`
 }

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// This file implements the concurrent generation pass shared by the
+// multi-model strategies. The paper's candidate models "stream partial
+// outputs concurrently"; over an HTTP backend a sequential round costs
+// the *sum* of per-model latencies, a fan-out round costs the *max*.
+//
+// Two invariants keep concurrent rounds reproducible:
+//
+//   - Determinism: results are collected into a slice indexed by the
+//     round's job order (model index), and all candidate mutation and
+//     event emission happens on the orchestrating goroutine in that
+//     order. Workers only write their own slot.
+//   - Graceful degradation: a chunk call that still fails after the
+//     RetryPolicy budget marks its model failed-and-pruned (with an
+//     EventModelFailed) instead of aborting the query; the query errors
+//     only when every model has failed (ErrAllModelsFailed).
+
+// ErrAllModelsFailed reports that no candidate model survived: every
+// backend kept erroring past its retry budget, so there is no answer to
+// return. Per-model detail is in the wrapping error and the
+// EventModelFailed events.
+var ErrAllModelsFailed = errors.New("core: all models failed")
+
+// DefaultRetryPolicy is the per-chunk fault-tolerance budget used when
+// Config.Retry is the zero value: three attempts, 50 ms exponential
+// backoff capped at 1 s, 30 s per-attempt timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:  3,
+		BaseBackoff:  50 * time.Millisecond,
+		MaxBackoff:   time.Second,
+		ChunkTimeout: 30 * time.Second,
+	}
+}
+
+// RetryPolicy bounds how hard the orchestrator works to get one chunk
+// out of one model before declaring the model failed. Zero fields take
+// the DefaultRetryPolicy values; negative BaseBackoff or ChunkTimeout
+// disables the backoff sleep or the per-attempt deadline respectively.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per chunk (1 = no retries).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; it doubles after
+	// every failed attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling.
+	MaxBackoff time.Duration
+	// ChunkTimeout is the per-attempt deadline. An attempt that exceeds
+	// it counts as a failure and is retried.
+	ChunkTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.ChunkTimeout == 0 {
+		p.ChunkTimeout = d.ChunkTimeout
+	}
+	return p
+}
+
+// errChunkTimeout marks an attempt that hit the per-attempt deadline
+// (the backend reported a cancel that the parent context did not cause).
+var errChunkTimeout = errors.New("core: chunk attempt timed out")
+
+// generateWithRetry is the single retry wrapper every strategy and every
+// backend goes through: it issues one GenerateChunk under the policy's
+// per-attempt timeout and retries transient failures with exponential
+// backoff. Parent-context cancellation is never retried and is returned
+// as the context's own error. The attempt count is returned for
+// EventModelFailed reporting.
+func generateWithRetry(ctx context.Context, b Backend, req llm.ChunkRequest, p RetryPolicy) (llm.Chunk, int, error) {
+	backoff := p.BaseBackoff
+	var lastErr error
+	attempts := 0
+	for attempts < p.MaxAttempts {
+		if err := ctx.Err(); err != nil {
+			return llm.Chunk{}, attempts, err
+		}
+		attempts++
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if p.ChunkTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.ChunkTimeout)
+		}
+		chunk, err := b.GenerateChunk(attemptCtx, req)
+		cancel()
+		if err == nil && chunk.DoneReason == llm.DoneCancel && ctx.Err() == nil {
+			// The attempt deadline interrupted the stream mid-chunk: the
+			// backend reports a cancel the caller didn't ask for. Treat
+			// it as a timeout and retry the same chunk.
+			err = errChunkTimeout
+		}
+		if err == nil {
+			return chunk, attempts, nil
+		}
+		if ctx.Err() != nil {
+			return llm.Chunk{}, attempts, ctx.Err()
+		}
+		lastErr = err
+		if attempts < p.MaxAttempts && backoff > 0 {
+			select {
+			case <-ctx.Done():
+				return llm.Chunk{}, attempts, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+	}
+	return llm.Chunk{}, attempts, fmt.Errorf("after %d attempts: %w", attempts, lastErr)
+}
+
+// fanJob is one model's slice of a fan-out round.
+type fanJob struct {
+	cand *candidate
+	take int
+}
+
+// fanResult is the collected outcome of one fanJob, in job order.
+type fanResult struct {
+	chunk    llm.Chunk
+	attempts int
+	err      error
+}
+
+// fanOut issues every job's GenerateChunk concurrently (bounded by
+// Config.MaxConcurrent when positive) and blocks until all have
+// completed or failed their retry budget. Workers write only their own
+// result slot; the caller consumes results in job order, so candidate
+// state and event order stay deterministic regardless of which model
+// answered first.
+func (o *Orchestrator) fanOut(ctx context.Context, prompt string, jobs []fanJob) []fanResult {
+	results := make([]fanResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	var sem chan struct{}
+	if o.cfg.MaxConcurrent > 0 && o.cfg.MaxConcurrent < len(jobs) {
+		sem = make(chan struct{}, o.cfg.MaxConcurrent)
+	}
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j fanJob) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
+				Model: j.cand.model, Prompt: prompt, MaxTokens: j.take, Cont: j.cand.cont,
+			}, o.cfg.Retry)
+			results[i] = fanResult{chunk: chunk, attempts: attempts, err: err}
+		}(i, j)
+	}
+	wg.Wait()
+	return results
+}
+
+// failCandidate retires a model whose retry budget is exhausted: it is
+// marked failed and pruned (graceful degradation — the query continues
+// on the survivors) and the failure is announced as an EventModelFailed.
+func (o *Orchestrator) failCandidate(strategy Strategy, round int, c *candidate, attempts int, err error) {
+	c.failed = true
+	c.pruned = true
+	c.failErr = err
+	o.emit(Event{Type: EventModelFailed, Strategy: strategy, Round: round,
+		Model: c.model, Attempts: attempts, Reason: err.Error()})
+}
+
+// cancelErr returns the context's error, falling back to
+// context.Canceled when a backend reported a cancel the context does not
+// explain — a query must never end in cancel with a nil error.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// allFailed reports whether no candidate is left to answer.
+func allFailed(cands []*candidate) bool {
+	for _, c := range cands {
+		if !c.failed {
+			return false
+		}
+	}
+	return true
+}
+
+// surviving returns the candidates that have not failed — the pool a
+// final answer may be drawn from even when all of them were
+// score-pruned.
+func surviving(cands []*candidate) []*candidate {
+	var out []*candidate
+	for _, c := range cands {
+		if !c.failed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// allFailedErr is the terminal error: a one-line message for logs, with
+// ErrAllModelsFailed and every per-model cause reachable via errors.Is.
+type allFailedErr struct {
+	msg    string
+	causes []error
+}
+
+func (e *allFailedErr) Error() string   { return e.msg }
+func (e *allFailedErr) Unwrap() []error { return e.causes }
+
+// allModelsFailedError composes the terminal error from the per-model
+// failure records.
+func allModelsFailedError(strategy Strategy, cands []*candidate) error {
+	detail := ""
+	causes := []error{ErrAllModelsFailed}
+	for _, c := range cands {
+		if c.failErr != nil {
+			if detail != "" {
+				detail += "; "
+			}
+			detail += fmt.Sprintf("%s: %v", c.model, c.failErr)
+			causes = append(causes, c.failErr)
+		}
+	}
+	return &allFailedErr{
+		msg:    fmt.Sprintf("core: %s: %v (%s)", strategy, ErrAllModelsFailed, detail),
+		causes: causes,
+	}
+}

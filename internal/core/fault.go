@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// FaultBackend wraps an inner Backend with scripted fault injection for
+// tests and benchmarks: per-model added latency (to prove fan-out rounds
+// cost the max, not the sum), errors on specific call numbers (to
+// exercise retry recovery and exhaustion), and permanent failures (to
+// exercise prune-on-failure and the everyone-failed path). The zero
+// schedule is a transparent pass-through.
+//
+// FaultBackend is safe for concurrent use, like any orchestrator
+// backend.
+type FaultBackend struct {
+	inner Backend
+
+	mu      sync.Mutex
+	calls   map[string]int
+	latency map[string]time.Duration
+	failOn  map[string]map[int]error
+	failAll map[string]error
+}
+
+// NewFaultBackend wraps inner with an empty fault schedule.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	return &FaultBackend{
+		inner:   inner,
+		calls:   make(map[string]int),
+		latency: make(map[string]time.Duration),
+		failOn:  make(map[string]map[int]error),
+		failAll: make(map[string]error),
+	}
+}
+
+// SetLatency adds d of simulated transport delay to every call for
+// model. The delay respects context cancellation.
+func (f *FaultBackend) SetLatency(model string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency[model] = d
+}
+
+// FailCall makes the nth GenerateChunk call (1-based, counted per model)
+// for model return err instead of reaching the inner backend.
+func (f *FaultBackend) FailCall(model string, nth int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failOn[model] == nil {
+		f.failOn[model] = make(map[int]error)
+	}
+	f.failOn[model][nth] = err
+}
+
+// FailAlways makes every call for model return err — a permanently dead
+// daemon.
+func (f *FaultBackend) FailAlways(model string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAll[model] = err
+}
+
+// Calls reports how many GenerateChunk calls model has received,
+// including the ones that were failed.
+func (f *FaultBackend) Calls(model string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[model]
+}
+
+// TotalCalls reports the GenerateChunk calls across all models.
+func (f *FaultBackend) TotalCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, c := range f.calls {
+		n += c
+	}
+	return n
+}
+
+// GenerateChunk implements Backend: it applies the model's latency and
+// failure schedule, then delegates to the inner backend.
+func (f *FaultBackend) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	f.mu.Lock()
+	f.calls[req.Model]++
+	n := f.calls[req.Model]
+	d := f.latency[req.Model]
+	err := f.failAll[req.Model]
+	if err == nil && f.failOn[req.Model] != nil {
+		err = f.failOn[req.Model][n]
+	}
+	f.mu.Unlock()
+
+	if d > 0 {
+		select {
+		case <-ctx.Done():
+			return llm.Chunk{}, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	if err != nil {
+		return llm.Chunk{}, err
+	}
+	return f.inner.GenerateChunk(ctx, req)
+}

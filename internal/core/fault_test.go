@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func failureEvents(cfg *Config) *[]Event {
+	var failures []Event
+	cfg.OnEvent = func(ev Event) {
+		if ev.Type == EventModelFailed {
+			failures = append(failures, ev)
+		}
+	}
+	return &failures
+}
+
+func TestRetryRecoversTransientFault(t *testing.T) {
+	fb := NewFaultBackend(threeModels())
+	fb.FailCall("good", 1, errBoom)
+	cfg := DefaultConfig("good", "okay", "bad")
+	cfg.Retry = fastRetry()
+	failures := failureEvents(&cfg)
+	o := mustNew(t, fb, cfg)
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*failures) != 0 {
+		t.Fatalf("transient fault escalated to model failure: %+v", *failures)
+	}
+	if fb.Calls("good") < 2 {
+		t.Fatalf("no retry issued: %d calls", fb.Calls("good"))
+	}
+	good, ok := res.Outcome("good")
+	if !ok || good.Failed {
+		t.Fatalf("recovered model marked failed: %+v", good)
+	}
+}
+
+func TestRetryExhaustionPrunesModel(t *testing.T) {
+	fb := NewFaultBackend(threeModels())
+	fb.FailAlways("okay", errBoom)
+	cfg := DefaultConfig("good", "okay", "bad")
+	cfg.Retry = fastRetry()
+	failures := failureEvents(&cfg)
+	o := mustNew(t, fb, cfg)
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model == "okay" {
+		t.Fatal("dead model won the query")
+	}
+	if len(*failures) != 1 || (*failures)[0].Model != "okay" {
+		t.Fatalf("failure events = %+v", *failures)
+	}
+	if got := (*failures)[0].Attempts; got != 2 {
+		t.Fatalf("attempts = %d, want the full retry budget", got)
+	}
+	if got := fb.Calls("okay"); got != 2 {
+		t.Fatalf("dead model was called %d times, want exactly MaxAttempts", got)
+	}
+	okay, ok := res.Outcome("okay")
+	if !ok || !okay.Failed || !okay.Pruned || okay.Error == "" {
+		t.Fatalf("failed outcome = %+v", okay)
+	}
+}
+
+func TestAllModelsFailed(t *testing.T) {
+	strategies := []Strategy{StrategyOUA, StrategyMAB, StrategyHybrid}
+	for _, st := range strategies {
+		t.Run(string(st), func(t *testing.T) {
+			fb := NewFaultBackend(threeModels())
+			for _, m := range []string{"good", "okay", "bad"} {
+				fb.FailAlways(m, errBoom)
+			}
+			cfg := DefaultConfig("good", "okay", "bad")
+			cfg.Retry = fastRetry()
+			failures := failureEvents(&cfg)
+			o := mustNew(t, fb, cfg)
+			_, err := o.Run(context.Background(), st, testPrompt)
+			if !errors.Is(err, ErrAllModelsFailed) {
+				t.Fatalf("err = %v, want ErrAllModelsFailed", err)
+			}
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("err = %v, want per-model detail wrapped", err)
+			}
+			if len(*failures) != 3 {
+				t.Fatalf("failure events = %+v, want one per model", *failures)
+			}
+		})
+	}
+	t.Run("single", func(t *testing.T) {
+		fb := NewFaultBackend(threeModels())
+		fb.FailAlways("good", errBoom)
+		cfg := DefaultConfig("good")
+		cfg.Retry = fastRetry()
+		failures := failureEvents(&cfg)
+		o := mustNew(t, fb, cfg)
+		if _, err := o.Single(context.Background(), "good", testPrompt); !errors.Is(err, errBoom) {
+			t.Fatalf("err = %v", err)
+		}
+		if len(*failures) != 1 {
+			t.Fatalf("failure events = %+v", *failures)
+		}
+	})
+}
+
+func TestFanOutBoundedConcurrency(t *testing.T) {
+	fb := NewFaultBackend(threeModels())
+	cfg := DefaultConfig("good", "okay", "bad")
+	cfg.MaxConcurrent = 1 // fully serialized fan-out must still converge
+	o := mustNew(t, fb, cfg)
+	res, err := o.OUA(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer == "" || res.Model == "" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p != DefaultRetryPolicy() {
+		t.Fatalf("zero policy = %+v", p)
+	}
+	// Negative values disable, and survive withDefaults untouched.
+	p = RetryPolicy{MaxAttempts: 1, BaseBackoff: -1, MaxBackoff: -1, ChunkTimeout: -1}.withDefaults()
+	if p.MaxAttempts != 1 || p.BaseBackoff != -1 || p.ChunkTimeout != -1 {
+		t.Fatalf("explicit policy rewritten: %+v", p)
+	}
+}

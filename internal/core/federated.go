@@ -62,15 +62,15 @@ func (m *MultiBackend) Models() []string {
 }
 
 // GenerateChunk implements Backend by dispatching on the model tag.
-func (m *MultiBackend) GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error) {
+func (m *MultiBackend) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
 	m.mu.RLock()
-	backend, ok := m.routes[model]
+	backend, ok := m.routes[req.Model]
 	if !ok {
 		backend = m.fallback
 	}
 	m.mu.RUnlock()
 	if backend == nil {
-		return llm.Chunk{}, fmt.Errorf("core: no backend serves model %q", model)
+		return llm.Chunk{}, fmt.Errorf("core: no backend serves model %q", req.Model)
 	}
-	return backend.GenerateChunk(ctx, model, prompt, maxTokens, cont)
+	return backend.GenerateChunk(ctx, req)
 }

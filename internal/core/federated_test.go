@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"testing"
+
+	"llmms/internal/llm"
 )
 
 func TestMultiBackendDispatch(t *testing.T) {
@@ -39,11 +41,11 @@ func TestMultiBackendDispatch(t *testing.T) {
 func TestMultiBackendFallbackAndErrors(t *testing.T) {
 	fallback := newFakeBackend(map[string]string{"misc": "fallback answer."})
 	mb := NewMultiBackend(fallback)
-	if _, err := mb.GenerateChunk(context.Background(), "misc", "q", 8, nil); err != nil {
+	if _, err := mb.GenerateChunk(context.Background(), llm.ChunkRequest{Model: "misc", Prompt: "q", MaxTokens: 8}); err != nil {
 		t.Fatalf("fallback dispatch failed: %v", err)
 	}
 	strict := NewMultiBackend(nil)
-	if _, err := strict.GenerateChunk(context.Background(), "ghost", "q", 8, nil); err == nil {
+	if _, err := strict.GenerateChunk(context.Background(), llm.ChunkRequest{Model: "ghost", Prompt: "q", MaxTokens: 8}); err == nil {
 		t.Fatal("expected error for unrouted model without fallback")
 	}
 	if err := strict.Register("", fallback); err == nil {

@@ -24,6 +24,10 @@ import (
 // remaining budget, exactly as in MAB, so ambiguous queries keep the
 // bandit's adaptive allocation while easy ones have already concentrated
 // the budget on one or two models.
+//
+// Screening chunks fan out concurrently, and per-model backend failures
+// degrade gracefully in both phases: a failed model is retired with an
+// EventModelFailed; the query errors only when every model has failed.
 func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error) {
 	start := time.Now()
 	cfg := o.cfg
@@ -38,17 +42,30 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 	// Phase 1: one even screening chunk per model — half of an even
 	// split, large enough that the partial outputs score reliably, small
 	// enough that half the budget is still free for the bandit phase.
+	// The screening chunks fan out concurrently (collected in model
+	// order); a model that fails its retry budget is retired with an
+	// EventModelFailed instead of killing the query.
 	screenChunk := cfg.MaxTokens / (2 * n)
 	if screenChunk < 1 {
 		screenChunk = 1
 	}
 	used := 0
 	o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: 1})
-	for _, c := range cands {
-		chunk, err := o.backend.GenerateChunk(ctx, c.model, prompt, screenChunk, nil)
-		if err != nil {
-			return Result{}, fmt.Errorf("core: hybrid %s: %w", c.model, err)
+	jobs := make([]fanJob, n)
+	for i, c := range cands {
+		jobs[i] = fanJob{cand: c, take: screenChunk}
+	}
+	results := o.fanOut(ctx, prompt, jobs)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	for i, r := range results {
+		c := jobs[i].cand
+		if r.err != nil {
+			o.failCandidate(StrategyHybrid, 1, c, r.attempts, r.err)
+			continue
 		}
+		chunk := r.chunk
 		c.response = chunk.Text
 		c.cont = chunk.Context
 		c.tokens = chunk.EvalCount
@@ -60,16 +77,20 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		case llm.DoneStop:
 			c.done = true
 		case llm.DoneCancel:
-			return Result{}, ctx.Err()
+			return Result{}, cancelErr(ctx)
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: 1,
 				Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount})
 		}
 	}
-	o.scoreAll(qv, cands)
-	best := argmaxScore(cands)
-	for _, c := range cands {
+	if allFailed(cands) {
+		return Result{}, allModelsFailedError(StrategyHybrid, cands)
+	}
+	screened := surviving(cands)
+	o.scoreAll(qv, screened)
+	best := argmaxScore(screened)
+	for _, c := range screened {
 		c.rewardSum = c.score // seed the bandit with the screening reward
 		o.emit(Event{Type: EventScore, Strategy: StrategyHybrid, Round: 1,
 			Model: c.model, Score: c.score, QuerySim: c.querySim, InterSim: c.interSim})
@@ -95,9 +116,18 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		}
 		totalPulls++
 		o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: totalPulls, Model: arm.model})
-		chunk, err := o.backend.GenerateChunk(ctx, arm.model, prompt, take, arm.cont)
+		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
+			Model: arm.model, Prompt: prompt, MaxTokens: take, Cont: arm.cont,
+		}, cfg.Retry)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: hybrid %s: %w", arm.model, err)
+			if ctx.Err() != nil {
+				return Result{}, ctx.Err()
+			}
+			o.failCandidate(StrategyHybrid, totalPulls, arm, attempts, err)
+			if allFailed(cands) {
+				return Result{}, allModelsFailedError(StrategyHybrid, cands)
+			}
+			continue
 		}
 		arm.response += chunk.Text
 		arm.cont = chunk.Context
@@ -110,7 +140,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		case llm.DoneStop:
 			arm.done = true
 		case llm.DoneCancel:
-			return Result{}, ctx.Err()
+			return Result{}, cancelErr(ctx)
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: totalPulls,
@@ -127,6 +157,15 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 	}
 
 	survivors := activeCandidates(cands)
+	if len(survivors) == 0 {
+		// Every unfailed model was score-pruned or failed later; fall
+		// back to the best surviving candidate so the query still gets
+		// an answer — or error when none is left.
+		survivors = surviving(cands)
+		if len(survivors) == 0 {
+			return Result{}, allModelsFailedError(StrategyHybrid, cands)
+		}
+	}
 	o.scoreAll(qv, survivors)
 	winner := argmaxFinalReward(survivors)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyHybrid, Model: winner.model,

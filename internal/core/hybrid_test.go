@@ -112,12 +112,22 @@ func TestHybridEventStream(t *testing.T) {
 	}
 }
 
-func TestHybridBackendError(t *testing.T) {
+func TestHybridBackendErrorDegradesGracefully(t *testing.T) {
 	b := threeModels()
-	b.fail = map[string]error{"okay": context.DeadlineExceeded}
-	o := mustNew(t, b, DefaultConfig("good", "okay"))
-	if _, err := o.Hybrid(context.Background(), testPrompt); err == nil {
-		t.Fatal("expected backend error to propagate")
+	b.fail = map[string]error{"okay": errBoom}
+	cfg := DefaultConfig("good", "okay")
+	cfg.Retry = fastRetry()
+	o := mustNew(t, b, cfg)
+	res, err := o.Hybrid(context.Background(), testPrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "good" {
+		t.Fatalf("winner = %s, want the surviving model", res.Model)
+	}
+	okay, ok := res.Outcome("okay")
+	if !ok || !okay.Failed || !okay.Pruned {
+		t.Fatalf("failed outcome = %+v", okay)
 	}
 }
 

@@ -23,6 +23,14 @@ import (
 // further tokens, while persistently low-reward arms are naturally phased
 // out. The loop terminates when the budget is spent or every arm has
 // finished; the response of the arm with the highest mean reward wins.
+//
+// The UCB1 initialization round — every arm must be pulled once before
+// any exploitation — fans its chunk calls out concurrently, collected in
+// arm order; the adaptive pulls that follow are inherently sequential
+// (each pull's arm choice depends on the previous pull's reward). An arm
+// whose backend keeps failing past Config.Retry is retired with an
+// EventModelFailed instead of aborting the query; the query errors only
+// when every arm has failed (ErrAllModelsFailed).
 func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	start := time.Now()
 	cfg := o.cfg
@@ -33,13 +41,75 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	qv := cfg.Encoder.Encode(prompt)
 	o.emit(Event{Type: EventStart, Strategy: StrategyMAB})
 
+	// Concurrent initialization: grant each arm its first chunk up
+	// front. Per-arm takes are fixed before launching so the shared
+	// budget split is deterministic; arms the budget cannot cover stay
+	// unpulled (the loop's budget check stops before they would matter).
 	used := 0
 	totalPulls := 0
+	var jobs []fanJob
+	remaining := cfg.MaxTokens
+	for _, c := range cands {
+		take := cfg.MABChunk
+		if take > remaining {
+			take = remaining
+		}
+		if take <= 0 {
+			break
+		}
+		remaining -= take
+		jobs = append(jobs, fanJob{cand: c, take: take})
+	}
+	results := o.fanOut(ctx, prompt, jobs)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	for i, r := range results {
+		arm := jobs[i].cand
+		totalPulls++
+		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model})
+		if r.err != nil {
+			o.failCandidate(StrategyMAB, totalPulls, arm, r.attempts, r.err)
+			continue
+		}
+		chunk := r.chunk
+		arm.response += chunk.Text
+		arm.cont = chunk.Context
+		arm.tokens += chunk.EvalCount
+		arm.pulls++
+		arm.reason = chunk.DoneReason
+		arm.dirty = arm.dirty || chunk.EvalCount > 0
+		used += chunk.EvalCount
+		switch chunk.DoneReason {
+		case llm.DoneStop:
+			arm.done = true
+		case llm.DoneCancel:
+			return Result{}, cancelErr(ctx)
+		}
+		if chunk.EvalCount > 0 {
+			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
+				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+		}
+	}
+	if allFailed(cands) {
+		return Result{}, allModelsFailedError(StrategyMAB, cands)
+	}
+	// Seed every initialized arm's reward with its first-chunk score.
+	o.scoreAll(qv, surviving(cands))
+	for _, arm := range cands {
+		if arm.failed || arm.pulls == 0 {
+			continue
+		}
+		arm.rewardSum += arm.score
+		o.emit(Event{Type: EventScore, Strategy: StrategyMAB, Round: totalPulls,
+			Model: arm.model, Score: arm.score, QuerySim: arm.querySim, InterSim: arm.interSim})
+	}
+
 	for used < cfg.MaxTokens {
 		gamma := cfg.Gamma0 * (1 - float64(used)/float64(cfg.MaxTokens))
 		arm := o.selectArm(cands, gamma, totalPulls)
 		if arm == nil {
-			break // every arm has finished its answer
+			break // every arm has finished its answer or failed
 		}
 		take := cfg.MABChunk
 		if rem := cfg.MaxTokens - used; take > rem {
@@ -48,9 +118,18 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		totalPulls++
 		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model})
 
-		chunk, err := o.backend.GenerateChunk(ctx, arm.model, prompt, take, arm.cont)
+		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
+			Model: arm.model, Prompt: prompt, MaxTokens: take, Cont: arm.cont,
+		}, cfg.Retry)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: mab %s: %w", arm.model, err)
+			if ctx.Err() != nil {
+				return Result{}, ctx.Err()
+			}
+			o.failCandidate(StrategyMAB, totalPulls, arm, attempts, err)
+			if allFailed(cands) {
+				return Result{}, allModelsFailedError(StrategyMAB, cands)
+			}
+			continue
 		}
 		arm.response += chunk.Text
 		arm.cont = chunk.Context
@@ -63,7 +142,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		case llm.DoneStop:
 			arm.done = true
 		case llm.DoneCancel:
-			return Result{}, ctx.Err()
+			return Result{}, cancelErr(ctx)
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
@@ -72,7 +151,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 
 		// Reward the pull (line 9): relevance plus consensus, computed on
 		// the arm's whole accumulated response so far.
-		o.scoreAll(qv, cands)
+		o.scoreAll(qv, surviving(cands))
 		arm.rewardSum += arm.score
 		o.emit(Event{Type: EventScore, Strategy: StrategyMAB, Round: totalPulls,
 			Model: arm.model, Score: arm.score, QuerySim: arm.querySim, InterSim: arm.interSim})
@@ -90,8 +169,12 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		}
 	}
 
-	o.scoreAll(qv, cands)
-	best := argmaxFinalReward(cands)
+	final := surviving(cands)
+	if len(final) == 0 {
+		return Result{}, allModelsFailedError(StrategyMAB, cands)
+	}
+	o.scoreAll(qv, final)
+	best := argmaxFinalReward(final)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyMAB, Model: best.model,
 		Text: best.response, Tokens: used, Score: best.score,
 		Reason: fmt.Sprintf("highest final reward %.3f over %d pulls", best.score, best.pulls)})
@@ -102,15 +185,15 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	}, nil
 }
 
-// selectArm returns the unfinished arm with the highest UCB1 index. An
-// arm that has never been pulled has an infinite index, so every arm is
-// tried once before any exploitation (standard UCB1 initialization).
-// Returns nil when every arm has finished.
+// selectArm returns the unfinished, unfailed arm with the highest UCB1
+// index. An arm that has never been pulled has an infinite index, so
+// every arm is tried once before any exploitation (standard UCB1
+// initialization). Returns nil when every arm has finished or failed.
 func (o *Orchestrator) selectArm(cands []*candidate, gamma float64, totalPulls int) *candidate {
 	var best *candidate
 	bestIdx := math.Inf(-1)
 	for _, c := range cands {
-		if c.done {
+		if c.done || c.failed {
 			continue
 		}
 		idx := ucb1(c, gamma, totalPulls)
@@ -141,9 +224,11 @@ func meanReward(c *candidate) float64 {
 	return c.rewardSum / float64(c.pulls)
 }
 
+// allDone reports whether every arm has settled — finished its answer or
+// been retired by failure.
 func allDone(cands []*candidate) bool {
 	for _, c := range cands {
-		if !c.done {
+		if !c.done && !c.failed {
 			return false
 		}
 	}
@@ -165,6 +250,9 @@ func leaderLocked(cands []*candidate, gamma float64, totalPulls int) bool {
 	}
 	lead := meanReward(leader)
 	for _, c := range cands {
+		if c.failed {
+			continue
+		}
 		if c.done {
 			if meanReward(c) > lead {
 				return false

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"llmms/internal/llm"
 )
 
 // OUA runs the Overperformers–Underperformers Algorithm (Algorithm 1).
@@ -23,6 +25,13 @@ import (
 //
 // The loop ends when every surviving model has finished or spent its
 // allowance; the highest-scoring response wins (line 25).
+//
+// Each round's chunk calls fan out concurrently (one goroutine per
+// active model, collected deterministically in model order), so a round
+// costs the slowest model's latency rather than the sum. A model whose
+// backend keeps failing past Config.Retry is pruned with an
+// EventModelFailed and its allowance redistributed; the query errors
+// only when every model has failed (ErrAllModelsFailed).
 func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 	start := time.Now()
 	cfg := o.cfg
@@ -50,8 +59,12 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 		o.emit(Event{Type: EventRound, Strategy: StrategyOUA, Round: round})
 
 		// Generation pass: every active model with budget left and an
-		// unfinished answer receives its next chunk.
-		progressed := false
+		// unfinished answer receives its next chunk. The calls run
+		// concurrently — one goroutine per model — and the results are
+		// collected in model-index order, so the round costs the slowest
+		// model's latency while scoring, pruning, and event order stay
+		// identical to the sequential pass.
+		var jobs []fanJob
 		for _, c := range cands {
 			if c.pruned || c.done || c.remaining <= 0 {
 				continue
@@ -60,10 +73,21 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 			if take > c.remaining {
 				take = c.remaining
 			}
-			chunk, err := o.backend.GenerateChunk(ctx, c.model, prompt, take, c.cont)
-			if err != nil {
-				return Result{}, fmt.Errorf("core: oua %s: %w", c.model, err)
+			jobs = append(jobs, fanJob{cand: c, take: take})
+		}
+		results := o.fanOut(ctx, prompt, jobs)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		progressed := false
+		for i, r := range results {
+			c := jobs[i].cand
+			if r.err != nil {
+				o.failCandidate(StrategyOUA, round, c, r.attempts, r.err)
+				redistribute(c, cands)
+				continue
 			}
+			chunk := r.chunk
 			c.response += chunk.Text
 			c.cont = chunk.Context
 			c.tokens += chunk.EvalCount
@@ -73,16 +97,19 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 			c.dirty = c.dirty || chunk.EvalCount > 0
 			totalTokens += chunk.EvalCount
 			switch chunk.DoneReason {
-			case "stop":
+			case llm.DoneStop:
 				c.done = true
-			case "cancel":
-				return Result{}, ctx.Err()
+			case llm.DoneCancel:
+				return Result{}, cancelErr(ctx)
 			}
 			if chunk.EvalCount > 0 {
 				progressed = true
 				o.emit(Event{Type: EventChunk, Strategy: StrategyOUA, Round: round,
 					Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount})
 			}
+		}
+		if allFailed(cands) {
+			return Result{}, allModelsFailedError(StrategyOUA, cands)
 		}
 
 		// Scoring pass over all unpruned candidates (finished models keep
@@ -128,9 +155,12 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 
 	active := activeCandidates(cands)
 	if len(active) == 0 {
-		// Everything was pruned — fall back to the best of all candidates
-		// so the query still gets an answer.
-		active = cands
+		// Everything was pruned — fall back to the best surviving
+		// (non-failed) candidate so the query still gets an answer.
+		active = surviving(cands)
+		if len(active) == 0 {
+			return Result{}, allModelsFailedError(StrategyOUA, cands)
+		}
 		o.scoreAll(qv, active)
 	}
 	best := argmaxScore(active)

@@ -69,6 +69,9 @@ func (t *Trace) Lines() []string {
 				ev.Model, ev.Score*100, ev.QuerySim*100, ev.InterSim*100))
 		case EventPrune:
 			lines = append(lines, fmt.Sprintf("Dropped %s at %.0f%%: %s.", ev.Model, ev.Score*100, ev.Reason))
+		case EventModelFailed:
+			lines = append(lines, fmt.Sprintf("Lost %s after %d attempts (%s); continuing with the rest.",
+				ev.Model, ev.Attempts, ev.Reason))
 		case EventWinner:
 			lines = append(lines, fmt.Sprintf("%s won at %.0f%% after %d total tokens (%s).",
 				ev.Model, ev.Score*100, ev.Tokens, ev.Reason))
@@ -118,6 +121,8 @@ func (t *Trace) Summary() string {
 			f := get(ev.Model)
 			f.fate = "pruned"
 			f.score = ev.Score
+		case EventModelFailed:
+			get(ev.Model).fate = "failed"
 		case EventWinner:
 			winner = ev.Model
 			if f, ok := fates[ev.Model]; ok {

@@ -470,14 +470,14 @@ func TestEngineEmbed(t *testing.T) {
 
 func TestEngineGenerateChunkPrimitive(t *testing.T) {
 	e := NewEngine(Options{Knowledge: NewKnowledge(truthfulqa.Seed())})
-	first, err := e.GenerateChunk(context.Background(), ModelMistral, "Are bats blind?", 5, nil)
+	first, err := e.GenerateChunk(context.Background(), ChunkRequest{Model: ModelMistral, Prompt: "Are bats blind?", MaxTokens: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.EvalCount != 5 || first.DoneReason != DoneLength {
 		t.Fatalf("first chunk = %+v", first)
 	}
-	second, err := e.GenerateChunk(context.Background(), ModelMistral, "Are bats blind?", 0, first.Context)
+	second, err := e.GenerateChunk(context.Background(), ChunkRequest{Model: ModelMistral, Prompt: "Are bats blind?", Cont: first.Context})
 	if err != nil {
 		t.Fatal(err)
 	}

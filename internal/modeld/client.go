@@ -5,14 +5,22 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"llmms/internal/embedding"
 	"llmms/internal/llm"
 )
+
+// ErrTruncatedStream reports that a generation stream ended before the
+// daemon sent its final Done:true line — the connection dropped or the
+// daemon died mid-answer. The accumulated partial chunk is returned
+// alongside it so callers can decide whether to retry or salvage.
+var ErrTruncatedStream = errors.New("modeld: generation stream truncated before done")
 
 // Client speaks the daemon protocol from Go. It satisfies the
 // orchestrator's Backend interface, so the core algorithms run unchanged
@@ -20,6 +28,12 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Timeout, when positive, bounds each daemon request that arrives
+	// without a caller-supplied deadline. Requests whose context already
+	// carries a deadline (e.g. the orchestrator's per-chunk retry
+	// wrapper) are left alone.
+	Timeout time.Duration
 }
 
 // NewClient returns a client for a daemon at base (e.g.
@@ -31,8 +45,21 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
+// withTimeout applies the client default deadline when the caller did
+// not set one. The returned cancel must always be called.
+func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, c.Timeout)
+		}
+	}
+	return ctx, func() {}
+}
+
 // do issues a JSON request and decodes the JSON response into out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -73,6 +100,8 @@ func decodeError(resp *http.Response) error {
 // Generate streams a generation, invoking fn for every NDJSON line. The
 // final line has Done == true.
 func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(GenerateResponse) error) error {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
 	data, err := json.Marshal(req)
 	if err != nil {
 		return err
@@ -109,14 +138,21 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(Gene
 }
 
 // GenerateChunk implements the orchestrator's getChunk(LLM, prompt, λ)
-// primitive over the wire: it requests up to maxTokens more tokens,
-// resuming from cont, and returns the aggregated chunk.
-func (c *Client) GenerateChunk(ctx context.Context, model, prompt string, maxTokens int, cont []int) (llm.Chunk, error) {
-	req := GenerateRequest{Model: model, Prompt: prompt, Context: cont}
-	req.Options.NumPredict = maxTokens
+// primitive over the wire: it requests up to req.MaxTokens more tokens,
+// resuming from req.Cont, and returns the aggregated chunk.
+//
+// A stream that ends without a Done:true line (connection dropped,
+// daemon died mid-answer) returns the accumulated partial chunk together
+// with an error wrapping ErrTruncatedStream — never a silently
+// half-empty chunk. The partial chunk carries Done == false and the
+// continuation state of the request it resumed from, so a retry replays
+// the same chunk.
+func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	wire := GenerateRequest{Model: req.Model, Prompt: req.Prompt, Context: req.Cont}
+	wire.Options.NumPredict = req.MaxTokens
 	var text strings.Builder
 	var out llm.Chunk
-	err := c.Generate(ctx, req, func(gr GenerateResponse) error {
+	err := c.Generate(ctx, wire, func(gr GenerateResponse) error {
 		text.WriteString(gr.Response)
 		if gr.Done {
 			out.Done = true
@@ -127,10 +163,19 @@ func (c *Client) GenerateChunk(ctx context.Context, model, prompt string, maxTok
 		}
 		return nil
 	})
+	out.Text = text.String()
 	if err != nil {
 		return llm.Chunk{}, err
 	}
-	out.Text = text.String()
+	if !out.Done {
+		// No final line arrived: report consistent partial state and an
+		// explicit error instead of a chunk that looks merely unfinished.
+		out.DoneReason = ""
+		out.Context = req.Cont
+		out.EvalCount = 0
+		out.TotalTokens = len(req.Cont)
+		return out, fmt.Errorf("%w (got %d bytes of text)", ErrTruncatedStream, text.Len())
+	}
 	return out, nil
 }
 

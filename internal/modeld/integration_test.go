@@ -160,7 +160,7 @@ func TestClientErrorPaths(t *testing.T) {
 	_, client := wireStack(t, ds)
 	ctx := context.Background()
 
-	if _, err := client.GenerateChunk(ctx, "phantom:70b", "q", 8, nil); err == nil {
+	if _, err := client.GenerateChunk(ctx, llm.ChunkRequest{Model: "phantom:70b", Prompt: "q", MaxTokens: 8}); err == nil {
 		t.Fatal("expected error for unknown model")
 	}
 	if _, err := client.EmbedOne(ctx, "phantom-embed", "text"); err == nil {

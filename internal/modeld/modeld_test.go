@@ -2,9 +2,13 @@ package modeld
 
 import (
 	"context"
+	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"llmms/internal/embedding"
 	"llmms/internal/llm"
@@ -68,21 +72,21 @@ func TestGenerateNonStreaming(t *testing.T) {
 func TestGenerateChunkContinuation(t *testing.T) {
 	c, _ := newTestDaemon(t)
 	ctx := context.Background()
-	first, err := c.GenerateChunk(ctx, llm.ModelQwen2, "What is the capital of France?", 4, nil)
+	first, err := c.GenerateChunk(ctx, llm.ChunkRequest{Model: llm.ModelQwen2, Prompt: "What is the capital of France?", MaxTokens: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.DoneReason != llm.DoneLength || first.EvalCount != 4 {
 		t.Fatalf("first chunk: %+v", first)
 	}
-	full, err := c.GenerateChunk(ctx, llm.ModelQwen2, "What is the capital of France?", 0, nil)
+	full, err := c.GenerateChunk(ctx, llm.ChunkRequest{Model: llm.ModelQwen2, Prompt: "What is the capital of France?"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	text := first.Text
 	cont := first.Context
 	for i := 0; i < 200 && len(text) < len(full.Text); i++ {
-		next, err := c.GenerateChunk(ctx, llm.ModelQwen2, "What is the capital of France?", 6, cont)
+		next, err := c.GenerateChunk(ctx, llm.ChunkRequest{Model: llm.ModelQwen2, Prompt: "What is the capital of France?", MaxTokens: 6, Cont: cont})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,5 +227,50 @@ func TestGPUEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(out.Render, "Tesla") {
 		t.Fatalf("render missing device name:\n%s", out.Render)
+	}
+}
+
+// TestGenerateChunkTruncatedStream simulates a daemon that dies
+// mid-stream: NDJSON lines arrive but the done:true line never does. The
+// client must return the partial text with consistent token accounting
+// and an explicit ErrTruncatedStream, never a silently half-empty chunk.
+func TestGenerateChunkTruncatedStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"model":"m","response":"partial "}`+"\n")
+		io.WriteString(w, `{"model":"m","response":"answer"}`+"\n")
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	cont := []int{7, 9}
+	chunk, err := c.GenerateChunk(context.Background(),
+		llm.ChunkRequest{Model: "m", Prompt: "q", MaxTokens: 8, Cont: cont})
+	if !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("err = %v, want ErrTruncatedStream", err)
+	}
+	if chunk.Text != "partial answer" || chunk.Done || chunk.DoneReason != "" {
+		t.Fatalf("chunk = %+v", chunk)
+	}
+	if chunk.TotalTokens != len(cont) || chunk.EvalCount != 0 {
+		t.Fatalf("token accounting on truncation: %+v", chunk)
+	}
+}
+
+// TestClientTimeout proves the client-level default deadline fires when
+// the caller's context has none — the hung-daemon guard behind the core
+// retry loop's per-attempt timeout.
+func TestClientTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	c.Timeout = 30 * time.Millisecond
+	start := time.Now()
+	if _, err := c.Tags(context.Background()); err == nil {
+		t.Fatal("expected timeout error from a hung daemon")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("client deadline was not applied")
 	}
 }

@@ -24,6 +24,20 @@
 //	GET  /api/recall           contextual memory-graph recall (§9.5)
 //	GET  /api/gpu              hardware telemetry
 //	GET  /healthz, /api/version
+//
+// Every non-2xx response — and the SSE "error" event on /api/query —
+// carries the uniform JSON envelope
+//
+//	{"error": {"code": "unknown_session", "message": "session abc not found"}}
+//
+// where code is a stable machine-readable identifier (invalid_json,
+// missing_field, invalid_strategy, unknown_session, unknown_document,
+// unknown_model, invalid_settings, invalid_rating, body_too_large,
+// ingest_failed, retrieval_failed, ephemeral_context, invalid_config,
+// all_models_failed, query_failed) and message is the human-readable
+// detail. The /api/query stream also forwards core orchestration events
+// verbatim, including "model_failed" frames when a model is dropped
+// after retry exhaustion while the query continues on the survivors.
 package server
 
 import (
@@ -213,8 +227,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// apiError is the body of the uniform error envelope; see the package
+// comment for the catalogue of codes.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errBody(code, format string, args ...any) map[string]apiError {
+	return map[string]apiError{"error": {Code: code, Message: fmt.Sprintf(format, args...)}}
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errBody(code, format, args...))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -258,11 +283,11 @@ type QueryRequest struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, http.StatusBadRequest, "invalid_json", "invalid JSON: %v", err)
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeErr(w, http.StatusBadRequest, "query is required")
+		writeErr(w, http.StatusBadRequest, "missing_field", "query is required")
 		return
 	}
 	st := s.Settings()
@@ -271,7 +296,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var err error
 		strategy, err = core.ParseStrategy(req.Strategy)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			writeErr(w, http.StatusBadRequest, "invalid_strategy", "%v", err)
 			return
 		}
 	}
@@ -291,14 +316,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	summary, _, err := s.sessions.Context(sessID, 0)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeErr(w, http.StatusNotFound, "unknown_session", "%v", err)
 		return
 	}
 	var chunks []string
 	if req.UseRAG && s.docs.Count() > 0 {
 		results, err := rag.Retrieve(s.docs, req.Query, st.RAGTopK, req.DocID)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "retrieval: %v", err)
+			writeErr(w, http.StatusInternalServerError, "retrieval_failed", "retrieval: %v", err)
 			return
 		}
 		for _, res := range results {
@@ -308,7 +333,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if strings.TrimSpace(req.EphemeralContext) != "" {
 		ephemeral, err := retrieveEphemeral(req.EphemeralContext, req.Query, st.RAGTopK)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "ephemeral context: %v", err)
+			writeErr(w, http.StatusUnprocessableEntity, "ephemeral_context", "ephemeral context: %v", err)
 			return
 		}
 		chunks = append(chunks, ephemeral...)
@@ -344,13 +369,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
 	oc, err := core.New(s.engine, cfg)
 	if err != nil {
-		writeEvent("error", map[string]string{"error": err.Error()})
+		writeEvent("error", errBody("invalid_config", "%v", err))
 		return
 	}
 
 	res, err := oc.Run(r.Context(), strategy, prompt)
 	if err != nil {
-		writeEvent("error", map[string]string{"error": err.Error()})
+		code := "query_failed"
+		if errors.Is(err, core.ErrAllModelsFailed) {
+			code = "all_models_failed"
+		}
+		writeEvent("error", errBody(code, "%v", err))
 		return
 	}
 	// Feed the arena: every orchestrated query is a round of pairwise
@@ -382,22 +411,22 @@ type uploadRequest struct {
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
-		writeErr(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		writeErr(w, http.StatusRequestEntityTooLarge, "body_too_large", "body too large or unreadable: %v", err)
 		return
 	}
 	var req uploadRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, http.StatusBadRequest, "invalid_json", "invalid JSON: %v", err)
 		return
 	}
 	if req.Filename == "" || strings.TrimSpace(req.Content) == "" {
-		writeErr(w, http.StatusBadRequest, "filename and content are required")
+		writeErr(w, http.StatusBadRequest, "missing_field", "filename and content are required")
 		return
 	}
 	docID := fmt.Sprintf("doc-%d", time.Now().UnixNano())
 	n, err := s.ingestor.IngestFile(docID, req.Filename, []byte(req.Content))
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "ingest: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, "ingest_failed", "ingest: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -429,7 +458,7 @@ func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
 	delete(s.docIDs, id)
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown document %q", id)
+		writeErr(w, http.StatusNotFound, "unknown_document", "unknown document %q", id)
 		return
 	}
 	removed := s.ingestor.DeleteDocument(id)
@@ -456,7 +485,7 @@ func (s *Server) handleClearSessions(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.sessions.Get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeErr(w, http.StatusNotFound, "unknown_session", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess)
@@ -464,7 +493,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if err := s.sessions.Delete(r.PathValue("id")); err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeErr(w, http.StatusNotFound, "unknown_session", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
@@ -490,11 +519,11 @@ func (s *Server) handleGetSettings(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handlePutSettings(w http.ResponseWriter, r *http.Request) {
 	var st Settings
 	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, http.StatusBadRequest, "invalid_json", "invalid JSON: %v", err)
 		return
 	}
 	if err := st.Validate(); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeErr(w, http.StatusUnprocessableEntity, "invalid_settings", "%v", err)
 		return
 	}
 	known := make(map[string]bool)
@@ -503,7 +532,7 @@ func (s *Server) handlePutSettings(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, m := range st.EnabledModels {
 		if !known[m] {
-			writeErr(w, http.StatusUnprocessableEntity, "unknown model %q", m)
+			writeErr(w, http.StatusUnprocessableEntity, "unknown_model", "unknown model %q", m)
 			return
 		}
 	}
@@ -523,11 +552,11 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 		Instruction string `json:"instruction"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, http.StatusBadRequest, "invalid_json", "invalid JSON: %v", err)
 		return
 	}
 	if strings.TrimSpace(req.Instruction) == "" {
-		writeErr(w, http.StatusBadRequest, "instruction is required")
+		writeErr(w, http.StatusBadRequest, "missing_field", "instruction is required")
 		return
 	}
 	d := router.ParseDirectives(req.Instruction)
@@ -544,7 +573,7 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 		st.Model = applied.Models[0]
 	}
 	if err := st.Validate(); err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "instruction produced invalid settings: %v", err)
+		writeErr(w, http.StatusUnprocessableEntity, "invalid_settings", "instruction produced invalid settings: %v", err)
 		return
 	}
 	s.mu.Lock()
@@ -567,18 +596,18 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		Rating    float64 `json:"rating"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeErr(w, http.StatusBadRequest, "invalid_json", "invalid JSON: %v", err)
 		return
 	}
 	if req.Rating < -1 || req.Rating > 1 {
-		writeErr(w, http.StatusBadRequest, "rating must be in [-1, 1]")
+		writeErr(w, http.StatusBadRequest, "invalid_rating", "rating must be in [-1, 1]")
 		return
 	}
 	model := req.Model
 	if model == "" && req.SessionID != "" {
 		sess, err := s.sessions.Get(req.SessionID)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, "%v", err)
+			writeErr(w, http.StatusNotFound, "unknown_session", "%v", err)
 			return
 		}
 		for i := len(sess.Messages) - 1; i >= 0; i-- {
@@ -589,7 +618,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if model == "" {
-		writeErr(w, http.StatusBadRequest, "model or session_id with an answered turn is required")
+		writeErr(w, http.StatusBadRequest, "missing_field", "model or session_id with an answered turn is required")
 		return
 	}
 	s.feedback.Rate(model, req.Rating)
@@ -632,7 +661,7 @@ func (s *Server) handleArena(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleRecall(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
-		writeErr(w, http.StatusBadRequest, "q parameter is required")
+		writeErr(w, http.StatusBadRequest, "missing_field", "q parameter is required")
 		return
 	}
 	k := 5

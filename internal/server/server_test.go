@@ -741,3 +741,33 @@ func TestEphemeralContextQuery(t *testing.T) {
 		t.Fatalf("blank ephemeral context = %d", resp2.StatusCode)
 	}
 }
+
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+	var out struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	resp := doJSON(t, "GET", ts.URL+"/api/sessions/nope", nil, &out)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Error.Code != "unknown_session" || out.Error.Message == "" {
+		t.Fatalf("envelope = %+v", out)
+	}
+
+	// Validation failures use the same shape with their own codes.
+	out.Error.Code, out.Error.Message = "", ""
+	resp = doJSON(t, "POST", ts.URL+"/api/query", map[string]string{"query": " "}, &out)
+	if resp.StatusCode != http.StatusBadRequest || out.Error.Code != "missing_field" {
+		t.Fatalf("status %d envelope %+v", resp.StatusCode, out)
+	}
+
+	out.Error.Code, out.Error.Message = "", ""
+	resp = doJSON(t, "POST", ts.URL+"/api/query", map[string]string{"query": "q", "strategy": "nope"}, &out)
+	if resp.StatusCode != http.StatusBadRequest || out.Error.Code != "invalid_strategy" {
+		t.Fatalf("status %d envelope %+v", resp.StatusCode, out)
+	}
+}

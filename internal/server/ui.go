@@ -153,7 +153,7 @@ $("upload").onclick = () => {
     const out = await resp.json();
     $("uploadStatus").textContent = resp.ok
       ? f.name + " → " + out.chunks + " chunks indexed"
-      : "upload failed: " + out.error;
+      : "upload failed: " + out.error.message;
     if (resp.ok) $("useRag").checked = true;
   };
   reader.readAsText(f);
@@ -167,7 +167,7 @@ $("nlgo").onclick = async () => {
   const out = await resp.json();
   $("nlStatus").textContent = resp.ok
     ? (out.understood ? out.changes.join("; ") : "no directives recognized")
-    : "error: " + out.error;
+    : "error: " + out.error.message;
   if (resp.ok && out.settings) {
     $("budget").value = out.settings.max_tokens;
     $("strategy").value = out.settings.strategy;
@@ -244,7 +244,8 @@ $("go").onclick = async () => {
       else if (ev === "score") logEvent("score", d.model + " score " + d.score.toFixed(3));
       else if (ev === "prune") logEvent("prune", "pruned " + d.model + " (" + d.reason + ")");
       else if (ev === "winner") logEvent("winner", "winner " + d.model);
-      else if (ev === "error") logEvent("prune", "error: " + d.error);
+      else if (ev === "model_failed") logEvent("prune", "lost " + d.model + " after " + d.attempts + " attempts (" + d.reason + ")");
+      else if (ev === "error") logEvent("prune", "error: " + d.error.message);
       else if (ev === "result") answer = d.result;
     }
   }

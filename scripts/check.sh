@@ -1,0 +1,14 @@
+#!/bin/sh
+# Pre-merge gate: vet, then the full test suite under the race detector.
+# The concurrent fan-out in internal/core makes -race a required pass,
+# not an optional extra.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ok"
