@@ -8,8 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the orchestrator benchmark suite (bench_test.go at the
+# repo root) and writes machine-readable results to BENCH_core.json via
+# cmd/benchjson; the raw text table still prints to the terminal.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	./scripts/bench.sh BENCH_core.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	llmms [-addr :8080] [-questions 400] [-latency 0.02]
+//	      [-trace-capacity 256] [-pprof]
 //
 // -questions sizes the engine's knowledge base (the simulated models can
 // answer that many benchmark questions); -latency scales the simulated
 // per-token decode delay so streaming is visibly incremental (0 disables
-// sleeping entirely).
+// sleeping entirely). -trace-capacity bounds the in-memory ring of
+// completed query traces served by /api/traces; -pprof mounts
+// net/http/pprof under /debug/pprof/ (off by default). Prometheus-style
+// metrics are always exposed on GET /metrics.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"llmms/internal/llm"
 	"llmms/internal/server"
+	"llmms/internal/telemetry"
 	"llmms/internal/truthfulqa"
 )
 
@@ -30,6 +35,8 @@ func main() {
 	questions := flag.Int("questions", 400, "knowledge base size (benchmark questions the models can answer)")
 	latency := flag.Float64("latency", 0.02, "simulated decode latency scale (0 = no delay)")
 	dataset := flag.String("dataset", "", "optional TruthfulQA JSON file to use as the knowledge base")
+	traceCap := flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed query traces kept for /api/traces")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	ds, err := loadDataset(*dataset, *questions)
@@ -40,7 +47,11 @@ func main() {
 		Knowledge:    llm.NewKnowledge(ds),
 		LatencyScale: *latency,
 	})
-	srv, err := server.NewServer(server.Options{Engine: engine})
+	srv, err := server.NewServer(server.Options{
+		Engine:      engine,
+		Telemetry:   telemetry.New(telemetry.Options{TraceCapacity: *traceCap}),
+		EnablePprof: *enablePprof,
+	})
 	if err != nil {
 		log.Fatalf("llmms: %v", err)
 	}

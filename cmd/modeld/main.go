@@ -1,7 +1,7 @@
 // Command modeld runs the standalone model daemon: an Ollama-compatible
 // HTTP server (NDJSON streaming /api/generate, /api/embed, /api/tags,
-// /api/show, /api/ps, /api/gpu) in front of the simulated inference
-// engine. It stands in for "Ollama daemon 0.4.5" in the paper's
+// /api/show, /api/ps, /api/gpu, plus Prometheus-style metrics on
+// /metrics) in front of the simulated inference engine. It stands in for "Ollama daemon 0.4.5" in the paper's
 // computation layer, so the orchestrator — or any Ollama client — can
 // drive the simulated models over HTTP.
 //

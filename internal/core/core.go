@@ -109,6 +109,9 @@ type Config struct {
 	// arrivals, score updates, prunes, the final selection) synchronously.
 	// Used by the application layer to stream progress to clients.
 	OnEvent func(Event)
+	// Recorder, when non-nil, also receives every orchestration event,
+	// after OnEvent — the metrics/tracing tap (see the Recorder type).
+	Recorder Recorder
 	// Feedback, when non-nil, adds each model's learned prior (§9.5
 	// "Self-Improving Orchestration") to its combined score, so models
 	// the user has rated well attract budget sooner.
@@ -321,6 +324,7 @@ func (o *Orchestrator) Single(ctx context.Context, model, prompt string) (Result
 		return Result{}, fmt.Errorf("core: model %q is not configured", model)
 	}
 	o.emit(Event{Type: EventStart, Strategy: StrategySingle, Model: model})
+	callStart := time.Now()
 	chunk, attempts, err := generateWithRetry(ctx, o.backend,
 		llm.ChunkRequest{Model: model, Prompt: prompt, MaxTokens: o.cfg.MaxTokens}, o.cfg.Retry)
 	if err != nil {
@@ -330,7 +334,8 @@ func (o *Orchestrator) Single(ctx context.Context, model, prompt string) (Result
 			Attempts: attempts, Reason: err.Error()})
 		return Result{}, fmt.Errorf("core: single %s: %w", model, err)
 	}
-	o.emit(Event{Type: EventChunk, Strategy: StrategySingle, Model: model, Text: chunk.Text, Tokens: chunk.EvalCount})
+	o.emit(Event{Type: EventChunk, Strategy: StrategySingle, Model: model, Text: chunk.Text,
+		Tokens: chunk.EvalCount, Elapsed: time.Since(callStart), Attempts: attempts})
 	qv := o.cfg.Encoder.Encode(prompt)
 	sim := embedding.Cosine(qv, o.cfg.Encoder.Encode(chunk.Text))
 	out := ModelOutcome{
@@ -343,14 +348,21 @@ func (o *Orchestrator) Single(ctx context.Context, model, prompt string) (Result
 		TokensUsed: chunk.EvalCount, Rounds: 1,
 		Outcomes: []ModelOutcome{out}, Elapsed: time.Since(start),
 	}
-	o.emit(Event{Type: EventWinner, Strategy: StrategySingle, Model: model, Text: chunk.Text, Tokens: res.TokensUsed})
+	o.emit(Event{Type: EventWinner, Strategy: StrategySingle, Model: model, Text: chunk.Text,
+		Tokens: res.TokensUsed, Elapsed: res.Elapsed})
 	return res, nil
 }
 
 func (o *Orchestrator) emit(ev Event) {
+	if o.cfg.OnEvent == nil && o.cfg.Recorder == nil {
+		return
+	}
+	ev.Time = time.Now()
 	if o.cfg.OnEvent != nil {
-		ev.Time = time.Now()
 		o.cfg.OnEvent(ev)
+	}
+	if o.cfg.Recorder != nil {
+		o.cfg.Recorder.RecordEvent(ev)
 	}
 }
 

@@ -54,7 +54,27 @@ type Event struct {
 	// Reason explains prune, model_failed, and winner events ("pruned:
 	// trailing by 0.12", "early exit", the final backend error, …).
 	Reason string `json:"reason,omitempty"`
-	// Attempts is how many generation tries were spent before a
-	// model_failed event.
+	// Attempts is how many generation tries were spent: on chunk events,
+	// the tries the chunk took (1 = no retries); on model_failed events,
+	// the tries exhausted before the model was dropped.
 	Attempts int `json:"attempts,omitempty"`
+	// Elapsed is a wall-clock duration (integer nanoseconds on the wire)
+	// whose reference depends on Type: on chunk events it is the cost of
+	// the generation call that produced the chunk, retries included; on
+	// round events it is the offset from query start at which the round
+	// opened; on winner events it is the total orchestration time. Zero
+	// (and omitted) elsewhere.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}
+
+// Recorder is the measurement tap on the orchestration event stream.
+// Where Config.OnEvent is the application-facing streaming hook (SSE
+// frames to a browser), a Recorder feeds metrics and trace aggregation:
+// the orchestrator invokes it synchronously for every emitted event,
+// after OnEvent. Implementations must be fast, must not block, and must
+// be safe for concurrent use — one Orchestrator may serve several
+// queries at once, and each query emits its events independently.
+// internal/telemetry.QueryObserver is the canonical implementation.
+type Recorder interface {
+	RecordEvent(Event)
 }

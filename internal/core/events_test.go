@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestEventElapsedJSON pins the wire shape of Event.Elapsed: integer
+// nanoseconds under the key elapsed_ns, omitted entirely when zero so
+// pre-existing SSE consumers see unchanged frames for events that carry
+// no duration.
+func TestEventElapsedJSON(t *testing.T) {
+	with, err := json.Marshal(Event{Type: EventChunk, Elapsed: 1500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(with, &m); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m["elapsed_ns"].(float64); !ok || got != 1.5e9 {
+		t.Fatalf("elapsed_ns = %v (present=%v), want 1.5e9", m["elapsed_ns"], ok)
+	}
+
+	without, err := json.Marshal(Event{Type: EventScore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 map[string]any
+	if err := json.Unmarshal(without, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2["elapsed_ns"]; ok {
+		t.Fatalf("zero Elapsed not omitted: %s", without)
+	}
+}
+
+// TestEventJSONKeysStable pins the full key set of a maximal event —
+// SSE consumers and the telemetry collector both key off these names,
+// so a rename is a breaking protocol change that must fail a test.
+func TestEventJSONKeysStable(t *testing.T) {
+	ev := Event{
+		Type: EventChunk, Strategy: StrategyOUA, Time: time.Now(),
+		Round: 2, Model: "llama3", Text: "hi", Tokens: 3,
+		Score: 0.5, QuerySim: 0.6, InterSim: 0.4,
+		Reason: "r", Attempts: 2, Elapsed: time.Second,
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"type", "strategy", "time", "round", "model", "text", "tokens",
+		"score", "query_sim", "inter_sim", "reason", "attempts", "elapsed_ns",
+	}
+	if len(m) != len(want) {
+		t.Errorf("event serialized %d keys, want %d: %s", len(m), len(want), data)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("missing key %q in %s", k, data)
+		}
+	}
+}

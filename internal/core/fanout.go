@@ -142,6 +142,10 @@ type fanResult struct {
 	chunk    llm.Chunk
 	attempts int
 	err      error
+	// elapsed is the generation call's wall clock, retries included —
+	// measured on the worker so queueing behind MaxConcurrent is
+	// excluded once the call starts.
+	elapsed time.Duration
 }
 
 // fanOut issues every job's GenerateChunk concurrently (bounded by
@@ -168,10 +172,11 @@ func (o *Orchestrator) fanOut(ctx context.Context, prompt string, jobs []fanJob)
 				sem <- struct{}{}
 				defer func() { <-sem }()
 			}
+			callStart := time.Now()
 			chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
 				Model: j.cand.model, Prompt: prompt, MaxTokens: j.take, Cont: j.cand.cont,
 			}, o.cfg.Retry)
-			results[i] = fanResult{chunk: chunk, attempts: attempts, err: err}
+			results[i] = fanResult{chunk: chunk, attempts: attempts, err: err, elapsed: time.Since(callStart)}
 		}(i, j)
 	}
 	wg.Wait()

@@ -50,7 +50,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		screenChunk = 1
 	}
 	used := 0
-	o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: 1})
+	o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: 1, Elapsed: time.Since(start)})
 	jobs := make([]fanJob, n)
 	for i, c := range cands {
 		jobs[i] = fanJob{cand: c, take: screenChunk}
@@ -81,7 +81,8 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: 1,
-				Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+				Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount,
+				Elapsed: r.elapsed, Attempts: r.attempts})
 		}
 	}
 	if allFailed(cands) {
@@ -115,10 +116,13 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 			take = rem
 		}
 		totalPulls++
-		o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: totalPulls, Model: arm.model})
+		o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: totalPulls, Model: arm.model,
+			Elapsed: time.Since(start)})
+		callStart := time.Now()
 		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
 			Model: arm.model, Prompt: prompt, MaxTokens: take, Cont: arm.cont,
 		}, cfg.Retry)
+		callElapsed := time.Since(callStart)
 		if err != nil {
 			if ctx.Err() != nil {
 				return Result{}, ctx.Err()
@@ -144,7 +148,8 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: totalPulls,
-				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
+				Elapsed: callElapsed, Attempts: attempts})
 		}
 		o.scoreAll(qv, activeCandidates(cands))
 		arm.rewardSum += arm.score
@@ -168,13 +173,14 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 	}
 	o.scoreAll(qv, survivors)
 	winner := argmaxFinalReward(survivors)
+	elapsed := time.Since(start)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyHybrid, Model: winner.model,
-		Text: winner.response, Tokens: used, Score: winner.score,
+		Text: winner.response, Tokens: used, Score: winner.score, Elapsed: elapsed,
 		Reason: fmt.Sprintf("highest final reward %.3f after screening + %d pulls", winner.score, totalPulls-len(cands))})
 	return Result{
 		Strategy: StrategyHybrid, Answer: winner.response, Model: winner.model,
 		TokensUsed: used, Rounds: totalPulls,
-		Outcomes: outcomes(cands), Elapsed: time.Since(start),
+		Outcomes: outcomes(cands), Elapsed: elapsed,
 	}, nil
 }
 

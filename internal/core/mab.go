@@ -67,7 +67,8 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	for i, r := range results {
 		arm := jobs[i].cand
 		totalPulls++
-		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model})
+		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model,
+			Elapsed: time.Since(start)})
 		if r.err != nil {
 			o.failCandidate(StrategyMAB, totalPulls, arm, r.attempts, r.err)
 			continue
@@ -88,7 +89,8 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
-				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
+				Elapsed: r.elapsed, Attempts: r.attempts})
 		}
 	}
 	if allFailed(cands) {
@@ -116,11 +118,14 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 			take = rem
 		}
 		totalPulls++
-		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model})
+		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model,
+			Elapsed: time.Since(start)})
 
+		callStart := time.Now()
 		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
 			Model: arm.model, Prompt: prompt, MaxTokens: take, Cont: arm.cont,
 		}, cfg.Retry)
+		callElapsed := time.Since(callStart)
 		if err != nil {
 			if ctx.Err() != nil {
 				return Result{}, ctx.Err()
@@ -146,7 +151,8 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		}
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
-				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
+				Elapsed: callElapsed, Attempts: attempts})
 		}
 
 		// Reward the pull (line 9): relevance plus consensus, computed on
@@ -175,13 +181,14 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	}
 	o.scoreAll(qv, final)
 	best := argmaxFinalReward(final)
+	elapsed := time.Since(start)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyMAB, Model: best.model,
-		Text: best.response, Tokens: used, Score: best.score,
+		Text: best.response, Tokens: used, Score: best.score, Elapsed: elapsed,
 		Reason: fmt.Sprintf("highest final reward %.3f over %d pulls", best.score, best.pulls)})
 	return Result{
 		Strategy: StrategyMAB, Answer: best.response, Model: best.model,
 		TokensUsed: used, Rounds: totalPulls,
-		Outcomes: outcomes(cands), Elapsed: time.Since(start),
+		Outcomes: outcomes(cands), Elapsed: elapsed,
 	}, nil
 }
 

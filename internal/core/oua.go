@@ -56,7 +56,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 	round := 0
 	for {
 		round++
-		o.emit(Event{Type: EventRound, Strategy: StrategyOUA, Round: round})
+		o.emit(Event{Type: EventRound, Strategy: StrategyOUA, Round: round, Elapsed: time.Since(start)})
 
 		// Generation pass: every active model with budget left and an
 		// unfinished answer receives its next chunk. The calls run
@@ -105,7 +105,8 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 			if chunk.EvalCount > 0 {
 				progressed = true
 				o.emit(Event{Type: EventChunk, Strategy: StrategyOUA, Round: round,
-					Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount})
+					Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount,
+					Elapsed: r.elapsed, Attempts: r.attempts})
 			}
 		}
 		if allFailed(cands) {
@@ -168,12 +169,13 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 }
 
 func (o *Orchestrator) finishOUA(cands []*candidate, best *candidate, tokens, rounds int, early bool, start time.Time, reason string) Result {
+	elapsed := time.Since(start)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyOUA, Model: best.model,
-		Text: best.response, Tokens: tokens, Score: best.score, Reason: reason})
+		Text: best.response, Tokens: tokens, Score: best.score, Reason: reason, Elapsed: elapsed})
 	return Result{
 		Strategy: StrategyOUA, Answer: best.response, Model: best.model,
 		TokensUsed: tokens, Rounds: rounds, EarlyExit: early,
-		Outcomes: outcomes(cands), Elapsed: time.Since(start),
+		Outcomes: outcomes(cands), Elapsed: elapsed,
 	}
 }
 

@@ -60,6 +60,12 @@ func (t *Trace) Lines() []string {
 			} else {
 				lines = append(lines, fmt.Sprintf("Started a %s query across the candidate models.", ev.Strategy))
 			}
+		case EventRound:
+			if ev.Model != "" {
+				lines = append(lines, fmt.Sprintf("Round %d: pulled %s.", ev.Round, ev.Model))
+			} else {
+				lines = append(lines, fmt.Sprintf("Round %d began.", ev.Round))
+			}
 		case EventChunk:
 			tokensByModel[ev.Model] += ev.Tokens
 			lines = append(lines, fmt.Sprintf("Asked %s for %d more tokens (%d so far).",
@@ -106,7 +112,6 @@ func (t *Trace) Summary() string {
 		order = append(order, m)
 		return f
 	}
-	var winner string
 	var strategy Strategy
 	for _, ev := range events {
 		if ev.Strategy != "" {
@@ -124,12 +129,13 @@ func (t *Trace) Summary() string {
 		case EventModelFailed:
 			get(ev.Model).fate = "failed"
 		case EventWinner:
-			winner = ev.Model
-			if f, ok := fates[ev.Model]; ok {
-				f.fate = "won"
-				if ev.Score != 0 {
-					f.score = ev.Score
-				}
+			// get registers the winner even when it emitted no chunk or
+			// score event, so the winner is always rendered in the same
+			// per-model form instead of being dropped or glued on.
+			f := get(ev.Model)
+			f.fate = "won"
+			if ev.Score != 0 {
+				f.score = ev.Score
 			}
 		}
 	}
@@ -141,8 +147,5 @@ func (t *Trace) Summary() string {
 		parts = append(parts, fmt.Sprintf("%s %s (%d tokens, %.0f%%)", m, f.fate, f.tokens, f.score*100))
 	}
 	b.WriteString(strings.Join(parts, "; "))
-	if winner != "" && len(order) == 0 {
-		fmt.Fprintf(&b, "%s won", winner)
-	}
 	return b.String()
 }

@@ -71,6 +71,140 @@ func TestTraceResetAndEvents(t *testing.T) {
 	}
 }
 
+// TestTraceLinesAllEventTypes feeds one synthetic event of every type
+// and checks each renders a line — including round and model_failed,
+// which real runs only emit on specific paths.
+func TestTraceLinesAllEventTypes(t *testing.T) {
+	trace := NewTrace()
+	events := []Event{
+		{Type: EventStart, Strategy: StrategyOUA},
+		{Type: EventRound, Round: 1},
+		{Type: EventRound, Round: 2, Model: "llama3"},
+		{Type: EventChunk, Model: "llama3", Tokens: 12},
+		{Type: EventScore, Model: "llama3", Score: 0.8, QuerySim: 0.9, InterSim: 0.6},
+		{Type: EventPrune, Model: "mistral", Score: 0.2, Reason: "trailing by 0.6"},
+		{Type: EventModelFailed, Model: "qwen2", Attempts: 3, Reason: "backend down"},
+		{Type: EventWinner, Model: "llama3", Score: 0.8, Tokens: 12, Reason: "highest score"},
+	}
+	for _, ev := range events {
+		trace.Record(ev)
+	}
+	lines := trace.Lines()
+	if len(lines) != len(events) {
+		t.Fatalf("%d lines from %d events:\n%s", len(lines), len(events), trace)
+	}
+	for i, want := range []string{
+		"Started a oua query across the candidate models.",
+		"Round 1 began.",
+		"Round 2: pulled llama3.",
+		"Asked llama3 for 12 more tokens (12 so far).",
+		"llama3 scored 80% (relevance 90%, agreement 60%).",
+		"Dropped mistral at 20%: trailing by 0.6.",
+		"Lost qwen2 after 3 attempts (backend down); continuing with the rest.",
+		"llama3 won at 80% after 12 total tokens (highest score).",
+	} {
+		if lines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+// TestTraceSummaryWinnerOnly covers the repaired edge: a winner that
+// emitted no chunk or score events (e.g. a single-model run with no
+// scoring pass) must still be rendered, in the same per-model form.
+func TestTraceSummaryWinnerOnly(t *testing.T) {
+	trace := NewTrace()
+	trace.Record(Event{Type: EventStart, Strategy: StrategySingle, Model: "llama3"})
+	trace.Record(Event{Type: EventWinner, Model: "llama3", Tokens: 40})
+	sum := trace.Summary()
+	if !strings.Contains(sum, "strategy single") {
+		t.Fatalf("summary = %q", sum)
+	}
+	if !strings.Contains(sum, "llama3 won") {
+		t.Fatalf("chunk-less winner dropped from summary: %q", sum)
+	}
+}
+
+// TestTraceSummaryFates checks every fate renders: competed, pruned,
+// failed, and won — with the winner's score taken from its winner event
+// when the scoring pass never ran for it.
+func TestTraceSummaryFates(t *testing.T) {
+	trace := NewTrace()
+	trace.Record(Event{Type: EventStart, Strategy: StrategyOUA})
+	trace.Record(Event{Type: EventChunk, Model: "a", Tokens: 5})
+	trace.Record(Event{Type: EventChunk, Model: "b", Tokens: 5})
+	trace.Record(Event{Type: EventChunk, Model: "c", Tokens: 5})
+	trace.Record(Event{Type: EventChunk, Model: "d", Tokens: 5})
+	trace.Record(Event{Type: EventPrune, Model: "b", Score: 0.1})
+	trace.Record(Event{Type: EventModelFailed, Model: "c", Attempts: 2, Reason: "down"})
+	trace.Record(Event{Type: EventWinner, Model: "a", Score: 0.9, Tokens: 20})
+	sum := trace.Summary()
+	for _, want := range []string{
+		"a won (5 tokens, 90%)",
+		"b pruned (5 tokens, 10%)",
+		"c failed (5 tokens, 0%)",
+		"d competed (5 tokens, 0%)",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q: %q", want, sum)
+		}
+	}
+}
+
+// TestRecorderTap verifies Config.Recorder receives every event the
+// streaming hook sees — and works with no OnEvent attached at all.
+func TestRecorderTap(t *testing.T) {
+	var streamed, recorded []Event
+	cfg := DefaultConfig("good", "okay", "bad")
+	cfg.MaxTokens = 240
+	cfg.OnEvent = func(ev Event) { streamed = append(streamed, ev) }
+	cfg.Recorder = recorderFunc(func(ev Event) { recorded = append(recorded, ev) })
+	o := mustNew(t, threeModels(), cfg)
+	if _, err := o.Run(context.Background(), StrategyOUA, testPrompt); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 || len(recorded) != len(streamed) {
+		t.Fatalf("recorder saw %d events, stream saw %d", len(recorded), len(streamed))
+	}
+	for i := range recorded {
+		if recorded[i].Type != streamed[i].Type || recorded[i].Model != streamed[i].Model {
+			t.Fatalf("event %d diverged: recorder %+v vs stream %+v", i, recorded[i], streamed[i])
+		}
+		if recorded[i].Time.IsZero() {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	// Chunk events carry a generation cost and attempt count; the winner
+	// event carries the total orchestration time.
+	for _, ev := range recorded {
+		switch ev.Type {
+		case EventChunk:
+			if ev.Attempts < 1 {
+				t.Errorf("chunk event without attempts: %+v", ev)
+			}
+		case EventWinner:
+			if ev.Elapsed <= 0 {
+				t.Errorf("winner event without elapsed: %+v", ev)
+			}
+		}
+	}
+
+	// Recorder alone (no OnEvent) still receives the stream.
+	recorded = nil
+	cfg.OnEvent = nil
+	o2 := mustNew(t, threeModels(), cfg)
+	if _, err := o2.Run(context.Background(), StrategyMAB, testPrompt); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) == 0 {
+		t.Fatal("recorder-only config received no events")
+	}
+}
+
+type recorderFunc func(Event)
+
+func (f recorderFunc) RecordEvent(ev Event) { f(ev) }
+
 func TestTraceSingleModel(t *testing.T) {
 	trace := NewTrace()
 	cfg := DefaultConfig("good")

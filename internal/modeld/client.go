@@ -14,6 +14,7 @@ import (
 
 	"llmms/internal/embedding"
 	"llmms/internal/llm"
+	"llmms/internal/telemetry"
 )
 
 // ErrTruncatedStream reports that a generation stream ended before the
@@ -28,6 +29,7 @@ var ErrTruncatedStream = errors.New("modeld: generation stream truncated before 
 type Client struct {
 	base string
 	hc   *http.Client
+	tel  *telemetry.Telemetry
 
 	// Timeout, when positive, bounds each daemon request that arrives
 	// without a caller-supplied deadline. Requests whose context already
@@ -45,6 +47,43 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
+// Instrument attaches a telemetry bundle: every daemon request is then
+// counted in modeld_client_requests_total{op,outcome} and timed in
+// modeld_client_request_duration_seconds{op}, with per-model chunk
+// latency (modeld_client_chunk_duration_seconds{model}) and truncated
+// streams (modeld_client_truncated_streams_total{model}) on the
+// GenerateChunk path. Returns the client for chaining; a nil bundle
+// leaves the client uninstrumented.
+//
+// Label cardinality is bounded by construction: op is one of a fixed
+// set of endpoint names (generate, chat, embed, tags, show, ps,
+// version), outcome is ok/error/canceled, and model is the configured
+// model name. Query text, prompts, and session IDs never become labels
+// — they are unbounded and would explode the series space (the
+// registry's series cap would collapse them into "_other", losing the
+// per-model signal too).
+func (c *Client) Instrument(tel *telemetry.Telemetry) *Client {
+	c.tel = tel
+	return c
+}
+
+// observe records one daemon request's latency and outcome under op.
+func (c *Client) observe(op string, start time.Time, err error) {
+	if c.tel == nil {
+		return
+	}
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "canceled"
+	default:
+		outcome = "error"
+	}
+	c.tel.ClientRequests.Inc(op, outcome)
+	c.tel.ClientLatency.Observe(time.Since(start).Seconds(), op)
+}
+
 // withTimeout applies the client default deadline when the caller did
 // not set one. The returned cancel must always be called.
 func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -57,7 +96,9 @@ func (c *Client) withTimeout(ctx context.Context) (context.Context, context.Canc
 }
 
 // do issues a JSON request and decodes the JSON response into out.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, in, out any) (err error) {
+	start := time.Now()
+	defer func() { c.observe(strings.TrimPrefix(path, "/api/"), start, err) }()
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	var body io.Reader
@@ -99,7 +140,9 @@ func decodeError(resp *http.Response) error {
 
 // Generate streams a generation, invoking fn for every NDJSON line. The
 // final line has Done == true.
-func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(GenerateResponse) error) error {
+func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(GenerateResponse) error) (err error) {
+	start := time.Now()
+	defer func() { c.observe("generate", start, err) }()
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	data, err := json.Marshal(req)
@@ -148,6 +191,7 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(Gene
 // continuation state of the request it resumed from, so a retry replays
 // the same chunk.
 func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	start := time.Now()
 	wire := GenerateRequest{Model: req.Model, Prompt: req.Prompt, Context: req.Cont}
 	wire.Options.NumPredict = req.MaxTokens
 	var text strings.Builder
@@ -163,6 +207,9 @@ func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.C
 		}
 		return nil
 	})
+	if c.tel != nil {
+		c.tel.ClientChunkLat.Observe(time.Since(start).Seconds(), req.Model)
+	}
 	out.Text = text.String()
 	if err != nil {
 		return llm.Chunk{}, err
@@ -170,6 +217,9 @@ func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.C
 	if !out.Done {
 		// No final line arrived: report consistent partial state and an
 		// explicit error instead of a chunk that looks merely unfinished.
+		if c.tel != nil {
+			c.tel.ClientTruncated.Inc(req.Model)
+		}
 		out.DoneReason = ""
 		out.Context = req.Cont
 		out.EvalCount = 0

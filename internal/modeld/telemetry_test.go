@@ -1,0 +1,143 @@
+package modeld
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"llmms/internal/embedding"
+	"llmms/internal/llm"
+	"llmms/internal/telemetry"
+)
+
+// TestClientInstrumentation drives every client operation against a
+// live daemon and checks the request counters, latency histograms, and
+// per-model chunk latency land in the shared telemetry bundle.
+func TestClientInstrumentation(t *testing.T) {
+	c, engine := newTestDaemon(t)
+	tel := telemetry.New(telemetry.Options{})
+	c.Instrument(tel)
+	ctx := context.Background()
+	model := engine.Profiles()[0].Name
+
+	if _, err := c.GenerateChunk(ctx, llm.ChunkRequest{Model: model, Prompt: "What color is the sky?", MaxTokens: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tags(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Version(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EmbedOne(ctx, embedding.ModelDefault, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	// An error outcome: unknown model.
+	if _, err := c.Show(ctx, "no-such-model"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+
+	for _, check := range []struct {
+		op, outcome string
+		want        float64
+	}{
+		{"generate", "ok", 1},
+		{"tags", "ok", 1},
+		{"version", "ok", 1},
+		{"embed", "ok", 1},
+		{"show", "error", 1},
+	} {
+		if got := tel.ClientRequests.Value(check.op, check.outcome); got != check.want {
+			t.Errorf("requests{%s,%s} = %v, want %v", check.op, check.outcome, got, check.want)
+		}
+	}
+	if got := tel.ClientLatency.Count("generate"); got != 1 {
+		t.Errorf("latency count{generate} = %v, want 1", got)
+	}
+	if got := tel.ClientChunkLat.Count(model); got != 1 {
+		t.Errorf("chunk latency count{%s} = %v, want 1", model, got)
+	}
+	if got := tel.ClientTruncated.Value(model); got != 0 {
+		t.Errorf("truncated{%s} = %v, want 0", model, got)
+	}
+}
+
+// TestClientTruncatedStreamCounter checks a stream that dies before its
+// done:true line increments the truncation counter for the model.
+func TestClientTruncatedStreamCounter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"model":"m","response":"partial"}`+"\n")
+	}))
+	defer srv.Close()
+	tel := telemetry.New(telemetry.Options{})
+	c := NewClient(srv.URL, srv.Client()).Instrument(tel)
+	if _, err := c.GenerateChunk(context.Background(), llm.ChunkRequest{Model: "m", Prompt: "q", MaxTokens: 8}); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	if got := tel.ClientTruncated.Value("m"); got != 1 {
+		t.Errorf("truncated{m} = %v, want 1", got)
+	}
+	// The underlying generate request itself completed at the HTTP
+	// level, so it counts as ok — truncation is its own signal.
+	if got := tel.ClientRequests.Value("generate", "error"); got != 0 {
+		t.Errorf("requests{generate,error} = %v, want 0", got)
+	}
+}
+
+// TestClientCanceledOutcome checks deadline expiry maps to the bounded
+// "canceled" outcome label, not "error".
+func TestClientCanceledOutcome(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+	tel := telemetry.New(telemetry.Options{})
+	c := NewClient(srv.URL, srv.Client()).Instrument(tel)
+	c.Timeout = 20 * time.Millisecond
+	if _, err := c.Tags(context.Background()); err == nil {
+		t.Fatal("expected timeout")
+	}
+	if got := tel.ClientRequests.Value("tags", "canceled"); got != 1 {
+		t.Errorf("requests{tags,canceled} = %v, want 1", got)
+	}
+}
+
+// TestDaemonMetricsEndpoint checks the daemon's own /metrics page
+// counts requests by route pattern and generated tokens by model.
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	c, engine := newTestDaemon(t)
+	ctx := context.Background()
+	model := engine.Profiles()[0].Name
+	if _, err := c.GenerateChunk(ctx, llm.ChunkRequest{Model: model, Prompt: "What color is the sky?", MaxTokens: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tags(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		`modeld_requests_total{route="POST /api/generate",code="200"} 1`,
+		`modeld_requests_total{route="GET /api/tags",code="200"} 1`,
+		`modeld_request_duration_seconds_count{route="POST /api/generate"} 1`,
+		`modeld_generate_tokens_total{model="` + model + `"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon metrics missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -23,7 +23,21 @@
 //	GET  /api/arena            pairwise-game Elo standings (§9.5)
 //	GET  /api/recall           contextual memory-graph recall (§9.5)
 //	GET  /api/gpu              hardware telemetry
-//	GET  /healthz, /api/version
+//	GET  /api/traces           recent completed query traces (newest first, ?limit=)
+//	GET  /api/traces/{id}      one query's span timings (rounds, chunks, scores)
+//	GET  /metrics              Prometheus text-format metrics exposition
+//	GET  /healthz              liveness (always ok while the process serves)
+//	GET  /readyz               readiness with per-dependency check status
+//	GET  /api/version
+//	GET  /debug/pprof/...      runtime profiles (only with Options.EnablePprof)
+//
+// Every route is instrumented: per-endpoint request counters
+// (llmms_http_requests_total{route,code}) and latency histograms
+// (llmms_http_request_duration_seconds{route}), with SSE stream/frame
+// counters on /api/query; see internal/telemetry for the full metric
+// catalogue. Each /api/query run is assigned a query ID (returned in
+// the X-Query-ID header and the final "result" frame) under which its
+// completed trace is retrievable from /api/traces/{id}.
 //
 // Every non-2xx response — and the SSE "error" event on /api/query —
 // carries the uniform JSON envelope
@@ -32,12 +46,14 @@
 //
 // where code is a stable machine-readable identifier (invalid_json,
 // missing_field, invalid_strategy, unknown_session, unknown_document,
-// unknown_model, invalid_settings, invalid_rating, body_too_large,
-// ingest_failed, retrieval_failed, ephemeral_context, invalid_config,
-// all_models_failed, query_failed) and message is the human-readable
-// detail. The /api/query stream also forwards core orchestration events
-// verbatim, including "model_failed" frames when a model is dropped
-// after retry exhaustion while the query continues on the survivors.
+// unknown_model, unknown_trace, invalid_settings, invalid_rating,
+// body_too_large, ingest_failed, retrieval_failed, ephemeral_context,
+// invalid_config, all_models_failed, query_failed) and message is the
+// human-readable detail. The one exception is GET /readyz, whose 503
+// body is the per-dependency check report itself. The /api/query stream
+// also forwards core orchestration events verbatim, including
+// "model_failed" frames when a model is dropped after retry exhaustion
+// while the query continues on the survivors.
 package server
 
 import (
@@ -47,6 +63,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,6 +76,7 @@ import (
 	"llmms/internal/rag"
 	"llmms/internal/router"
 	"llmms/internal/session"
+	"llmms/internal/telemetry"
 	"llmms/internal/vectordb"
 )
 
@@ -125,19 +143,45 @@ type Options struct {
 	Settings Settings
 	// SessionOptions tunes the session store.
 	SessionOptions session.Options
+	// Telemetry is the metrics registry and trace store the server
+	// instruments itself into. Nil constructs a fresh default bundle, so
+	// embedding apps that want to share one registry across components
+	// (e.g. with a modeld.Client) pass theirs here.
+	Telemetry *telemetry.Telemetry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU, so production
+	// deployments opt in explicitly (the -pprof flag on cmd/llmms).
+	EnablePprof bool
+	// ReadyChecks are the dependency probes behind GET /readyz, in
+	// addition to the built-in "models" check (model inventory
+	// non-empty). Each check gets a bounded context; a non-nil error
+	// marks the whole server unready (503).
+	ReadyChecks []ReadyCheck
+}
+
+// ReadyCheck is one named readiness probe for /readyz.
+type ReadyCheck struct {
+	// Name identifies the dependency in the /readyz report.
+	Name string
+	// Check returns nil when the dependency is usable. The context
+	// carries the probe deadline.
+	Check func(ctx context.Context) error
 }
 
 // Server is the application layer. Construct with NewServer; it
 // implements http.Handler.
 type Server struct {
-	engine   *llm.Engine
-	sessions *session.Store
-	docs     *vectordb.Collection
-	ingestor *rag.Ingestor
-	feedback *core.FeedbackStore
-	arena    *arena.Arena
-	memory   *session.MemoryGraph
-	mux      *http.ServeMux
+	engine      *llm.Engine
+	sessions    *session.Store
+	docs        *vectordb.Collection
+	ingestor    *rag.Ingestor
+	feedback    *core.FeedbackStore
+	arena       *arena.Arena
+	memory      *session.MemoryGraph
+	tel         *telemetry.Telemetry
+	readyChecks []ReadyCheck
+	pprofOn     bool
+	mux         *http.ServeMux
 
 	mu       sync.Mutex
 	settings Settings
@@ -166,6 +210,10 @@ func NewServer(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.New(telemetry.Options{})
+	}
 	s := &Server{
 		engine:   opts.Engine,
 		sessions: session.NewStore(opts.SessionOptions),
@@ -174,36 +222,76 @@ func NewServer(opts Options) (*Server, error) {
 		feedback: core.NewFeedbackStore(),
 		arena:    arena.New(arena.Options{}),
 		memory:   session.NewMemoryGraph(session.MemoryGraphOptions{}),
+		tel:      tel,
+		pprofOn:  opts.EnablePprof,
 		settings: st,
 		docIDs:   make(map[string]docInfo),
 		mux:      http.NewServeMux(),
 	}
+	// The built-in readiness probe: the backend must expose at least one
+	// model, or every query is doomed to fail.
+	s.readyChecks = append([]ReadyCheck{{
+		Name: "models",
+		Check: func(context.Context) error {
+			if len(s.engine.Profiles()) == 0 {
+				return errors.New("model inventory is empty")
+			}
+			return nil
+		},
+	}}, opts.ReadyChecks...)
 	s.routes()
 	return s, nil
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /", s.handleUI)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/version", s.handleVersion)
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/upload", s.handleUpload)
-	s.mux.HandleFunc("GET /api/documents", s.handleDocuments)
-	s.mux.HandleFunc("DELETE /api/documents/{id}", s.handleDeleteDocument)
-	s.mux.HandleFunc("GET /api/sessions", s.handleListSessions)
-	s.mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
-	s.mux.HandleFunc("DELETE /api/sessions", s.handleClearSessions)
-	s.mux.HandleFunc("GET /api/sessions/{id}", s.handleGetSession)
-	s.mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
-	s.mux.HandleFunc("GET /api/models", s.handleModels)
-	s.mux.HandleFunc("GET /api/settings", s.handleGetSettings)
-	s.mux.HandleFunc("PUT /api/settings", s.handlePutSettings)
-	s.mux.HandleFunc("POST /api/configure", s.handleConfigure)
-	s.mux.HandleFunc("POST /api/feedback", s.handleFeedback)
-	s.mux.HandleFunc("GET /api/feedback", s.handleFeedbackBoard)
-	s.mux.HandleFunc("GET /api/arena", s.handleArena)
-	s.mux.HandleFunc("GET /api/recall", s.handleRecall)
-	s.mux.HandleFunc("GET /api/gpu", s.handleGPU)
+	s.handle("GET /", s.handleUI)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /readyz", s.handleReady)
+	s.handle("GET /metrics", s.tel.Handler().ServeHTTP)
+	s.handle("GET /api/version", s.handleVersion)
+	s.handle("POST /api/query", s.handleQuery)
+	s.handle("POST /api/upload", s.handleUpload)
+	s.handle("GET /api/documents", s.handleDocuments)
+	s.handle("DELETE /api/documents/{id}", s.handleDeleteDocument)
+	s.handle("GET /api/sessions", s.handleListSessions)
+	s.handle("POST /api/sessions", s.handleCreateSession)
+	s.handle("DELETE /api/sessions", s.handleClearSessions)
+	s.handle("GET /api/sessions/{id}", s.handleGetSession)
+	s.handle("DELETE /api/sessions/{id}", s.handleDeleteSession)
+	s.handle("GET /api/models", s.handleModels)
+	s.handle("GET /api/settings", s.handleGetSettings)
+	s.handle("PUT /api/settings", s.handlePutSettings)
+	s.handle("POST /api/configure", s.handleConfigure)
+	s.handle("POST /api/feedback", s.handleFeedback)
+	s.handle("GET /api/feedback", s.handleFeedbackBoard)
+	s.handle("GET /api/arena", s.handleArena)
+	s.handle("GET /api/recall", s.handleRecall)
+	s.handle("GET /api/gpu", s.handleGPU)
+	s.handle("GET /api/traces", s.handleTraces)
+	s.handle("GET /api/traces/{id}", s.handleTrace)
+	if s.pprofOn {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// handle registers a handler wrapped with per-route instrumentation:
+// llmms_http_requests_total{route,code} and
+// llmms_http_request_duration_seconds{route}. The registration pattern
+// itself is the route label — never a concrete path, so /api/sessions/{id}
+// stays one series no matter how many sessions exist (bounded
+// cardinality, same rule as internal/telemetry documents for models).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := telemetry.NewResponseRecorder(w)
+		h(rec, r)
+		s.tel.HTTPRequests.Inc(pattern, strconv.Itoa(rec.Status))
+		s.tel.HTTPLatency.Observe(time.Since(start).Seconds(), pattern)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -211,6 +299,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Sessions exposes the session store (used by tests and embedding apps).
 func (s *Server) Sessions() *session.Store { return s.sessions }
+
+// Telemetry exposes the server's metrics registry and trace store (used
+// by tests and embedding apps that register their own metrics).
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // Settings returns the current settings snapshot.
 func (s *Server) Settings() Settings {
@@ -252,6 +344,74 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"version": Version})
+}
+
+// readyReport is the GET /readyz body: overall status plus one row per
+// dependency check. Unlike every other non-2xx response, a 503 here
+// carries this report rather than the error envelope — the report is the
+// diagnosis, an envelope would just wrap it.
+type readyReport struct {
+	Status string       `json:"status"` // "ready" or "unready"
+	Checks []checkState `json:"checks"`
+}
+
+type checkState struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleReady runs every readiness probe with a bounded deadline.
+// Liveness (/healthz) answers "is the process serving"; readiness
+// answers "can it do useful work" — a server whose backend lost its
+// model inventory is alive but unready, and a load balancer should stop
+// routing queries to it without restarting it.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	report := readyReport{Status: "ready", Checks: make([]checkState, 0, len(s.readyChecks))}
+	for _, c := range s.readyChecks {
+		st := checkState{Name: c.Name, OK: true}
+		if err := c.Check(ctx); err != nil {
+			st.OK = false
+			st.Error = err.Error()
+			report.Status = "unready"
+		}
+		report.Checks = append(report.Checks, st)
+	}
+	status := http.StatusOK
+	if report.Status != "ready" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, report)
+}
+
+// handleTraces lists recent completed query traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 1000 {
+			limit = n
+		}
+	}
+	out := s.tel.Traces.List(limit)
+	if out == nil {
+		out = []telemetry.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace returns one query's full trace: per-round wall clock,
+// per-chunk generation latency with attempt counts, score trajectory,
+// prunes, and failures.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.tel.Traces.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_trace", "unknown trace %q (the store keeps the most recent %d)", id, s.tel.Traces.Cap())
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // QueryRequest is the /api/query payload.
@@ -340,18 +500,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	prompt := rag.BuildPrompt(rag.PromptParts{Summary: summary, Chunks: chunks, Question: req.Query})
 
+	queryID := telemetry.NewQueryID()
 	flusher, canStream := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Session-ID", sessID)
+	w.Header().Set("X-Query-ID", queryID)
 	w.WriteHeader(http.StatusOK)
 
+	s.tel.SSEStreams.Inc()
+	defer func() {
+		// A stream whose client context ended mid-query was dropped: the
+		// browser navigated away or the connection broke before "result".
+		if r.Context().Err() != nil {
+			s.tel.SSEDropped.Inc()
+		}
+	}()
 	writeEvent := func(event string, v any) {
 		data, err := json.Marshal(v)
 		if err != nil {
 			return
 		}
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		s.tel.SSEFrames.Inc()
 		if canStream {
 			flusher.Flush()
 		}
@@ -361,19 +532,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if strategy == core.StrategySingle {
 		models = []string{model}
 	}
+	obs := s.tel.StartQuery(queryID, string(strategy), req.Query)
 	cfg := core.DefaultConfig(models...)
 	cfg.MaxTokens = maxTokens
 	cfg.Alpha = st.Alpha
 	cfg.Beta = st.Beta
 	cfg.Feedback = s.feedback
 	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
+	cfg.Recorder = obs
 	oc, err := core.New(s.engine, cfg)
 	if err != nil {
+		obs.Finish(err)
 		writeEvent("error", errBody("invalid_config", "%v", err))
 		return
 	}
 
 	res, err := oc.Run(r.Context(), strategy, prompt)
+	obs.Finish(err)
 	if err != nil {
 		code := "query_failed"
 		if errors.Is(err, core.ErrAllModelsFailed) {
@@ -397,7 +572,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SessionID: sessID, Question: req.Query, Answer: res.Answer,
 		Model: res.Model, Time: time.Now(),
 	})
-	writeEvent("result", map[string]any{"session_id": sessID, "result": res})
+	writeEvent("result", map[string]any{"session_id": sessID, "query_id": queryID, "result": res})
 }
 
 // uploadRequest is the JSON /api/upload payload (the browser reads the

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"llmms/internal/llm"
+	"llmms/internal/telemetry"
+	"llmms/internal/truthfulqa"
+)
+
+// runQuery posts one /api/query and returns the response plus the SSE
+// body, fully read.
+func runQuery(t *testing.T, url string, body any) (*http.Response, string) {
+	t.Helper()
+	resp := doJSON(t, http.MethodPost, url+"/api/query", body, nil)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+// metricsLine matches one sample line of the 0.0.4 text format.
+var metricsLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestMetricsEndpoint runs real queries (one success, one failure) and
+// asserts GET /metrics is Prometheus-parseable and carries every family
+// the platform promises, with the expected counts.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if _, body := runQuery(t, ts.URL, map[string]any{"query": "What color is the sky?", "strategy": "oua"}); !strings.Contains(body, "event: result") {
+		t.Fatalf("oua query did not complete:\n%s", body)
+	}
+	if _, body := runQuery(t, ts.URL, map[string]any{"query": "What color is the sky?", "strategy": "single", "model": "no-such-model"}); !strings.Contains(body, "event: error") {
+		t.Fatalf("doomed query did not error:\n%s", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+
+	// Every line parses as a comment or a sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !metricsLine.MatchString(line) {
+			t.Errorf("unparseable metrics line %q", line)
+		}
+	}
+
+	// The acceptance set: query counts by strategy/outcome, latency
+	// histograms, retry/failure/prune counters, SSE counters, and the
+	// modeld client families (present even with zero series — the server
+	// runs on the in-process engine here).
+	for _, want := range []string{
+		`llmms_queries_total{strategy="oua",outcome="ok"} 1`,
+		`llmms_queries_total{strategy="single",outcome="error"} 1`,
+		`llmms_query_duration_seconds_count{strategy="oua"} 1`,
+		`llmms_chunk_duration_seconds_bucket{model="llama3:8b"`,
+		`llmms_tokens_generated_total{model="llama3:8b"}`,
+		`llmms_http_requests_total{route="POST /api/query",code="200"} 2`,
+		`llmms_http_request_duration_seconds_count{route="POST /api/query"} 2`,
+		`llmms_sse_streams_started_total 2`,
+		`llmms_sse_streams_dropped_total 0`,
+		`llmms_sse_frames_written_total`,
+		`llmms_query_traces 2`,
+		"# TYPE llmms_chunk_retries_total counter",
+		"# TYPE llmms_model_failures_total counter",
+		"# TYPE llmms_prunes_total counter",
+		"# TYPE modeld_client_requests_total counter",
+		"# TYPE modeld_client_request_duration_seconds histogram",
+		"# TYPE modeld_client_chunk_duration_seconds histogram",
+		"# TYPE modeld_client_truncated_streams_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestQueryTraceRetrievable completes a query and fetches its trace by
+// the ID from the X-Query-ID header, checking per-round and per-chunk
+// timings arrived.
+func TestQueryTraceRetrievable(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := runQuery(t, ts.URL, map[string]any{"query": "What color is the sky?", "strategy": "oua"})
+	id := resp.Header.Get("X-Query-ID")
+	if id == "" {
+		t.Fatal("no X-Query-ID header")
+	}
+	if !strings.Contains(body, `"query_id":"`+id+`"`) {
+		t.Errorf("result frame does not echo the query ID:\n%s", body)
+	}
+
+	var tr telemetry.QueryTrace
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/api/traces/"+id, nil, &tr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %d", resp.StatusCode)
+	}
+	if tr.ID != id || tr.Strategy != "oua" || tr.Outcome != "ok" {
+		t.Fatalf("trace header wrong: %+v", tr)
+	}
+	if tr.Winner == "" || tr.Elapsed <= 0 {
+		t.Errorf("trace missing winner/elapsed: winner=%q elapsed=%v", tr.Winner, tr.Elapsed)
+	}
+	if len(tr.Rounds) == 0 || len(tr.Chunks) == 0 || len(tr.Scores) == 0 {
+		t.Fatalf("trace missing spans: rounds=%d chunks=%d scores=%d",
+			len(tr.Rounds), len(tr.Chunks), len(tr.Scores))
+	}
+	for _, r := range tr.Rounds {
+		if r.Elapsed <= 0 {
+			t.Errorf("round %d has no wall clock: %+v", r.Round, r)
+		}
+	}
+	for _, c := range tr.Chunks {
+		if c.Model == "" || c.Tokens <= 0 {
+			t.Errorf("malformed chunk span: %+v", c)
+		}
+	}
+
+	// The listing shows it, newest first.
+	var list []telemetry.TraceSummary
+	doJSON(t, http.MethodGet, ts.URL+"/api/traces", nil, &list)
+	if len(list) != 1 || list[0].ID != id {
+		t.Fatalf("trace listing = %+v", list)
+	}
+
+	// Unknown IDs get the uniform envelope with the documented code.
+	var envelope map[string]struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/api/traces/qdeadbeef", nil, &envelope); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: %d", resp.StatusCode)
+	}
+	if envelope["error"].Code != "unknown_trace" {
+		t.Errorf("error code = %q, want unknown_trace", envelope["error"].Code)
+	}
+}
+
+// TestReadyz exercises both readiness outcomes: the default server is
+// ready; a failing custom dependency flips it to 503 with the failing
+// check named in the body.
+func TestReadyz(t *testing.T) {
+	_, ts := newTestServer(t)
+	var report struct {
+		Status string `json:"status"`
+		Checks []struct {
+			Name  string `json:"name"`
+			OK    bool   `json:"ok"`
+			Error string `json:"error,omitempty"`
+		} `json:"checks"`
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", nil, &report); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+	if report.Status != "ready" || len(report.Checks) != 1 || report.Checks[0].Name != "models" || !report.Checks[0].OK {
+		t.Fatalf("ready report = %+v", report)
+	}
+
+	engine := llm.NewEngine(llm.Options{})
+	s, err := NewServer(Options{Engine: engine, ReadyChecks: []ReadyCheck{
+		{Name: "daemon", Check: func(context.Context) error { return errors.New("connection refused") }},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s)
+	t.Cleanup(ts2.Close)
+	report.Checks = nil
+	if resp := doJSON(t, http.MethodGet, ts2.URL+"/readyz", nil, &report); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unready readyz: %d", resp.StatusCode)
+	}
+	if report.Status != "unready" || len(report.Checks) != 2 {
+		t.Fatalf("unready report = %+v", report)
+	}
+	for _, c := range report.Checks {
+		switch c.Name {
+		case "models":
+			if !c.OK {
+				t.Errorf("models check should pass: %+v", c)
+			}
+		case "daemon":
+			if c.OK || c.Error != "connection refused" {
+				t.Errorf("daemon check should fail with its error: %+v", c)
+			}
+		default:
+			t.Errorf("unexpected check %+v", c)
+		}
+	}
+
+	// Liveness stays independent: /healthz is 200 on the unready server.
+	if resp := doJSON(t, http.MethodGet, ts2.URL+"/healthz", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz on unready server: %d", resp.StatusCode)
+	}
+}
+
+// TestTraceStoreEvictionOverHTTP proves the /api/traces bound end to
+// end: with capacity 2, a third query evicts the first.
+func TestTraceStoreEvictionOverHTTP(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	s, err := NewServer(Options{
+		Engine:    engine,
+		Telemetry: telemetry.New(telemetry.Options{TraceCapacity: 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, body := runQuery(t, ts.URL, map[string]any{"query": "What color is the sky?", "strategy": "single"})
+		if !strings.Contains(body, "event: result") {
+			t.Fatalf("query %d failed:\n%s", i, body)
+		}
+		ids = append(ids, resp.Header.Get("X-Query-ID"))
+	}
+	var list []telemetry.TraceSummary
+	doJSON(t, http.MethodGet, ts.URL+"/api/traces", nil, &list)
+	if len(list) != 2 {
+		t.Fatalf("listing kept %d traces, want 2", len(list))
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/api/traces/"+ids[0], nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest trace should be evicted, got %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/api/traces/"+ids[2], nil, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("newest trace should be retained, got %d", resp.StatusCode)
+	}
+}
+
+// TestPprofGating: /debug/pprof is absent by default and served when
+// Options.EnablePprof is set.
+func TestPprofGating(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without opt-in: %d", resp.StatusCode)
+	}
+
+	engine := llm.NewEngine(llm.Options{})
+	s, err := NewServer(Options{Engine: engine, EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s)
+	t.Cleanup(ts2.Close)
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with opt-in: %d", resp2.StatusCode)
+	}
+}
+
+// TestHTTPStatusLabels checks the middleware records non-200 statuses
+// under the registration pattern, not the concrete URL.
+func TestHTTPStatusLabels(t *testing.T) {
+	s, ts := newTestServer(t)
+	doJSON(t, http.MethodGet, ts.URL+"/api/sessions/nope-1", nil, nil)
+	doJSON(t, http.MethodGet, ts.URL+"/api/sessions/nope-2", nil, nil)
+	tel := s.Telemetry()
+	if got := tel.HTTPRequests.Value("GET /api/sessions/{id}", "404"); got != 2 {
+		t.Errorf("pattern-labeled 404 count = %v, want 2", got)
+	}
+}

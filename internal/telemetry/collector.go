@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"llmms/internal/core"
+)
+
+// QueryObserver builds one QueryTrace from a query's orchestration event
+// stream and feeds the bundle's metrics as the events arrive. It
+// implements core.Recorder: attach it as Config.Recorder, run the query,
+// then call Finish with the query's terminal error (nil on success) to
+// record the aggregate metrics and store the trace.
+//
+// A single orchestrated query emits events from one goroutine, but the
+// observer locks anyway so a misbehaving backend cannot corrupt it.
+type QueryObserver struct {
+	tel *Telemetry
+
+	mu       sync.Mutex
+	start    time.Time
+	tr       QueryTrace
+	finished bool
+}
+
+// StartQuery opens an observer for one query. strategy is the requested
+// policy (the event stream overrides it, so a default is fine); the
+// query text is truncated to the bundle's MaxQueryBytes.
+func (t *Telemetry) StartQuery(id, strategy, query string) *QueryObserver {
+	if len(query) > t.maxQueryBytes {
+		query = query[:t.maxQueryBytes]
+	}
+	now := time.Now()
+	return &QueryObserver{
+		tel:   t,
+		start: now,
+		tr:    QueryTrace{ID: id, Strategy: strategy, Query: query, Start: now},
+	}
+}
+
+// RecordEvent implements core.Recorder.
+func (q *QueryObserver) RecordEvent(ev core.Event) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.finished {
+		return
+	}
+	if ev.Strategy != "" {
+		q.tr.Strategy = string(ev.Strategy)
+	}
+	offset := ev.Time.Sub(q.start)
+	if offset < 0 {
+		offset = 0
+	}
+	switch ev.Type {
+	case core.EventRound:
+		q.closeRound(offset)
+		ro := ev.Elapsed // round events carry their offset from query start
+		if ro == 0 {
+			ro = offset
+		}
+		q.tr.Rounds = append(q.tr.Rounds, RoundSpan{Round: ev.Round, Model: ev.Model, Offset: ro})
+	case core.EventChunk:
+		begin := offset - ev.Elapsed
+		if begin < 0 {
+			begin = 0
+		}
+		q.tr.Chunks = append(q.tr.Chunks, ChunkSpan{
+			Round: ev.Round, Model: ev.Model, Tokens: ev.Tokens,
+			Offset: begin, Elapsed: ev.Elapsed, Attempts: ev.Attempts,
+		})
+		q.tr.Retries += retriesOf(ev.Attempts)
+		q.tel.ChunkLatency.Observe(ev.Elapsed.Seconds(), ev.Model)
+		q.tel.Tokens.Add(float64(ev.Tokens), ev.Model)
+		if r := retriesOf(ev.Attempts); r > 0 {
+			q.tel.Retries.Add(float64(r), ev.Model)
+		}
+	case core.EventScore:
+		q.tr.Scores = append(q.tr.Scores, ScorePoint{Round: ev.Round, Model: ev.Model, Score: ev.Score})
+	case core.EventPrune:
+		q.tr.Pruned = append(q.tr.Pruned, ev.Model)
+		q.tel.Prunes.Inc(string(ev.Strategy))
+	case core.EventModelFailed:
+		q.tr.Failures = append(q.tr.Failures, ModelFailure{
+			Model: ev.Model, Attempts: ev.Attempts, Reason: ev.Reason,
+		})
+		q.tr.Retries += retriesOf(ev.Attempts)
+		q.tel.ModelFailures.Inc(ev.Model)
+		if r := retriesOf(ev.Attempts); r > 0 {
+			q.tel.Retries.Add(float64(r), ev.Model)
+		}
+	case core.EventWinner:
+		q.tr.Winner = ev.Model
+		q.tr.TokensUsed = ev.Tokens
+		// Winner events carry the orchestrator's own total wall clock —
+		// more precise than measuring around Run, which would fold in
+		// server-side overhead.
+		if ev.Elapsed > 0 {
+			q.tr.Elapsed = ev.Elapsed
+		}
+	}
+}
+
+func retriesOf(attempts int) int {
+	if attempts > 1 {
+		return attempts - 1
+	}
+	return 0
+}
+
+// closeRound seals the open round span at the given end offset.
+func (q *QueryObserver) closeRound(end time.Duration) {
+	if n := len(q.tr.Rounds); n > 0 && q.tr.Rounds[n-1].Elapsed == 0 {
+		if d := end - q.tr.Rounds[n-1].Offset; d > 0 {
+			q.tr.Rounds[n-1].Elapsed = d
+		}
+	}
+}
+
+// Finish seals the trace with the query's terminal error (nil on
+// success), records the query-level metrics, stores the trace, and
+// returns a copy. Safe to call once; later calls are no-ops returning
+// the sealed trace.
+func (q *QueryObserver) Finish(err error) QueryTrace {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.finished {
+		return q.tr
+	}
+	q.finished = true
+	if q.tr.Elapsed == 0 {
+		q.tr.Elapsed = time.Since(q.start)
+	}
+	q.closeRound(q.tr.Elapsed)
+	q.tr.Outcome = outcomeLabel(err)
+	if err != nil {
+		q.tr.Error = err.Error()
+	}
+	q.tel.Queries.Inc(q.tr.Strategy, q.tr.Outcome)
+	q.tel.QueryLatency.Observe(q.tr.Elapsed.Seconds(), q.tr.Strategy)
+	q.tel.Traces.Put(q.tr)
+	q.tel.TracesStored.Set(float64(q.tel.Traces.Len()))
+	return q.tr
+}
+
+// outcomeLabel maps a terminal error to the bounded outcome label set.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, core.ErrAllModelsFailed):
+		return "all_models_failed"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "error"
+	}
+}

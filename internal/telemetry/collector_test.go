@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"llmms/internal/core"
+)
+
+// feedQuery drives one synthetic two-round OUA query through an
+// observer: two models chunk in round 1, one is pruned, one retries,
+// one fails, and llama3 wins.
+func feedQuery(tel *Telemetry, id string) *QueryObserver {
+	obs := tel.StartQuery(id, "oua", "why is the sky blue?")
+	base := obs.start
+	at := func(d time.Duration) time.Time { return base.Add(d) }
+
+	obs.RecordEvent(core.Event{Type: core.EventStart, Strategy: core.StrategyOUA, Time: at(0)})
+	obs.RecordEvent(core.Event{Type: core.EventRound, Strategy: core.StrategyOUA, Round: 1,
+		Time: at(time.Millisecond), Elapsed: time.Millisecond})
+	obs.RecordEvent(core.Event{Type: core.EventChunk, Strategy: core.StrategyOUA, Round: 1,
+		Model: "llama3", Tokens: 10, Time: at(11 * time.Millisecond), Elapsed: 10 * time.Millisecond, Attempts: 1})
+	obs.RecordEvent(core.Event{Type: core.EventChunk, Strategy: core.StrategyOUA, Round: 1,
+		Model: "mistral", Tokens: 8, Time: at(16 * time.Millisecond), Elapsed: 15 * time.Millisecond, Attempts: 3})
+	obs.RecordEvent(core.Event{Type: core.EventScore, Strategy: core.StrategyOUA, Round: 1,
+		Model: "llama3", Score: 0.9, Time: at(17 * time.Millisecond)})
+	obs.RecordEvent(core.Event{Type: core.EventPrune, Strategy: core.StrategyOUA, Round: 1,
+		Model: "mistral", Score: 0.2, Reason: "trailing", Time: at(18 * time.Millisecond)})
+	obs.RecordEvent(core.Event{Type: core.EventRound, Strategy: core.StrategyOUA, Round: 2,
+		Time: at(20 * time.Millisecond), Elapsed: 20 * time.Millisecond})
+	obs.RecordEvent(core.Event{Type: core.EventModelFailed, Strategy: core.StrategyOUA, Round: 2,
+		Model: "qwen2", Attempts: 4, Reason: "backend down", Time: at(25 * time.Millisecond)})
+	obs.RecordEvent(core.Event{Type: core.EventWinner, Strategy: core.StrategyOUA,
+		Model: "llama3", Tokens: 18, Score: 0.9, Time: at(30 * time.Millisecond), Elapsed: 30 * time.Millisecond})
+	return obs
+}
+
+func TestObserverBuildsTrace(t *testing.T) {
+	tel := New(Options{})
+	obs := feedQuery(tel, "q1")
+	tr := obs.Finish(nil)
+
+	if tr.ID != "q1" || tr.Strategy != "oua" || tr.Outcome != "ok" {
+		t.Fatalf("trace header wrong: %+v", tr)
+	}
+	if tr.Winner != "llama3" || tr.TokensUsed != 18 {
+		t.Errorf("winner fields wrong: winner=%q tokens=%d", tr.Winner, tr.TokensUsed)
+	}
+	if len(tr.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(tr.Rounds))
+	}
+	// Round 1 opened at 1ms and round 2 at 20ms, so round 1's wall clock
+	// is the 19ms between them; round 2 is sealed by Finish.
+	if tr.Rounds[0].Offset != time.Millisecond || tr.Rounds[0].Elapsed != 19*time.Millisecond {
+		t.Errorf("round 1 span wrong: %+v", tr.Rounds[0])
+	}
+	if tr.Rounds[1].Elapsed <= 0 {
+		t.Errorf("final round not sealed: %+v", tr.Rounds[1])
+	}
+	if len(tr.Chunks) != 2 {
+		t.Fatalf("chunks = %d, want 2", len(tr.Chunks))
+	}
+	c := tr.Chunks[0]
+	if c.Model != "llama3" || c.Tokens != 10 || c.Elapsed != 10*time.Millisecond || c.Attempts != 1 {
+		t.Errorf("chunk span wrong: %+v", c)
+	}
+	// Chunk offset is the call start: event time minus call elapsed.
+	if c.Offset != time.Millisecond {
+		t.Errorf("chunk offset = %v, want 1ms", c.Offset)
+	}
+	if len(tr.Scores) != 1 || tr.Scores[0].Score != 0.9 {
+		t.Errorf("score trajectory wrong: %+v", tr.Scores)
+	}
+	if len(tr.Pruned) != 1 || tr.Pruned[0] != "mistral" {
+		t.Errorf("pruned wrong: %+v", tr.Pruned)
+	}
+	if len(tr.Failures) != 1 || tr.Failures[0].Model != "qwen2" || tr.Failures[0].Attempts != 4 {
+		t.Errorf("failures wrong: %+v", tr.Failures)
+	}
+	// Retries: mistral chunk took 3 attempts (2 retries), qwen2 failed
+	// after 4 attempts (3 retries).
+	if tr.Retries != 5 {
+		t.Errorf("retries = %d, want 5", tr.Retries)
+	}
+
+	// The same run fed the aggregate metrics.
+	if got := tel.Queries.Value("oua", "ok"); got != 1 {
+		t.Errorf("queries counter = %v, want 1", got)
+	}
+	if got := tel.QueryLatency.Count("oua"); got != 1 {
+		t.Errorf("query latency count = %v, want 1", got)
+	}
+	if got := tel.ChunkLatency.Count("llama3"); got != 1 {
+		t.Errorf("chunk latency count = %v, want 1", got)
+	}
+	if got := tel.Tokens.Value("mistral"); got != 8 {
+		t.Errorf("tokens = %v, want 8", got)
+	}
+	if got := tel.Retries.Value("mistral"); got != 2 {
+		t.Errorf("mistral retries = %v, want 2", got)
+	}
+	if got := tel.Retries.Value("qwen2"); got != 3 {
+		t.Errorf("qwen2 retries = %v, want 3", got)
+	}
+	if got := tel.ModelFailures.Value("qwen2"); got != 1 {
+		t.Errorf("model failures = %v, want 1", got)
+	}
+	if got := tel.Prunes.Value("oua"); got != 1 {
+		t.Errorf("prunes = %v, want 1", got)
+	}
+	if got := tel.TracesStored.Value(); got != 1 {
+		t.Errorf("traces gauge = %v, want 1", got)
+	}
+	if _, ok := tel.Traces.Get("q1"); !ok {
+		t.Error("finished trace not stored")
+	}
+}
+
+func TestObserverFinishOutcomes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{core.ErrAllModelsFailed, "all_models_failed"},
+		{context.Canceled, "canceled"},
+		{context.DeadlineExceeded, "canceled"},
+		{errors.New("boom"), "error"},
+	}
+	for _, c := range cases {
+		tel := New(Options{})
+		tr := tel.StartQuery("q", "mab", "x").Finish(c.err)
+		if tr.Outcome != c.want {
+			t.Errorf("Finish(%v) outcome = %q, want %q", c.err, tr.Outcome, c.want)
+		}
+		if got := tel.Queries.Value("mab", c.want); got != 1 {
+			t.Errorf("Finish(%v): counter{mab,%s} = %v, want 1", c.err, c.want, got)
+		}
+		if c.err != nil && tr.Error == "" {
+			t.Errorf("Finish(%v): error text not recorded", c.err)
+		}
+	}
+}
+
+func TestObserverFinishIdempotent(t *testing.T) {
+	tel := New(Options{})
+	obs := tel.StartQuery("q", "oua", "x")
+	obs.Finish(nil)
+	obs.RecordEvent(core.Event{Type: core.EventChunk, Model: "m", Tokens: 5, Time: time.Now()})
+	tr := obs.Finish(errors.New("late"))
+	if tr.Outcome != "ok" || len(tr.Chunks) != 0 {
+		t.Errorf("post-finish activity mutated the trace: %+v", tr)
+	}
+	if got := tel.Queries.Value("oua", "ok"); got != 1 {
+		t.Errorf("double finish double-counted: %v", got)
+	}
+}
+
+func TestStartQueryTruncatesQueryText(t *testing.T) {
+	tel := New(Options{MaxQueryBytes: 10})
+	tr := tel.StartQuery("q", "oua", strings.Repeat("a", 100)).Finish(nil)
+	if len(tr.Query) != 10 {
+		t.Errorf("query stored with %d bytes, want 10", len(tr.Query))
+	}
+}
+
+func TestStrategyOverriddenByEventStream(t *testing.T) {
+	tel := New(Options{})
+	obs := tel.StartQuery("q", "oua", "x")
+	obs.RecordEvent(core.Event{Type: core.EventStart, Strategy: core.StrategyHybrid, Time: time.Now()})
+	tr := obs.Finish(nil)
+	if tr.Strategy != string(core.StrategyHybrid) {
+		t.Errorf("strategy = %q, want hybrid", tr.Strategy)
+	}
+}

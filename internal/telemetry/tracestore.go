@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the number of completed query traces retained
+// when Options.TraceCapacity is zero.
+const DefaultTraceCapacity = 256
+
+// QueryTrace is the timing record of one completed orchestrated query —
+// the cross-query, durable counterpart of core.Trace's in-flight event
+// log. Every duration serializes as integer nanoseconds.
+type QueryTrace struct {
+	// ID is the generated query identifier (see NewQueryID), also
+	// returned to clients in the X-Query-ID header and result frame.
+	ID string `json:"id"`
+	// Strategy is the orchestration policy that served the query.
+	Strategy string `json:"strategy"`
+	// Query is the user's question, truncated to the store's limit.
+	Query string `json:"query"`
+	// Start is when orchestration began.
+	Start time.Time `json:"start"`
+	// Elapsed is the total orchestration wall clock.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Outcome is "ok", "error", "all_models_failed", or "canceled".
+	Outcome string `json:"outcome"`
+	// Error is the terminal error of a failed query.
+	Error string `json:"error,omitempty"`
+	// Winner is the model whose answer was selected.
+	Winner string `json:"winner,omitempty"`
+	// TokensUsed is the total generation spend across all models.
+	TokensUsed int `json:"tokens_used"`
+	// Rounds are the per-round wall-clock spans.
+	Rounds []RoundSpan `json:"rounds,omitempty"`
+	// Chunks are the per-model generation call spans.
+	Chunks []ChunkSpan `json:"chunks,omitempty"`
+	// Scores is the score trajectory across rounds.
+	Scores []ScorePoint `json:"scores,omitempty"`
+	// Retries is the total retry attempts spent beyond first tries.
+	Retries int `json:"retries"`
+	// Failures records models dropped after retry exhaustion.
+	Failures []ModelFailure `json:"failures,omitempty"`
+	// Pruned lists models removed by score-based pruning.
+	Pruned []string `json:"pruned,omitempty"`
+}
+
+// RoundSpan times one allocation round (OUA round or MAB/Hybrid pull).
+type RoundSpan struct {
+	// Round counts from 1 (OUA rounds, or MAB/Hybrid pulls).
+	Round int `json:"round"`
+	// Model is set on MAB/Hybrid pulls, where a round targets one arm.
+	Model string `json:"model,omitempty"`
+	// Offset is when the round opened, relative to query start.
+	Offset time.Duration `json:"offset_ns"`
+	// Elapsed is the round's wall clock (to the next round, or to the
+	// end of the query for the final round).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// ChunkSpan times one model's generation call within a round.
+type ChunkSpan struct {
+	Round int `json:"round"`
+	// Model is the model that generated the chunk.
+	Model string `json:"model"`
+	// Tokens is the chunk's generated token count.
+	Tokens int `json:"tokens"`
+	// Offset is when the generation call began, relative to query start.
+	Offset time.Duration `json:"offset_ns"`
+	// Elapsed is the generation call's wall clock, retries included.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Attempts is how many tries the chunk took (1 = no retries).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// ScorePoint is one model's combined score after one round.
+type ScorePoint struct {
+	Round int     `json:"round"`
+	Model string  `json:"model"`
+	Score float64 `json:"score"`
+}
+
+// ModelFailure records a model dropped after exhausting its retry budget.
+type ModelFailure struct {
+	Model    string `json:"model"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"`
+}
+
+// TraceSummary is the /api/traces listing row.
+type TraceSummary struct {
+	ID         string        `json:"id"`
+	Strategy   string        `json:"strategy"`
+	Query      string        `json:"query"`
+	Start      time.Time     `json:"start"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Outcome    string        `json:"outcome"`
+	Winner     string        `json:"winner,omitempty"`
+	TokensUsed int           `json:"tokens_used"`
+	Rounds     int           `json:"rounds"`
+	Retries    int           `json:"retries"`
+}
+
+// summaryQueryLimit truncates the query text in listing rows.
+const summaryQueryLimit = 120
+
+func (t QueryTrace) summary() TraceSummary {
+	q := t.Query
+	if len(q) > summaryQueryLimit {
+		q = q[:summaryQueryLimit] + "…"
+	}
+	return TraceSummary{
+		ID: t.ID, Strategy: t.Strategy, Query: q, Start: t.Start,
+		Elapsed: t.Elapsed, Outcome: t.Outcome, Winner: t.Winner,
+		TokensUsed: t.TokensUsed, Rounds: len(t.Rounds), Retries: t.Retries,
+	}
+}
+
+// TraceStore retains the most recent completed query traces in a
+// fixed-capacity ring buffer keyed by query ID: the (capacity+1)-th
+// insertion evicts the oldest trace. Safe for concurrent use.
+type TraceStore struct {
+	mu       sync.RWMutex
+	capacity int
+	buf      []QueryTrace
+	head     int // next write position once full
+	count    int
+	byID     map[string]int
+}
+
+// NewTraceStore returns an empty store retaining up to capacity traces
+// (non-positive means DefaultTraceCapacity).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceStore{capacity: capacity, byID: make(map[string]int)}
+}
+
+// Put stores a completed trace, evicting the oldest beyond capacity. A
+// trace with an already-stored ID replaces the stored copy in place.
+func (s *TraceStore) Put(tr QueryTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.byID[tr.ID]; ok {
+		s.buf[idx] = tr
+		return
+	}
+	if s.count < s.capacity {
+		s.buf = append(s.buf, tr)
+		s.byID[tr.ID] = s.count
+		s.count++
+		s.head = s.count % s.capacity
+		return
+	}
+	delete(s.byID, s.buf[s.head].ID)
+	s.buf[s.head] = tr
+	s.byID[tr.ID] = s.head
+	s.head = (s.head + 1) % s.capacity
+}
+
+// Get returns the trace with the given ID, if it is still retained.
+func (s *TraceStore) Get(id string) (QueryTrace, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.byID[id]
+	if !ok {
+		return QueryTrace{}, false
+	}
+	return s.buf[idx], true
+}
+
+// List returns up to limit summaries, newest first (limit <= 0 means
+// all retained traces).
+func (s *TraceStore) List(limit int) []TraceSummary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.count
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]TraceSummary, 0, n)
+	for k := 0; k < n; k++ {
+		idx := ((s.head-1-k)%s.count + s.count) % s.count
+		out = append(out, s.buf[idx].summary())
+	}
+	return out
+}
+
+// Len returns how many traces are currently retained.
+func (s *TraceStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Cap returns the store's configured capacity.
+func (s *TraceStore) Cap() int { return s.capacity }
+
+// idCounter disambiguates IDs generated within the same nanosecond when
+// the system randomness source is unavailable.
+var idCounter atomic.Uint64
+
+// NewQueryID returns a fresh 16-hex-character query identifier.
+func NewQueryID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano())^idCounter.Add(1)<<32)
+	}
+	return "q" + hex.EncodeToString(b[:])
+}

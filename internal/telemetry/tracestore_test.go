@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceStorePutGet(t *testing.T) {
+	s := NewTraceStore(4)
+	tr := QueryTrace{ID: "q1", Strategy: "oua", Winner: "llama3",
+		Rounds: []RoundSpan{{Round: 1, Offset: 0, Elapsed: time.Millisecond}},
+		Chunks: []ChunkSpan{{Round: 1, Model: "llama3", Tokens: 7, Elapsed: time.Millisecond}},
+	}
+	s.Put(tr)
+	got, ok := s.Get("q1")
+	if !ok {
+		t.Fatal("stored trace not found")
+	}
+	if got.Winner != "llama3" || len(got.Rounds) != 1 || got.Chunks[0].Tokens != 7 {
+		t.Errorf("round-tripped trace mangled: %+v", got)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get returned a trace for an unknown ID")
+	}
+}
+
+// TestTraceStoreEvictionBound proves the store never exceeds its
+// capacity and always evicts oldest-first.
+func TestTraceStoreEvictionBound(t *testing.T) {
+	const capacity = 8
+	s := NewTraceStore(capacity)
+	const total = 3*capacity + 1
+	for i := 0; i < total; i++ {
+		s.Put(QueryTrace{ID: fmt.Sprintf("q%03d", i)})
+		if s.Len() > capacity {
+			t.Fatalf("store grew to %d > capacity %d after %d puts", s.Len(), capacity, i+1)
+		}
+	}
+	if s.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", s.Len(), capacity)
+	}
+	// Exactly the newest `capacity` IDs survive.
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("q%03d", i)
+		_, ok := s.Get(id)
+		if wantKept := i >= total-capacity; ok != wantKept {
+			t.Errorf("Get(%s) = %v, want kept=%v", id, ok, wantKept)
+		}
+	}
+}
+
+func TestTraceStoreSameIDReplaces(t *testing.T) {
+	s := NewTraceStore(4)
+	s.Put(QueryTrace{ID: "q1", Outcome: "error"})
+	s.Put(QueryTrace{ID: "q1", Outcome: "ok"})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate-ID put, want 1", s.Len())
+	}
+	got, _ := s.Get("q1")
+	if got.Outcome != "ok" {
+		t.Errorf("duplicate put did not replace: %+v", got)
+	}
+}
+
+func TestTraceStoreListNewestFirst(t *testing.T) {
+	s := NewTraceStore(3)
+	for i := 1; i <= 5; i++ { // q1,q2 evicted
+		s.Put(QueryTrace{ID: fmt.Sprintf("q%d", i)})
+	}
+	all := s.List(0)
+	if len(all) != 3 {
+		t.Fatalf("List(0) len = %d, want 3", len(all))
+	}
+	for i, want := range []string{"q5", "q4", "q3"} {
+		if all[i].ID != want {
+			t.Errorf("List[%d].ID = %s, want %s", i, all[i].ID, want)
+		}
+	}
+	if lim := s.List(2); len(lim) != 2 || lim[0].ID != "q5" {
+		t.Errorf("List(2) = %+v, want [q5 q4]", lim)
+	}
+}
+
+func TestTraceSummaryTruncatesQuery(t *testing.T) {
+	s := NewTraceStore(2)
+	long := strings.Repeat("x", summaryQueryLimit+50)
+	s.Put(QueryTrace{ID: "q1", Query: long})
+	row := s.List(0)[0]
+	if len(row.Query) >= len(long) {
+		t.Errorf("summary query not truncated (len %d)", len(row.Query))
+	}
+	got, _ := s.Get("q1")
+	if got.Query != long {
+		t.Errorf("full trace query must stay untruncated")
+	}
+}
+
+func TestTraceStoreConcurrent(t *testing.T) {
+	s := NewTraceStore(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("q%d-%d", w, i)
+				s.Put(QueryTrace{ID: id})
+				s.Get(id)
+				s.List(5)
+				s.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Errorf("Len = %d, want capacity 16", s.Len())
+	}
+}
+
+func TestNewQueryID(t *testing.T) {
+	format := regexp.MustCompile(`^q[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewQueryID()
+		if !format.MatchString(id) {
+			t.Fatalf("NewQueryID() = %q, want q + 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}

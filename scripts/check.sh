@@ -1,9 +1,17 @@
 #!/bin/sh
-# Pre-merge gate: vet, then the full test suite under the race detector.
-# The concurrent fan-out in internal/core makes -race a required pass,
-# not an optional extra.
+# Pre-merge gate: formatting, vet, then the full test suite under the
+# race detector. The concurrent fan-out in internal/core makes -race a
+# required pass, not an optional extra.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
