@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check
+.PHONY: build test bench bench-score check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 # cmd/benchjson; the raw text table still prints to the terminal.
 bench:
 	./scripts/bench.sh BENCH_core.json
+
+# bench-score runs the scoring fast-path microbenchmarks (incremental
+# embedding, sum-vector inter-similarity, full scoring pass) and writes
+# BENCH_score.json; see DESIGN.md "Scoring fast path".
+bench-score:
+	./scripts/bench_score.sh BENCH_score.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

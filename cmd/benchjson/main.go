@@ -22,7 +22,11 @@ import (
 )
 
 type result struct {
-	Name        string             `json:"name"`
+	Name string `json:"name"`
+	// Pkg is the package that declared the benchmark — set from the
+	// nearest preceding "pkg:" header, which go test prints once per
+	// package, so multi-package runs stay attributable.
+	Pkg         string             `json:"pkg,omitempty"`
 	Procs       int                `json:"procs,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -32,8 +36,11 @@ type result struct {
 }
 
 type document struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	// Pkg is the first package of the run, kept for compatibility with
+	// single-package documents; per-result Pkg disambiguates runs that
+	// span packages.
 	Pkg     string   `json:"pkg,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []result `json:"results"`
@@ -41,6 +48,7 @@ type document struct {
 
 func main() {
 	doc := document{Results: []result{}}
+	curPkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -51,11 +59,15 @@ func main() {
 		case strings.HasPrefix(line, "goarch: "):
 			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			curPkg = strings.TrimPrefix(line, "pkg: ")
+			if doc.Pkg == "" {
+				doc.Pkg = curPkg
+			}
 		case strings.HasPrefix(line, "cpu: "):
 			doc.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseBench(line); ok {
+				r.Pkg = curPkg
 				doc.Results = append(doc.Results, r)
 			}
 		}

@@ -368,53 +368,12 @@ func (o *Orchestrator) emit(ev Event) {
 
 // scoreAll computes the combined score for every candidate with a
 // non-empty response: α·cos(resp, prompt) + β·(average cosine to the
-// other candidates' responses), plus the candidate's feedback prior when
-// one is set. Candidates with empty responses score zero.
-func (o *Orchestrator) scoreAll(qv embedding.Vector, cands []*candidate) {
-	scoreAll(o.cfg.Encoder, qv, o.cfg.Alpha, o.cfg.Beta, cands)
-	if o.cfg.Feedback == nil {
-		return
-	}
-	for _, c := range cands {
-		if c.emb != nil {
-			c.score += o.cfg.Feedback.Prior(c.model)
-		}
-	}
-}
-
+// other candidates' responses). It is the one-shot form of the scoring
+// fast path (scorer.go): a fresh scorer runs a single pass, so all the
+// incremental machinery reduces to encode-everything-then-score while
+// staying the same code the per-round strategies exercise.
 func scoreAll(enc embedding.Encoder, qv embedding.Vector, alpha, beta float64, cands []*candidate) {
-	// Embed once per candidate per scoring pass.
-	for _, c := range cands {
-		if c.response == "" {
-			c.emb = nil
-			continue
-		}
-		if c.dirty || c.emb == nil {
-			c.emb = enc.Encode(c.response)
-			c.dirty = false
-		}
-	}
-	for _, c := range cands {
-		if c.emb == nil {
-			c.querySim, c.interSim, c.score = 0, 0, 0
-			continue
-		}
-		c.querySim = embedding.Cosine(qv, c.emb)
-		sum, n := 0.0, 0
-		for _, other := range cands {
-			if other == c || other.emb == nil {
-				continue
-			}
-			sum += embedding.Cosine(c.emb, other.emb)
-			n++
-		}
-		if n > 0 {
-			c.interSim = sum / float64(n)
-		} else {
-			c.interSim = 0
-		}
-		c.score = alpha*c.querySim + beta*c.interSim
-	}
+	newScorer(enc, qv, alpha, beta).pass(cands)
 }
 
 // candidate is the in-flight state of one model during orchestration.
@@ -430,12 +389,20 @@ type candidate struct {
 	failed   bool
 	failErr  error
 
-	// scoring state
-	emb      embedding.Vector
-	dirty    bool
-	querySim float64
-	interSim float64
-	score    float64
+	// Scoring state, owned by the query's scorer (scorer.go): acc is the
+	// candidate's incremental encoder state, encoded how many bytes of
+	// response it has consumed, emb the materialized embedding (storage
+	// reused across rounds), selfDot its cached ⟨emb,emb⟩ for the
+	// sum-vector identity, and simsValid whether querySim/interSim are
+	// current for the unchanged embedding.
+	acc       *embedding.Accumulator
+	encoded   int
+	emb       embedding.Vector
+	selfDot   float64
+	simsValid bool
+	querySim  float64
+	interSim  float64
+	score     float64
 
 	// OUA budget
 	remaining int

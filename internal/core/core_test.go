@@ -540,9 +540,9 @@ func TestEventStream(t *testing.T) {
 func TestScoreAllAgreementTerm(t *testing.T) {
 	enc := embedding.Default()
 	qv := enc.Encode(testPrompt)
-	agreeA := &candidate{model: "a", response: "The sky is blue.", dirty: true}
-	agreeB := &candidate{model: "b", response: "The sky appears blue.", dirty: true}
-	loner := &candidate{model: "c", response: "Submarines navigate with sonar.", dirty: true}
+	agreeA := &candidate{model: "a", response: "The sky is blue."}
+	agreeB := &candidate{model: "b", response: "The sky appears blue."}
+	loner := &candidate{model: "c", response: "Submarines navigate with sonar."}
 	cands := []*candidate{agreeA, agreeB, loner}
 	scoreAll(enc, qv, 0.7, 0.3, cands)
 	if agreeA.interSim <= loner.interSim {

@@ -22,6 +22,10 @@ const (
 	// survivors keep competing (graceful degradation). Reason carries the
 	// final error, Attempts the tries spent.
 	EventModelFailed EventType = "model_failed"
+	// EventScorePass reports one completed scoring pass (embed + score of
+	// the active candidates); Elapsed is the pass's compute time. Feeds
+	// the llmms_score_duration_seconds latency budget histogram.
+	EventScorePass EventType = "score_pass"
 	// EventWinner closes the query with the selected answer.
 	EventWinner EventType = "winner"
 )
@@ -62,8 +66,9 @@ type Event struct {
 	// whose reference depends on Type: on chunk events it is the cost of
 	// the generation call that produced the chunk, retries included; on
 	// round events it is the offset from query start at which the round
-	// opened; on winner events it is the total orchestration time. Zero
-	// (and omitted) elsewhere.
+	// opened; on score_pass events it is the scoring pass's compute time;
+	// on winner events it is the total orchestration time. Zero (and
+	// omitted) elsewhere.
 	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 

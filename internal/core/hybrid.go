@@ -37,6 +37,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		cands[i] = &candidate{model: m}
 	}
 	qv := cfg.Encoder.Encode(prompt)
+	sc := o.newScorer(qv)
 	o.emit(Event{Type: EventStart, Strategy: StrategyHybrid})
 
 	// Phase 1: one even screening chunk per model — half of an even
@@ -71,7 +72,6 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		c.tokens = chunk.EvalCount
 		c.pulls = 1
 		c.reason = chunk.DoneReason
-		c.dirty = true
 		used += chunk.EvalCount
 		switch chunk.DoneReason {
 		case llm.DoneStop:
@@ -89,7 +89,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		return Result{}, allModelsFailedError(StrategyHybrid, cands)
 	}
 	screened := surviving(cands)
-	o.scoreAll(qv, screened)
+	o.scorePass(sc, StrategyHybrid, 1, screened)
 	best := argmaxScore(screened)
 	for _, c := range screened {
 		c.rewardSum = c.score // seed the bandit with the screening reward
@@ -138,7 +138,6 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		arm.tokens += chunk.EvalCount
 		arm.pulls++
 		arm.reason = chunk.DoneReason
-		arm.dirty = arm.dirty || chunk.EvalCount > 0
 		used += chunk.EvalCount
 		switch chunk.DoneReason {
 		case llm.DoneStop:
@@ -151,7 +150,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
 				Elapsed: callElapsed, Attempts: attempts})
 		}
-		o.scoreAll(qv, activeCandidates(cands))
+		o.scorePass(sc, StrategyHybrid, totalPulls, activeCandidates(cands))
 		arm.rewardSum += arm.score
 		o.emit(Event{Type: EventScore, Strategy: StrategyHybrid, Round: totalPulls,
 			Model: arm.model, Score: arm.score, QuerySim: arm.querySim, InterSim: arm.interSim})
@@ -171,7 +170,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 			return Result{}, allModelsFailedError(StrategyHybrid, cands)
 		}
 	}
-	o.scoreAll(qv, survivors)
+	o.scorePass(sc, StrategyHybrid, totalPulls, survivors)
 	winner := argmaxFinalReward(survivors)
 	elapsed := time.Since(start)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyHybrid, Model: winner.model,

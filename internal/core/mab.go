@@ -39,6 +39,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		cands[i] = &candidate{model: m}
 	}
 	qv := cfg.Encoder.Encode(prompt)
+	sc := o.newScorer(qv)
 	o.emit(Event{Type: EventStart, Strategy: StrategyMAB})
 
 	// Concurrent initialization: grant each arm its first chunk up
@@ -79,7 +80,6 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		arm.tokens += chunk.EvalCount
 		arm.pulls++
 		arm.reason = chunk.DoneReason
-		arm.dirty = arm.dirty || chunk.EvalCount > 0
 		used += chunk.EvalCount
 		switch chunk.DoneReason {
 		case llm.DoneStop:
@@ -97,7 +97,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		return Result{}, allModelsFailedError(StrategyMAB, cands)
 	}
 	// Seed every initialized arm's reward with its first-chunk score.
-	o.scoreAll(qv, surviving(cands))
+	o.scorePass(sc, StrategyMAB, totalPulls, surviving(cands))
 	for _, arm := range cands {
 		if arm.failed || arm.pulls == 0 {
 			continue
@@ -141,7 +141,6 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		arm.tokens += chunk.EvalCount
 		arm.pulls++
 		arm.reason = chunk.DoneReason
-		arm.dirty = arm.dirty || chunk.EvalCount > 0
 		used += chunk.EvalCount
 		switch chunk.DoneReason {
 		case llm.DoneStop:
@@ -157,7 +156,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 
 		// Reward the pull (line 9): relevance plus consensus, computed on
 		// the arm's whole accumulated response so far.
-		o.scoreAll(qv, surviving(cands))
+		o.scorePass(sc, StrategyMAB, totalPulls, surviving(cands))
 		arm.rewardSum += arm.score
 		o.emit(Event{Type: EventScore, Strategy: StrategyMAB, Round: totalPulls,
 			Model: arm.model, Score: arm.score, QuerySim: arm.querySim, InterSim: arm.interSim})
@@ -179,7 +178,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	if len(final) == 0 {
 		return Result{}, allModelsFailedError(StrategyMAB, cands)
 	}
-	o.scoreAll(qv, final)
+	o.scorePass(sc, StrategyMAB, totalPulls, final)
 	best := argmaxFinalReward(final)
 	elapsed := time.Since(start)
 	o.emit(Event{Type: EventWinner, Strategy: StrategyMAB, Model: best.model,

@@ -50,6 +50,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 		cands[i] = &candidate{model: m, remaining: perModel}
 	}
 	qv := cfg.Encoder.Encode(prompt)
+	sc := o.newScorer(qv)
 	o.emit(Event{Type: EventStart, Strategy: StrategyOUA})
 
 	totalTokens := 0
@@ -94,7 +95,6 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 			c.remaining -= chunk.EvalCount
 			c.pulls++
 			c.reason = chunk.DoneReason
-			c.dirty = c.dirty || chunk.EvalCount > 0
 			totalTokens += chunk.EvalCount
 			switch chunk.DoneReason {
 			case llm.DoneStop:
@@ -119,7 +119,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 		if len(active) == 0 {
 			break
 		}
-		o.scoreAll(qv, active)
+		o.scorePass(sc, StrategyOUA, round, active)
 		for _, c := range active {
 			o.emit(Event{Type: EventScore, Strategy: StrategyOUA, Round: round,
 				Model: c.model, Score: c.score, QuerySim: c.querySim, InterSim: c.interSim})
@@ -162,7 +162,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 		if len(active) == 0 {
 			return Result{}, allModelsFailedError(StrategyOUA, cands)
 		}
-		o.scoreAll(qv, active)
+		o.scorePass(sc, StrategyOUA, round, active)
 	}
 	best := argmaxScore(active)
 	return o.finishOUA(cands, best, totalTokens, round, false, start, "budget settled"), nil

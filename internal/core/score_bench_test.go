@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"llmms/internal/embedding"
+)
+
+// benchChunk is one round's worth of freshly generated answer text —
+// roughly the size of an OUA chunk under the repository's scaled budget.
+const benchChunk = "the great wall of china is not visible from low earth orbit " +
+	"with the naked eye because its width is far below the resolving power " +
+	"of human vision at that distance "
+
+// benchScoreRounds is how many score-and-reallocate rounds one simulated
+// query runs in BenchmarkScoreAll.
+const benchScoreRounds = 8
+
+// BenchmarkScoreAll measures the full per-query scoring cost: N
+// candidates each receive a fresh chunk per round and the whole pool is
+// re-scored (α·qSim + β·interSim) after every round, exactly as the OUA
+// loop does. This is the hot path the scoring fast path optimizes; the
+// pre-change numbers are recorded in BENCH_score.json history.
+func BenchmarkScoreAll(b *testing.B) {
+	enc := embedding.Default()
+	qv := enc.Encode("is the great wall of china visible from space")
+	const n = 4
+	models := make([]string, n)
+	for i := range models {
+		models[i] = fmt.Sprintf("model-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := newScorer(enc, qv, 0.7, 0.3)
+		cands := make([]*candidate, n)
+		for j := range cands {
+			cands[j] = &candidate{model: models[j]}
+		}
+		for r := 0; r < benchScoreRounds; r++ {
+			for _, c := range cands {
+				c.response += benchChunk
+			}
+			sc.pass(cands)
+		}
+	}
+}
+
+// BenchmarkScoreAllSkewed is BenchmarkScoreAll with only one candidate
+// changing per round (the MAB pull pattern): the other candidates'
+// embeddings and similarities are reusable, which the unchanged-candidate
+// cache exploits.
+func BenchmarkScoreAllSkewed(b *testing.B) {
+	enc := embedding.Default()
+	qv := enc.Encode("is the great wall of china visible from space")
+	const n = 4
+	seed := strings.Repeat(benchChunk, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := newScorer(enc, qv, 0.7, 0.3)
+		cands := make([]*candidate, n)
+		for j := range cands {
+			cands[j] = &candidate{model: fmt.Sprintf("model-%d", j), response: seed}
+		}
+		for r := 0; r < benchScoreRounds; r++ {
+			c := cands[r%n]
+			c.response += benchChunk
+			sc.pass(cands)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package embedding
+
+import (
+	"math"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Accumulator is incremental per-candidate encoder state: Add extends the
+// feature counts with only the new chunk's features, and Vector
+// materializes the embedding of everything added so far. For a response
+// built from R chunks of average length L, keeping its embedding current
+// across rounds costs O(R·L) total instead of the O(R²·L) of re-encoding
+// the concatenation after every chunk — the asymptotic half of the
+// scoring fast path (DESIGN.md "Scoring fast path").
+//
+// The accumulator produces the same vector Encode produces for the
+// concatenated text (property-tested to 1e-6) regardless of where the
+// chunk boundaries fall. Two seams make that nontrivial, and both are
+// handled by retaining a small boundary window between Add calls:
+//
+//   - a chunk may end mid-word ("visi" + "ble"): the in-progress word is
+//     buffered and only committed when a non-word rune terminates it;
+//   - a chunk may end mid-rune (UTF-8 bytes split across chunks): the
+//     incomplete trailing encoding is carried and re-decoded with the
+//     next chunk.
+//
+// Word bigrams need one more committed word of context (prevWord), and
+// character n-grams are word-local, so the boundary window is all the
+// cross-chunk state there is.
+//
+// Feature identities are precomputed uint64 FNV-1a hashes streamed over
+// the feature bytes ("w:"+word, "b:"+w1+" "+w2, "c:"+ngram) without
+// materializing the strings, so steady-state Add performs no string
+// allocation and Vector no sorting — this replaces the string-keyed
+// feature map and sort.Strings pass of the original encoder.
+//
+// An Accumulator is NOT safe for concurrent use; each candidate owns one.
+type Accumulator struct {
+	cfg Config
+
+	// tf holds the committed term frequency per feature hash.
+	tf map[uint64]float64
+	// sums is the unnormalized signed feature accumulation in float64:
+	// every tf change applies the telescoping delta g(tf')−g(tf) at the
+	// feature's index, so sums always equals the one-shot encoding of the
+	// committed text up to float64 rounding.
+	sums []float64
+
+	// word is the lowercased in-progress word (committed when a non-word
+	// rune arrives); carry is an incomplete trailing UTF-8 encoding.
+	word  []byte
+	carry []byte
+	// prev is the last committed word, the bigram context; hasPrev
+	// distinguishes it from the empty state.
+	prev    []byte
+	hasPrev bool
+
+	// Scratch reused by Vector so materialization allocates only when the
+	// caller does not supply a destination.
+	pending []pendingFeat
+	scratch []float64
+}
+
+// pendingFeat is one provisional feature of the in-progress word, applied
+// at Vector time without mutating committed state.
+type pendingFeat struct {
+	h uint64
+	d float64
+}
+
+// Incremental is implemented by encoders that support incremental
+// accumulation. The package's hashing encoders all do; callers holding a
+// plain Encoder can type-assert (or use NewAccumulator) and fall back to
+// full re-encoding when the assertion fails.
+type Incremental interface {
+	Encoder
+	// NewAccumulator returns fresh accumulation state producing vectors
+	// identical to Encode of the concatenated added text.
+	NewAccumulator() *Accumulator
+}
+
+// NewAccumulator returns incremental state for enc, or ok=false when the
+// encoder does not support incremental encoding.
+func NewAccumulator(enc Encoder) (*Accumulator, bool) {
+	inc, ok := enc.(Incremental)
+	if !ok {
+		return nil, false
+	}
+	return inc.NewAccumulator(), true
+}
+
+// NewAccumulator implements Incremental.
+func (e *hashEncoder) NewAccumulator() *Accumulator {
+	return &Accumulator{
+		cfg:  e.cfg,
+		tf:   make(map[uint64]float64, 64),
+		sums: make([]float64, e.cfg.Dim),
+	}
+}
+
+// Reset clears the accumulator for reuse on a new text.
+func (a *Accumulator) Reset() {
+	clear(a.tf)
+	for i := range a.sums {
+		a.sums[i] = 0
+	}
+	a.word = a.word[:0]
+	a.carry = a.carry[:0]
+	a.prev = a.prev[:0]
+	a.hasPrev = false
+}
+
+// Add extends the accumulated text with chunk. Chunk boundaries are
+// arbitrary: words and UTF-8 runes split across calls are reassembled.
+func (a *Accumulator) Add(chunk string) {
+	if chunk == "" {
+		return
+	}
+	s := chunk
+	if len(a.carry) > 0 {
+		s = string(append(a.carry, chunk...))
+		a.carry = a.carry[:0]
+	}
+	i := 0
+	for i < len(s) {
+		if !utf8.FullRuneInString(s[i:]) {
+			// Incomplete trailing encoding: hold the bytes for the next
+			// chunk to complete (or for Vector to discard at the end).
+			a.carry = append(a.carry, s[i:]...)
+			return
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			a.word = utf8.AppendRune(a.word, unicode.ToLower(r))
+		} else if len(a.word) > 0 {
+			a.commitWord(a.word)
+			a.word = a.word[:0]
+		}
+		i += size
+	}
+}
+
+// commitWord folds one completed word's features into the committed
+// state, mirroring exactly the feature set Encode derives per word.
+func (a *Accumulator) commitWord(w []byte) {
+	weight := 1.0
+	stop := false
+	if damp, ok := stopwords[string(w)]; ok {
+		weight, stop = damp, true
+	}
+	a.bump(hashWordFeat(a.cfg.Seed, w), weight)
+	if a.cfg.WordBigrams && a.hasPrev {
+		a.bump(hashBigramFeat(a.cfg.Seed, a.prev, w), 0.6)
+	}
+	if n := a.cfg.CharNGram; n > 0 && !stop && len(w)+2 >= n {
+		for i := 0; i+n <= len(w)+2; i++ {
+			a.bump(hashNGramFeat(a.cfg.Seed, w, i, n), 0.25)
+		}
+	}
+	a.prev = append(a.prev[:0], w...)
+	a.hasPrev = true
+}
+
+// bump raises a feature's term frequency by w, applying the telescoping
+// weight delta to the feature's vector component. gWeight(0) == 0, so a
+// feature's accumulated contribution always equals gWeight of its current
+// tf (up to float64 rounding).
+func (a *Accumulator) bump(h uint64, w float64) {
+	old := a.tf[h]
+	now := old + w
+	a.tf[h] = now
+	idx := int(h % uint64(a.cfg.Dim))
+	delta := gWeight(now) - gWeight(old)
+	if (h>>32)&1 == 1 {
+		delta = -delta
+	}
+	a.sums[idx] += delta
+}
+
+// gWeight is the per-feature embedding weight at term frequency tf — the
+// sublinear TF of Encode with gWeight(0) == 0 so deltas telescope.
+func gWeight(tf float64) float64 {
+	if tf == 0 {
+		return 0
+	}
+	return (1 + math.Log(tf+1e-12)) * featureScale(tf)
+}
+
+// Vector materializes the normalized embedding of all text added so far.
+// The committed state is not mutated: an in-progress word (and any
+// incomplete trailing rune, which can never extend it) contributes
+// provisionally, exactly as if the text ended here, and a later Add can
+// still extend the word. Zero-information input yields the zero vector.
+func (a *Accumulator) Vector() Vector {
+	return a.VectorInto(nil)
+}
+
+// VectorInto is Vector writing into dst when dst has the encoder's
+// dimension (allocating otherwise), for callers reusing per-candidate
+// vector storage across scoring rounds.
+func (a *Accumulator) VectorInto(dst Vector) Vector {
+	dim := a.cfg.Dim
+	if cap(dst) >= dim {
+		dst = dst[:dim]
+	} else {
+		dst = make(Vector, dim)
+	}
+	a.pending = a.pending[:0]
+	if len(a.word) > 0 {
+		a.pendWord(a.word)
+	}
+	if len(a.pending) == 0 {
+		for i, s := range a.sums {
+			dst[i] = float32(s)
+		}
+		NormalizeInPlace(dst)
+		return dst
+	}
+	if a.scratch == nil {
+		a.scratch = make([]float64, dim)
+	}
+	copy(a.scratch, a.sums)
+	for _, p := range a.pending {
+		delta := gWeight(a.tf[p.h]+p.d) - gWeight(a.tf[p.h])
+		if (p.h>>32)&1 == 1 {
+			delta = -delta
+		}
+		a.scratch[int(p.h%uint64(dim))] += delta
+	}
+	for i, s := range a.scratch {
+		dst[i] = float32(s)
+	}
+	NormalizeInPlace(dst)
+	return dst
+}
+
+// pendWord collects the provisional features of the in-progress word in
+// deterministic order (word, bigram, n-grams by position), merging
+// repeats so each feature's delta is computed from its total count.
+func (a *Accumulator) pendWord(w []byte) {
+	weight := 1.0
+	stop := false
+	if damp, ok := stopwords[string(w)]; ok {
+		weight, stop = damp, true
+	}
+	a.pend(hashWordFeat(a.cfg.Seed, w), weight)
+	if a.cfg.WordBigrams && a.hasPrev {
+		a.pend(hashBigramFeat(a.cfg.Seed, a.prev, w), 0.6)
+	}
+	if n := a.cfg.CharNGram; n > 0 && !stop && len(w)+2 >= n {
+		for i := 0; i+n <= len(w)+2; i++ {
+			a.pend(hashNGramFeat(a.cfg.Seed, w, i, n), 0.25)
+		}
+	}
+}
+
+func (a *Accumulator) pend(h uint64, d float64) {
+	for i := range a.pending {
+		if a.pending[i].h == h {
+			a.pending[i].d += d
+			return
+		}
+	}
+	a.pending = append(a.pending, pendingFeat{h: h, d: d})
+}
+
+// ---- Streaming feature hashing ----------------------------------------
+//
+// The helpers below stream FNV-1a over the bytes of a feature string
+// without building it, matching fnv1a64(seed, feature) byte for byte.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvInit(seed uint64) uint64 { return fnvOffset ^ (seed * fnvPrime) }
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+func fnvBytes(h uint64, s []byte) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// hashWordFeat hashes "w:"+w.
+func hashWordFeat(seed uint64, w []byte) uint64 {
+	h := fnvByte(fnvByte(fnvInit(seed), 'w'), ':')
+	return fnvBytes(h, w)
+}
+
+// hashBigramFeat hashes "b:"+w1+" "+w2.
+func hashBigramFeat(seed uint64, w1, w2 []byte) uint64 {
+	h := fnvByte(fnvByte(fnvInit(seed), 'b'), ':')
+	h = fnvBytes(h, w1)
+	h = fnvByte(h, ' ')
+	return fnvBytes(h, w2)
+}
+
+// hashNGramFeat hashes "c:"+padded[i:i+n] where padded is "^"+w+"$",
+// reading the padding bytes positionally instead of building padded.
+func hashNGramFeat(seed uint64, w []byte, i, n int) uint64 {
+	h := fnvByte(fnvByte(fnvInit(seed), 'c'), ':')
+	for j := i; j < i+n; j++ {
+		switch {
+		case j == 0:
+			h = fnvByte(h, '^')
+		case j == len(w)+1:
+			h = fnvByte(h, '$')
+		default:
+			h = fnvByte(h, w[j-1])
+		}
+	}
+	return h
+}

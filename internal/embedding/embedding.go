@@ -19,8 +19,6 @@ import (
 	"math"
 	"sort"
 	"sync"
-
-	"llmms/internal/tokenizer"
 )
 
 // Vector is a dense embedding. Encoders always return L2-normalized
@@ -91,77 +89,28 @@ var stopwords = map[string]float64{
 	"not": 0.9, "no": 0.9, "never": 0.9, "cannot": 0.9,
 }
 
-// fnv1a64 is the 64-bit FNV-1a hash, seeded.
+// fnv1a64 is the 64-bit FNV-1a hash, seeded. It defines the feature
+// identity the streaming helpers in accumulator.go reproduce byte for
+// byte; tests assert the two stay in agreement.
 func fnv1a64(seed uint64, s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := offset ^ (seed * prime)
+	h := fnvInit(seed)
 	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
+		h = fnvByte(h, s[i])
 	}
 	return h
 }
 
-// Encode implements Encoder.
+// Encode implements Encoder. It runs the incremental accumulator over
+// the whole text in one Add: feature term frequencies are keyed by
+// precomputed uint64 hashes (no per-feature string allocation, no sorted
+// flush — determinism comes from committing features in text order with
+// telescoping weight deltas, never iterating a map), which is both the
+// fast path and the reference the chunked Accumulator is property-tested
+// against.
 func (e *hashEncoder) Encode(text string) Vector {
-	v := make(Vector, e.cfg.Dim)
-	words := tokenizer.Words(text)
-	if len(words) == 0 {
-		return v
-	}
-
-	// Sublinear term frequency per feature.
-	feats := make(map[string]float64, len(words)*2)
-	for _, w := range words {
-		weight := 1.0
-		if damp, ok := stopwords[w]; ok {
-			weight = damp
-		}
-		feats["w:"+w] += weight
-	}
-	if e.cfg.WordBigrams {
-		for i := 0; i+1 < len(words); i++ {
-			feats["b:"+words[i]+" "+words[i+1]] += 0.6
-		}
-	}
-	if n := e.cfg.CharNGram; n > 0 {
-		for _, w := range words {
-			if _, stop := stopwords[w]; stop {
-				continue
-			}
-			padded := "^" + w + "$"
-			if len(padded) < n {
-				continue
-			}
-			for i := 0; i+n <= len(padded); i++ {
-				feats["c:"+padded[i:i+n]] += 0.25
-			}
-		}
-	}
-
-	// Accumulate in sorted feature order: map iteration order varies run
-	// to run, and float addition is not associative, so unsorted
-	// accumulation would make encoding only almost-deterministic.
-	keys := make([]string, 0, len(feats))
-	for f := range feats {
-		keys = append(keys, f)
-	}
-	sort.Strings(keys)
-	for _, f := range keys {
-		tf := feats[f]
-		h := fnv1a64(e.cfg.Seed, f)
-		idx := int(h % uint64(e.cfg.Dim))
-		sign := 1.0
-		if (h>>32)&1 == 1 {
-			sign = -1.0
-		}
-		v[idx] += float32(sign * (1 + math.Log(tf+1e-12)) * featureScale(tf))
-	}
-	NormalizeInPlace(v)
-	return v
+	acc := e.NewAccumulator()
+	acc.Add(text)
+	return acc.Vector()
 }
 
 // featureScale keeps sublinear TF positive for damped (<1) frequencies.
@@ -200,6 +149,15 @@ func Cosine(a, b Vector) float64 {
 	}
 	return Dot(a, b) / (na * nb)
 }
+
+// CosineUnit returns the cosine similarity of two vectors that are each
+// either L2-normalized or zero — the unit-vector invariant every Encoder
+// in this package guarantees for its output. Under that invariant cosine
+// reduces to a single dot product (a zero vector dots to 0 with
+// everything, matching Cosine's zero-vector convention), skipping the
+// two Norm recomputations Cosine pays per call. Callers own the
+// invariant: on unnormalized input the result is silently scaled.
+func CosineUnit(a, b Vector) float64 { return Dot(a, b) }
 
 // NormalizeInPlace scales v to unit length; the zero vector is unchanged.
 func NormalizeInPlace(v Vector) {

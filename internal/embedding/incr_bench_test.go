@@ -1,0 +1,119 @@
+package embedding
+
+import (
+	"fmt"
+	"testing"
+)
+
+// incrChunk approximates one generation round's new text for a single
+// candidate.
+const incrChunk = "chewing gum is mostly indigestible but passes through " +
+	"the digestive system without harm in a few days "
+
+// incrRounds is how many chunk arrivals one simulated response sees.
+const incrRounds = 16
+
+// BenchmarkEncodeIncremental measures the cost of keeping one candidate's
+// embedding current across incrRounds chunk arrivals — the per-candidate
+// share of a query's scoring cost. The pre-fast-path baseline re-encoded
+// the entire accumulated response after every arrival (O(total tokens)
+// per round, see BenchmarkEncodeReencodeBaseline); the accumulator
+// extends feature state with only the new chunk (O(new tokens) per
+// round).
+func BenchmarkEncodeIncremental(b *testing.B) {
+	enc := Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, ok := NewAccumulator(enc)
+		if !ok {
+			b.Fatal("default encoder is not Incremental")
+		}
+		var v Vector
+		for r := 0; r < incrRounds; r++ {
+			acc.Add(incrChunk)
+			v = acc.VectorInto(v)
+		}
+	}
+}
+
+// BenchmarkEncodeReencodeBaseline is the pre-change behavior of the same
+// workload — full re-Encode of the growing response after every chunk —
+// kept runnable so the asymptotic gap stays measurable in BENCH_score
+// history.
+func BenchmarkEncodeReencodeBaseline(b *testing.B) {
+	enc := Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		text := ""
+		for r := 0; r < incrRounds; r++ {
+			text += incrChunk
+			_ = enc.Encode(text)
+		}
+	}
+}
+
+// interSimVectors builds n unit candidate embeddings for the agreement
+// benchmarks.
+func interSimVectors(n int) []Vector {
+	enc := Default()
+	vs := make([]Vector, n)
+	for i := range vs {
+		vs[i] = enc.Encode(fmt.Sprintf("candidate answer number %d about the visibility of the great wall", i))
+	}
+	return vs
+}
+
+// BenchmarkInterSim measures the inter-model agreement term for one
+// scoring pass over n candidates via the sum-vector identity: with
+// S = Σ embeddings, each candidate's average similarity to the others is
+// (⟨v,S⟩ − ⟨v,v⟩)/(n−1) — O(N·dim) per pass over unit vectors, versus
+// the O(N²·dim) pairwise baseline below.
+func BenchmarkInterSim(b *testing.B) {
+	const n = 16
+	vs := interSimVectors(n)
+	dim := len(vs[0])
+	sum := make([]float64, dim)
+	out := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(sum)
+		for _, v := range vs {
+			for k, x := range v {
+				sum[k] += float64(x)
+			}
+		}
+		for j, v := range vs {
+			d := 0.0
+			for k, x := range v {
+				d += float64(x) * sum[k]
+			}
+			out[j] = (d - Dot(v, v)) / float64(n-1)
+		}
+	}
+}
+
+// BenchmarkInterSimPairwiseBaseline is the pre-change agreement pass: the
+// O(N²) pairwise loop with norm-recomputing Cosine, kept runnable so the
+// gap stays measurable in BENCH_score history.
+func BenchmarkInterSimPairwiseBaseline(b *testing.B) {
+	const n = 16
+	vs := interSimVectors(n)
+	out := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range vs {
+			sum := 0.0
+			for k, w := range vs {
+				if k == j {
+					continue
+				}
+				sum += Cosine(v, w)
+			}
+			out[j] = sum / float64(n-1)
+		}
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"llmms/internal/embedding"
@@ -38,11 +40,45 @@ type Client struct {
 	Timeout time.Duration
 }
 
+var (
+	defaultClientOnce sync.Once
+	defaultClient     *http.Client
+)
+
+// defaultHTTPClient returns the package's tuned fan-out client, built
+// exactly once. http.DefaultClient keeps at most 2 idle connections per
+// host (net/http's DefaultMaxIdleConnsPerHost), so an orchestrator
+// fanning one chunk call per model out to a single daemon reconnects —
+// TCP handshake and slow-start — on every round beyond the second model.
+// The tuned transport keeps an idle connection per concurrent model
+// stream so steady-state rounds reuse warm connections.
+func defaultHTTPClient() *http.Client {
+	defaultClientOnce.Do(func() {
+		defaultClient = &http.Client{Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			// Generous per-host headroom: every configured model streams
+			// over its own connection to the same daemon host.
+			MaxIdleConns:          64,
+			MaxIdleConnsPerHost:   32,
+			IdleConnTimeout:       90 * time.Second,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ExpectContinueTimeout: time.Second,
+		}}
+	})
+	return defaultClient
+}
+
 // NewClient returns a client for a daemon at base (e.g.
-// "http://127.0.0.1:11434"). A nil httpClient uses http.DefaultClient.
+// "http://127.0.0.1:11434"). A nil httpClient selects the package's
+// shared fan-out-tuned client (see defaultHTTPClient); passing a non-nil
+// client overrides it entirely.
 func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultHTTPClient()
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
@@ -162,8 +198,10 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(Gene
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
+	buf := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(buf)
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	sc.Buffer(*buf, maxScanLine)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -178,6 +216,21 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(Gene
 		}
 	}
 	return sc.Err()
+}
+
+// maxScanLine bounds one NDJSON stream line; the scanner grows toward it
+// only for pathological lines.
+const maxScanLine = 8 * 1024 * 1024
+
+// scanBufPool recycles the 64 KiB initial scan buffers across Generate
+// calls — per-chunk streaming is the orchestrator's hottest client path
+// (Rounds × models buffers per query without pooling). Pointer-to-slice
+// per sync.Pool guidance, so Put does not allocate.
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64*1024)
+		return &b
+	},
 }
 
 // GenerateChunk implements the orchestrator's getChunk(LLM, prompt, λ)

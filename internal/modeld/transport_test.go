@@ -1,0 +1,94 @@
+package modeld
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDefaultClientSharedOnce pins the NewClient(base, nil) contract: the
+// tuned default client is built exactly once and shared across clients,
+// and a caller-supplied client overrides it.
+func TestDefaultClientSharedOnce(t *testing.T) {
+	a := NewClient("http://127.0.0.1:1", nil)
+	b := NewClient("http://127.0.0.1:2", nil)
+	if a.hc != b.hc {
+		t.Fatal("nil-httpClient clients must share one default client")
+	}
+	if a.hc == http.DefaultClient {
+		t.Fatal("default client must be the tuned transport, not http.DefaultClient")
+	}
+	tr, ok := a.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default transport is %T, want *http.Transport", a.hc.Transport)
+	}
+	if tr.MaxIdleConnsPerHost <= http.DefaultMaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want more than net/http's default %d",
+			tr.MaxIdleConnsPerHost, http.DefaultMaxIdleConnsPerHost)
+	}
+	own := &http.Client{}
+	if c := NewClient("http://127.0.0.1:3", own); c.hc != own {
+		t.Fatal("caller-supplied http.Client must be used as-is")
+	}
+}
+
+// TestDefaultClientReusesConnections proves the fan-out tuning end to
+// end: a wave of concurrent requests — one per simulated model, more
+// than http.DefaultClient's 2 idle connections per host — is followed by
+// a second wave that dials NO new TCP connections, because the tuned
+// transport kept every stream's connection idle for reuse. Dials are
+// counted by wrapping DialContext on a clone of the tuned transport, so
+// the assertion is race-free against server-side keep-alive state.
+func TestDefaultClientReusesConnections(t *testing.T) {
+	const models = 6
+	var wave sync.WaitGroup
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Hold every request of a wave open until all have connected, so
+		// the wave genuinely occupies `models` distinct connections.
+		wave.Done()
+		wave.Wait()
+		w.Write([]byte(`{"version":"test"}`))
+	}))
+	defer srv.Close()
+
+	var dials atomic.Int64
+	counting := defaultHTTPClient().Transport.(*http.Transport).Clone()
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	counting.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return dialer.DialContext(ctx, network, addr)
+	}
+	client := NewClient(srv.URL, &http.Client{Transport: counting})
+
+	runWave := func() {
+		wave.Add(models)
+		var wg sync.WaitGroup
+		for i := 0; i < models; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := client.Version(context.Background()); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	runWave()
+	opened := dials.Load()
+	if opened < models {
+		t.Fatalf("first wave dialed %d connections, want %d concurrent", opened, models)
+	}
+	// Let the transport park the wave's connections in the idle pool.
+	time.Sleep(50 * time.Millisecond)
+	runWave()
+	if after := dials.Load(); after != opened {
+		t.Fatalf("second wave dialed %d new connections; tuned transport should reuse all %d idle ones",
+			after-opened, opened)
+	}
+}

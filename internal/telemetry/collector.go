@@ -80,6 +80,8 @@ func (q *QueryObserver) RecordEvent(ev core.Event) {
 		}
 	case core.EventScore:
 		q.tr.Scores = append(q.tr.Scores, ScorePoint{Round: ev.Round, Model: ev.Model, Score: ev.Score})
+	case core.EventScorePass:
+		q.tel.ScoreLatency.Observe(ev.Elapsed.Seconds(), string(ev.Strategy))
 	case core.EventPrune:
 		q.tr.Pruned = append(q.tr.Pruned, ev.Model)
 		q.tel.Prunes.Inc(string(ev.Strategy))

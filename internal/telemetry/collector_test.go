@@ -25,6 +25,8 @@ func feedQuery(tel *Telemetry, id string) *QueryObserver {
 		Model: "llama3", Tokens: 10, Time: at(11 * time.Millisecond), Elapsed: 10 * time.Millisecond, Attempts: 1})
 	obs.RecordEvent(core.Event{Type: core.EventChunk, Strategy: core.StrategyOUA, Round: 1,
 		Model: "mistral", Tokens: 8, Time: at(16 * time.Millisecond), Elapsed: 15 * time.Millisecond, Attempts: 3})
+	obs.RecordEvent(core.Event{Type: core.EventScorePass, Strategy: core.StrategyOUA, Round: 1,
+		Time: at(17 * time.Millisecond), Elapsed: 40 * time.Microsecond})
 	obs.RecordEvent(core.Event{Type: core.EventScore, Strategy: core.StrategyOUA, Round: 1,
 		Model: "llama3", Score: 0.9, Time: at(17 * time.Millisecond)})
 	obs.RecordEvent(core.Event{Type: core.EventPrune, Strategy: core.StrategyOUA, Round: 1,
@@ -110,6 +112,9 @@ func TestObserverBuildsTrace(t *testing.T) {
 	}
 	if got := tel.Prunes.Value("oua"); got != 1 {
 		t.Errorf("prunes = %v, want 1", got)
+	}
+	if got := tel.ScoreLatency.Count("oua"); got != 1 {
+		t.Errorf("score pass latency count = %v, want 1", got)
 	}
 	if got := tel.TracesStored.Value(); got != 1 {
 		t.Errorf("traces gauge = %v, want 1", got)

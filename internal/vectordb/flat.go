@@ -11,19 +11,20 @@ import (
 // against, and the default for the small collections LLM-MS sessions
 // produce (per-session document chunks).
 type flatIndex struct {
-	metric Distance
+	dist distFunc
 	// entries maps id to vector. Iteration order does not affect results
 	// because ties are broken on id during sorting.
 	entries map[string]embedding.Vector
 }
 
 func newFlat(metric Distance) *flatIndex {
-	return &flatIndex{metric: metric, entries: make(map[string]embedding.Vector)}
+	return &flatIndex{dist: metric.distance, entries: make(map[string]embedding.Vector)}
 }
 
 func (f *flatIndex) add(id string, v embedding.Vector) { f.entries[id] = v }
 func (f *flatIndex) remove(id string)                  { delete(f.entries, id) }
 func (f *flatIndex) len() int                          { return len(f.entries) }
+func (f *flatIndex) setDist(d distFunc)                { f.dist = d }
 
 func (f *flatIndex) search(q embedding.Vector, k int, allow func(string) bool) []candidate {
 	cands := make([]candidate, 0, len(f.entries))
@@ -31,7 +32,7 @@ func (f *flatIndex) search(q embedding.Vector, k int, allow func(string) bool) [
 		if allow != nil && !allow(id) {
 			continue
 		}
-		cands = append(cands, candidate{id: id, dist: f.metric.distance(q, v)})
+		cands = append(cands, candidate{id: id, dist: f.dist(q, v)})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].dist != cands[j].dist {

@@ -60,7 +60,7 @@ type hnswNode struct {
 // triggered, which is the standard practice for HNSW-backed stores
 // (including the one the paper deploys).
 type hnswIndex struct {
-	metric Distance
+	distFn distFunc
 	cfg    HNSWConfig
 	rng    *rand.Rand
 	levelM float64 // 1/ln(M), the level-assignment scale
@@ -76,7 +76,7 @@ type hnswIndex struct {
 func newHNSW(metric Distance, cfg HNSWConfig) *hnswIndex {
 	cfg = cfg.withDefaults()
 	return &hnswIndex{
-		metric: metric,
+		distFn: metric.distance,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		levelM: 1 / math.Log(float64(cfg.M)),
@@ -87,7 +87,9 @@ func newHNSW(metric Distance, cfg HNSWConfig) *hnswIndex {
 
 func (h *hnswIndex) len() int { return h.live }
 
-func (h *hnswIndex) dist(a, b embedding.Vector) float64 { return h.metric.distance(a, b) }
+func (h *hnswIndex) dist(a, b embedding.Vector) float64 { return h.distFn(a, b) }
+
+func (h *hnswIndex) setDist(d distFunc) { h.distFn = d }
 
 // randomLevel draws the layer count for a new node from the standard
 // exponential distribution used by HNSW.

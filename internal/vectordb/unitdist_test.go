@@ -1,0 +1,122 @@
+package vectordb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"llmms/internal/embedding"
+)
+
+// TestUnitCosineFastPathMatchesGeneral pins the fast path's exactness:
+// for encoder-embedded documents, query results under the unit-dot
+// distance match the norm-recomputing cosine to float tolerance, for
+// both index types and for text and explicit-embedding queries.
+func TestUnitCosineFastPathMatchesGeneral(t *testing.T) {
+	texts := []string{
+		"the great wall of china is not visible from space",
+		"astronauts cannot see the wall with the naked eye",
+		"goldfish have memories lasting months not seconds",
+		"lightning can strike the same place twice",
+		"the sky appears blue because of rayleigh scattering",
+	}
+	enc := embedding.Default()
+	for _, idx := range []string{"flat", "hnsw"} {
+		t.Run(idx, func(t *testing.T) {
+			fast := newCollection("fast", CollectionConfig{Metric: Cosine, Index: idx})
+			slow := newCollection("slow", CollectionConfig{Metric: Cosine, Index: idx})
+			slow.unitCosine = false
+			slow.index.setDist(Cosine.distance)
+			for i, txt := range texts {
+				doc := Document{ID: fmt.Sprintf("d%d", i), Text: txt}
+				if err := fast.Add(doc); err != nil {
+					t.Fatal(err)
+				}
+				if err := slow.Add(doc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !fast.unitCosine {
+				t.Fatal("encoder-only collection left the fast path")
+			}
+			// Unnormalized explicit query vector: the fast path must
+			// normalize its own copy, leaving distances exact.
+			qv := enc.Encode("is the great wall visible from orbit")
+			for i := range qv {
+				qv[i] *= 3
+			}
+			for _, req := range []QueryRequest{
+				{Text: "is the great wall visible from orbit", TopK: len(texts)},
+				{Embedding: qv, TopK: len(texts)},
+			} {
+				got, err := fast.Query(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := slow.Query(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("result count %d != %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID {
+						t.Fatalf("rank %d: %s != %s", i, got[i].ID, want[i].ID)
+					}
+					if d := math.Abs(got[i].Distance - want[i].Distance); d > 1e-6 {
+						t.Fatalf("rank %d distance off by %g", i, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnitCosineDowngrade pins the invariant enforcement: inserting one
+// explicit non-unit embedding drops the collection off the fast path,
+// and queries stay correct (the general cosine handles mixed norms).
+func TestUnitCosineDowngrade(t *testing.T) {
+	c := newCollection("mixed", CollectionConfig{Metric: Cosine})
+	if err := c.Add(Document{ID: "unit", Text: "the sky is blue"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.unitCosine {
+		t.Fatal("collection should start on the fast path")
+	}
+	// An explicit unit embedding keeps the fast path.
+	unit := embedding.Default().Encode("grass is green in spring")
+	if err := c.Add(Document{ID: "explicit-unit", Text: "grass is green in spring", Embedding: unit}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.unitCosine {
+		t.Fatal("unit explicit embedding must not downgrade")
+	}
+	// A scaled embedding must downgrade — and still rank correctly,
+	// because true cosine ignores magnitude.
+	scaled := embedding.Clone(unit)
+	for i := range scaled {
+		scaled[i] *= 5
+	}
+	if err := c.Add(Document{ID: "scaled", Embedding: scaled, Text: "grass is green in spring"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.unitCosine {
+		t.Fatal("non-unit explicit embedding must downgrade the collection")
+	}
+	res, err := c.Query(QueryRequest{Text: "what color is grass", TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// The scaled copy and its unit twin must tie (same direction), both
+	// ahead of the off-topic document.
+	if d := math.Abs(res[0].Distance - res[1].Distance); d > 1e-6 {
+		t.Fatalf("identical-direction documents differ by %g", d)
+	}
+	if res[2].ID != "unit" {
+		t.Fatalf("off-topic document ranked %v", res)
+	}
+}

@@ -17,6 +17,7 @@ package vectordb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -36,6 +37,19 @@ const (
 	// InnerProduct distance: −⟨a,b⟩.
 	InnerProduct Distance = "ip"
 )
+
+// distFunc computes a distance between two vectors. Indexes hold one so
+// a collection can swap the general metric for a cheaper equivalent (the
+// unit-cosine fast path) without the indexes knowing why.
+type distFunc func(a, b embedding.Vector) float64
+
+// unitCosineDistance is cosine distance specialized to unit-or-zero
+// vectors: one dot product, no norm recomputation. Numerically equal to
+// Distance(Cosine).distance on such vectors; collections install it only
+// while every stored embedding (and the query) upholds the invariant.
+func unitCosineDistance(a, b embedding.Vector) float64 {
+	return 1 - embedding.CosineUnit(a, b)
+}
 
 // distance computes the configured metric between two vectors.
 func (d Distance) distance(a, b embedding.Vector) float64 {
@@ -133,6 +147,12 @@ type Collection struct {
 	mu    sync.RWMutex
 	docs  map[string]*Document
 	index index
+	// unitCosine reports that the collection is on the cosine fast path:
+	// the metric is Cosine and every stored embedding is unit or zero —
+	// guaranteed by the encoder for embedded text, verified on insert for
+	// explicit embeddings. One non-unit explicit embedding downgrades the
+	// collection (permanently) to the norm-recomputing metric.
+	unitCosine bool
 }
 
 // index is the internal ANN interface implemented by flatIndex and
@@ -141,6 +161,10 @@ type Collection struct {
 type index interface {
 	add(id string, v embedding.Vector)
 	remove(id string)
+	// setDist replaces the index's distance function. Callers only swap
+	// between functions that agree on every vector currently stored, so
+	// existing structure (HNSW links) stays valid.
+	setDist(distFunc)
 	// search returns up to k candidate ids ordered by increasing
 	// distance, considering only ids accepted by allow (nil allows all).
 	// Approximate indexes may consult more than k nodes internally.
@@ -173,12 +197,17 @@ func newCollection(name string, cfg CollectionConfig) *Collection {
 		cfg.Index = "flat"
 	}
 	cfg.HNSW = cfg.HNSW.withDefaults()
-	return &Collection{
+	c := &Collection{
 		name:  name,
 		cfg:   cfg,
 		docs:  make(map[string]*Document),
 		index: newIndex(cfg),
 	}
+	if cfg.Metric == Cosine {
+		c.unitCosine = true
+		c.index.setDist(unitCosineDistance)
+	}
+	return c
 }
 
 // Name returns the collection name.
@@ -234,7 +263,16 @@ func (c *Collection) Upsert(docs ...Document) error {
 
 func (c *Collection) insertLocked(d Document) {
 	if len(d.Embedding) == 0 {
+		// Encoder output is unit (or zero) by contract — no check needed.
 		d.Embedding = c.cfg.Encoder.Encode(d.Text)
+	} else if c.unitCosine {
+		if n := embedding.Norm(d.Embedding); n != 0 && math.Abs(n-1) > 1e-4 {
+			// An explicit non-unit embedding breaks the fast path's
+			// invariant for the whole collection: fall back to the
+			// norm-recomputing cosine for every comparison from here on.
+			c.unitCosine = false
+			c.index.setDist(c.cfg.Metric.distance)
+		}
 	}
 	stored := d
 	stored.Embedding = embedding.Clone(d.Embedding)
@@ -322,6 +360,15 @@ func (c *Collection) Query(req QueryRequest) ([]Result, error) {
 			return nil, fmt.Errorf("vectordb: query needs Text or Embedding")
 		}
 		q = c.cfg.Encoder.Encode(req.Text)
+	} else if c.cfg.Metric == Cosine {
+		// The fast path needs a unit query too. Normalizing a copy is
+		// exact, not approximate: cosine similarity is invariant under
+		// query scaling. Checked outside the lock against the config
+		// metric; whether the collection is still on the fast path is
+		// re-read under the lock below, and a normalized query is equally
+		// correct on the slow path.
+		q = embedding.Clone(q)
+		embedding.NormalizeInPlace(q)
 	}
 
 	var metaFilter filter

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs the scoring fast-path benchmarks (incremental embedding,
+# sum-vector inter-similarity, and the full per-query scoring pass) with
+# memory profiling and writes machine-readable JSON, so the fast path's
+# allocation and latency numbers can be diffed across commits. The raw
+# `go test -bench` text goes to stderr.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_score.json}"
+go test -bench='ScoreAll|EncodeIncremental|EncodeReencodeBaseline|InterSim' \
+	-benchmem -run='^$' ./internal/core/ ./internal/embedding/ \
+	| tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"

@@ -19,4 +19,11 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# One-iteration smoke of the scoring fast-path benchmarks: proves the
+# benchmark code itself still compiles and runs (a broken benchmark
+# otherwise only surfaces when someone runs make bench-score).
+echo "== bench smoke (-benchtime=1x)"
+go test -run='^$' -bench='ScoreAll|EncodeIncremental|InterSim' -benchtime=1x \
+	./internal/core/ ./internal/embedding/ >/dev/null
+
 echo "== ok"
