@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score check
+.PHONY: build test bench bench-score bench-serve check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 # cmd/benchjson; the raw text table still prints to the terminal.
 bench:
 	./scripts/bench.sh BENCH_core.json
+
+# bench-serve runs the serving-layer load benchmark (cache, coalescing,
+# admission control under a mixed repeat-rate workload) and writes
+# p50/p99/qps per variant to BENCH_serve.json.
+bench-serve:
+	./scripts/bench_serve.sh BENCH_serve.json
 
 # bench-score runs the scoring fast-path microbenchmarks (incremental
 # embedding, sum-vector inter-similarity, full scoring pass) and writes

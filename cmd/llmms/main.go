@@ -6,6 +6,8 @@
 //
 //	llmms [-addr :8080] [-questions 400] [-latency 0.02]
 //	      [-trace-capacity 256] [-pprof]
+//	      [-cache-ttl 5m] [-cache-capacity 256] [-semantic-threshold 0.97]
+//	      [-max-inflight 0]
 //
 // -questions sizes the engine's knowledge base (the simulated models can
 // answer that many benchmark questions); -latency scales the simulated
@@ -14,6 +16,14 @@
 // completed query traces served by /api/traces; -pprof mounts
 // net/http/pprof under /debug/pprof/ (off by default). Prometheus-style
 // metrics are always exposed on GET /metrics.
+//
+// The serving layer flags tune the cross-query cache and admission
+// control (see DESIGN.md "Serving layer"): -cache-ttl enables the
+// two-tier answer cache and in-flight coalescing (0 disables both),
+// -cache-capacity bounds cached answers, -semantic-threshold sets the
+// cosine similarity above which a rephrased query shares a cached answer
+// (> 1 disables the semantic tier), and -max-inflight bounds concurrent
+// orchestration weight, shedding excess load with 429 (0 = unlimited).
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"os/signal"
 
 	"llmms/internal/llm"
+	"llmms/internal/qcache"
 	"llmms/internal/server"
 	"llmms/internal/telemetry"
 	"llmms/internal/truthfulqa"
@@ -37,6 +48,10 @@ func main() {
 	dataset := flag.String("dataset", "", "optional TruthfulQA JSON file to use as the knowledge base")
 	traceCap := flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "completed query traces kept for /api/traces")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	cacheTTL := flag.Duration("cache-ttl", qcache.DefaultTTL, "answer cache TTL (0 disables caching and coalescing)")
+	cacheCap := flag.Int("cache-capacity", qcache.DefaultCapacity, "answer cache entry bound")
+	semThreshold := flag.Float64("semantic-threshold", qcache.DefaultSemanticThreshold, "cosine similarity for semantic cache hits (>1 disables the tier)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent orchestration weight bound, 429 past the wait queue (0 = unlimited)")
 	flag.Parse()
 
 	ds, err := loadDataset(*dataset, *questions)
@@ -51,6 +66,13 @@ func main() {
 		Engine:      engine,
 		Telemetry:   telemetry.New(telemetry.Options{TraceCapacity: *traceCap}),
 		EnablePprof: *enablePprof,
+		Serving: server.ServingOptions{
+			CacheTTL:          *cacheTTL,
+			CacheCapacity:     *cacheCap,
+			SemanticThreshold: *semThreshold,
+			Coalesce:          *cacheTTL > 0,
+			MaxInflight:       *maxInflight,
+		},
 	})
 	if err != nil {
 		log.Fatalf("llmms: %v", err)

@@ -1,0 +1,170 @@
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when both the semaphore and
+// the wait queue are full — the caller should shed the request (the
+// server maps it to 429 + Retry-After).
+var ErrOverloaded = errors.New("qcache: at capacity and the wait queue is full")
+
+// Gate is a weighted semaphore with a bounded FIFO wait queue — the
+// admission controller in front of orchestration. Capacity is measured
+// in orchestration weight: callers acquire the fan-out width of their
+// query (a 3-model query weighs 3), so the bound tracks concurrent model
+// streams, the resource that actually saturates a backend. A request
+// heavier than the whole capacity is clamped to it and simply runs
+// alone.
+//
+// All methods are safe for concurrent use; a nil *Gate admits everything
+// immediately.
+type Gate struct {
+	capacity int
+	maxQueue int
+	onDepth  func(int) // queue-depth change hook (telemetry gauge)
+
+	mu      sync.Mutex
+	inUse   int
+	waiters list.List // of *waiter, front = longest waiting
+}
+
+type waiter struct {
+	ready  chan struct{} // closed when the slot is granted
+	weight int
+}
+
+// NewGate builds a Gate admitting at most capacity units of concurrent
+// weight, with at most maxQueue requests waiting behind a full
+// semaphore (non-positive maxQueue means 2×capacity). onDepth, when
+// non-nil, is called with the new queue depth after every change. A
+// non-positive capacity returns nil — the unlimited gate.
+func NewGate(capacity, maxQueue int, onDepth func(int)) *Gate {
+	if capacity <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = 2 * capacity
+	}
+	return &Gate{capacity: capacity, maxQueue: maxQueue, onDepth: onDepth}
+}
+
+func (g *Gate) notifyDepth(d int) {
+	if g.onDepth != nil {
+		g.onDepth(d)
+	}
+}
+
+func (g *Gate) clamp(weight int) int {
+	if weight < 1 {
+		return 1
+	}
+	if weight > g.capacity {
+		return g.capacity
+	}
+	return weight
+}
+
+// Acquire claims weight units, waiting in FIFO order behind a full
+// semaphore. It returns nil when granted, ErrOverloaded when the wait
+// queue is also full, or the context error if ctx ends while queued.
+// Every nil return must be paired with a Release of the same weight.
+func (g *Gate) Acquire(ctx context.Context, weight int) error {
+	if g == nil {
+		return nil
+	}
+	weight = g.clamp(weight)
+	g.mu.Lock()
+	// Strict FIFO: a newcomer may not overtake parked waiters even when
+	// it would fit right now.
+	if g.waiters.Len() == 0 && g.inUse+weight <= g.capacity {
+		g.inUse += weight
+		g.mu.Unlock()
+		return nil
+	}
+	if g.waiters.Len() >= g.maxQueue {
+		g.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &waiter{ready: make(chan struct{}), weight: weight}
+	el := g.waiters.PushBack(w)
+	depth := g.waiters.Len()
+	g.mu.Unlock()
+	g.notifyDepth(depth)
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation; the slot is ours. Let the
+			// caller proceed — its orchestration context is dead anyway and
+			// will release almost immediately, which keeps the
+			// acquire/release pairing uniform.
+			g.mu.Unlock()
+			return nil
+		default:
+		}
+		g.waiters.Remove(el)
+		depth := g.waiters.Len()
+		g.mu.Unlock()
+		g.notifyDepth(depth)
+		return ctx.Err()
+	}
+}
+
+// Release returns weight units and hands freed capacity to the waiting
+// queue in FIFO order (stopping at the first waiter that still does not
+// fit — no overtaking).
+func (g *Gate) Release(weight int) {
+	if g == nil {
+		return
+	}
+	weight = g.clamp(weight)
+	g.mu.Lock()
+	g.inUse -= weight
+	if g.inUse < 0 {
+		g.inUse = 0
+	}
+	granted := false
+	for g.waiters.Len() > 0 {
+		w := g.waiters.Front().Value.(*waiter)
+		if g.inUse+w.weight > g.capacity {
+			break
+		}
+		g.waiters.Remove(g.waiters.Front())
+		g.inUse += w.weight
+		close(w.ready)
+		granted = true
+	}
+	depth := g.waiters.Len()
+	g.mu.Unlock()
+	if granted {
+		g.notifyDepth(depth)
+	}
+}
+
+// QueueDepth reports how many requests are parked in the wait queue.
+func (g *Gate) QueueDepth() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiters.Len()
+}
+
+// InUse reports the weight currently admitted (for tests and debugging).
+func (g *Gate) InUse() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}

@@ -1,0 +1,206 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateImmediateGrant(t *testing.T) {
+	g := NewGate(4, 0, nil)
+	if err := g.Acquire(context.Background(), 3); err != nil {
+		t.Fatalf("Acquire(3) on an empty gate: %v", err)
+	}
+	if got := g.InUse(); got != 3 {
+		t.Fatalf("InUse = %d, want 3", got)
+	}
+	g.Release(3)
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("InUse after Release = %d, want 0", got)
+	}
+}
+
+func TestGateWeightClamp(t *testing.T) {
+	g := NewGate(2, 0, nil)
+	// Heavier than capacity: clamped, runs alone.
+	if err := g.Acquire(context.Background(), 10); err != nil {
+		t.Fatalf("oversized Acquire: %v", err)
+	}
+	if got := g.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want clamped 2", got)
+	}
+	g.Release(10)
+	// Zero weight counts as one.
+	if err := g.Acquire(context.Background(), 0); err != nil {
+		t.Fatalf("zero-weight Acquire: %v", err)
+	}
+	if got := g.InUse(); got != 1 {
+		t.Fatalf("InUse = %d, want 1", got)
+	}
+	g.Release(0)
+}
+
+func TestGateFIFOOrder(t *testing.T) {
+	g := NewGate(1, 10, nil)
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	started := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			// Serialize queue entry so arrival order is deterministic.
+			<-started
+			if err := g.Acquire(context.Background(), 1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				order <- -1
+				return
+			}
+			order <- i
+			g.Release(1)
+		}(i)
+		started <- struct{}{} // handshake: goroutine i is about to Acquire
+		for g.QueueDepth() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	g.Release(1)
+	for i := 0; i < waiters; i++ {
+		if got := <-order; got != i {
+			t.Fatalf("grant %d went to waiter %d, want FIFO", i, got)
+		}
+	}
+}
+
+func TestGateOverflow(t *testing.T) {
+	g := NewGate(1, 1, nil)
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- g.Acquire(context.Background(), 1) }()
+	for g.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: the next request is shed.
+	if err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Acquire past a full queue = %v, want ErrOverloaded", err)
+	}
+	g.Release(1)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.Release(1)
+}
+
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 4, nil)
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctx, 1) }()
+	for g.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+	}
+	if got := g.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after cancel = %d, want 0", got)
+	}
+	// The canceled waiter must not have leaked capacity.
+	g.Release(1)
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("gate unusable after a canceled waiter: %v", err)
+	}
+	g.Release(1)
+}
+
+func TestGateNoOvertaking(t *testing.T) {
+	g := NewGate(4, 10, nil)
+	if err := g.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Queue: [3, 1].
+	acq3 := make(chan struct{})
+	go func() {
+		_ = g.Acquire(context.Background(), 3)
+		close(acq3)
+	}()
+	for g.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	acq1 := make(chan struct{})
+	go func() {
+		_ = g.Acquire(context.Background(), 1)
+		close(acq1)
+	}()
+	for g.QueueDepth() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// One unit frees: the 1-weight behind the queued 3-weight would fit,
+	// but FIFO means it must not overtake.
+	g.Release(1)
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-acq1:
+		t.Fatal("1-weight waiter overtook the queued 3-weight")
+	default:
+	}
+	if got := g.QueueDepth(); got != 2 {
+		t.Fatalf("QueueDepth after non-fitting release = %d, want 2", got)
+	}
+	// The front's weight frees: both fit now and both are admitted.
+	g.Release(3)
+	<-acq3
+	<-acq1
+	if got := g.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+}
+
+func TestGateDepthHook(t *testing.T) {
+	var last atomic.Int64
+	g := NewGate(1, 4, func(d int) { last.Store(int64(d)) })
+	_ = g.Acquire(context.Background(), 1)
+	done := make(chan struct{})
+	go func() {
+		_ = g.Acquire(context.Background(), 1)
+		close(done)
+	}()
+	for g.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := last.Load(); got != 1 {
+		t.Fatalf("depth hook saw %d, want 1", got)
+	}
+	g.Release(1)
+	<-done
+	if got := last.Load(); got != 0 {
+		t.Fatalf("depth hook after grant saw %d, want 0", got)
+	}
+	g.Release(1)
+}
+
+func TestNilGate(t *testing.T) {
+	var g *Gate
+	if err := g.Acquire(context.Background(), 5); err != nil {
+		t.Fatalf("nil gate Acquire: %v", err)
+	}
+	g.Release(5)
+	if g.QueueDepth() != 0 || g.InUse() != 0 {
+		t.Fatal("nil gate reports usage")
+	}
+	if NewGate(0, 0, nil) != nil {
+		t.Fatal("NewGate(0) should return the nil unlimited gate")
+	}
+}

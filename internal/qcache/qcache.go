@@ -1,0 +1,308 @@
+// Package qcache implements the cross-query serving layer of LLM-MS:
+// the machinery that lets the platform absorb heavy repeated traffic
+// without paying a full multi-model orchestration per request.
+//
+// Three cooperating pieces live here, each usable on its own:
+//
+//   - Cache: a two-tier answer cache. The exact tier is an LRU+TTL map
+//     keyed on the normalized query plus an opaque scope string (strategy,
+//     model set, token budget, RAG fingerprint — everything non-semantic
+//     that changes the answer). The semantic tier embeds the normalized
+//     query with an embedding.Encoder and matches it against cached
+//     entries through a vectordb cosine collection (the unit-cosine fast
+//     path), returning a near-duplicate's answer when similarity clears a
+//     configurable threshold. This is the bounded-staleness trade the
+//     networked-LLM literature motivates: a semantically equivalent
+//     answer now instead of an identical answer after a full fan-out.
+//
+//   - Group/Flight: singleflight-style coalescing for streaming
+//     responses. The first request for a key becomes the leader and
+//     publishes every frame it streams into a bounded broadcast buffer;
+//     identical requests arriving while the leader is in flight replay
+//     that buffer (history first, then live) and share the leader's
+//     result, so one orchestration serves every concurrent duplicate
+//     with full streaming semantics.
+//
+//   - Gate: admission control. A weighted semaphore bounds the total
+//     concurrent orchestration weight (callers weigh a query by its
+//     fan-out width) with a small context-aware FIFO wait queue in
+//     front; when the queue is full, Acquire fails fast so the server
+//     can shed load with 429 + Retry-After instead of collapsing.
+//
+// The package is deliberately value-agnostic: cached values and flight
+// results are `any`, so the application layer decides what an "answer"
+// is (the server stores recorded SSE frames plus the final result).
+package qcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+	"unicode"
+
+	"llmms/internal/embedding"
+	"llmms/internal/vectordb"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultCapacity bounds the exact-tier entry count.
+	DefaultCapacity = 256
+	// DefaultTTL is the entry lifetime.
+	DefaultTTL = 5 * time.Minute
+	// DefaultSemanticThreshold is the cosine similarity above which two
+	// distinct queries are close enough to share an answer. 0.97 is
+	// deliberately conservative: with the hashing encoder it admits
+	// trivial rephrasings (case, punctuation, stopword shuffles) while
+	// rejecting queries that differ in any content word.
+	DefaultSemanticThreshold = 0.97
+)
+
+// keySep joins the normalized query and the scope into one exact-tier
+// key; it cannot appear in either part (queries are normalized to
+// printable text, scopes are caller-built ASCII).
+const keySep = "\x1f"
+
+// Key identifies one cacheable answer.
+type Key struct {
+	// Query is the raw user query; it is normalized (lowercased,
+	// whitespace-collapsed) before use, so trivially reformatted
+	// duplicates collide in the exact tier.
+	Query string
+	// Scope is everything non-semantic that changes the answer: the
+	// caller packs strategy, model set, token budget, scoring weights,
+	// and the RAG fingerprint into this opaque string. Two keys match —
+	// exactly or semantically — only within the same scope.
+	Scope string
+}
+
+// ID returns the canonical identity string of the key: the normalized
+// query joined with the scope. It doubles as the coalescing key and the
+// semantic tier's document id.
+func (k Key) ID() string { return Normalize(k.Query) + keySep + k.Scope }
+
+// Normalize canonicalizes a query for exact-tier matching: lowercase,
+// leading/trailing space trimmed, internal whitespace runs collapsed to
+// single spaces.
+func Normalize(q string) string {
+	return strings.ToLower(strings.Join(strings.FieldsFunc(q, unicode.IsSpace), " "))
+}
+
+// HitKind classifies a cache lookup.
+type HitKind int
+
+// Lookup outcomes.
+const (
+	// Miss means no usable entry exists.
+	Miss HitKind = iota
+	// Exact means the normalized query matched an entry byte-for-byte.
+	Exact
+	// Semantic means a distinct query's entry matched above the
+	// similarity threshold.
+	Semantic
+)
+
+// Options tunes a Cache. The zero value takes every default.
+type Options struct {
+	// Capacity bounds the number of entries; the least recently used
+	// entry is evicted at the bound. Non-positive means DefaultCapacity.
+	Capacity int
+	// TTL is how long an entry stays servable. Non-positive means
+	// DefaultTTL.
+	TTL time.Duration
+	// SemanticThreshold is the minimum cosine similarity for a semantic
+	// hit. Zero means DefaultSemanticThreshold; a value > 1 disables the
+	// semantic tier outright (cosine similarity never exceeds 1).
+	SemanticThreshold float64
+	// Encoder embeds normalized queries for the semantic tier. Nil means
+	// embedding.Default().
+	Encoder embedding.Encoder
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+// entry is one cached answer with its bookkeeping.
+type entry struct {
+	id      string // Key.ID()
+	scope   string
+	value   any
+	expires time.Time
+	elem    *list.Element
+}
+
+// Cache is the two-tier answer cache. All methods are safe for
+// concurrent use; a nil *Cache is inert (Get always misses, Put and
+// Flush are no-ops), so callers can wire it unconditionally.
+type Cache struct {
+	capacity  int
+	ttl       time.Duration
+	threshold float64
+	clock     func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	vectors *vectordb.Collection
+}
+
+// New builds a Cache.
+func New(opts Options) *Cache {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = DefaultTTL
+	}
+	if opts.SemanticThreshold == 0 {
+		opts.SemanticThreshold = DefaultSemanticThreshold
+	}
+	if opts.Encoder == nil {
+		opts.Encoder = embedding.Default()
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	col, err := vectordb.New().CreateCollection("qcache", vectordb.CollectionConfig{
+		Metric:  vectordb.Cosine,
+		Encoder: opts.Encoder,
+	})
+	if err != nil {
+		panic(err) // fresh DB, fixed name: unreachable
+	}
+	return &Cache{
+		capacity:  opts.Capacity,
+		ttl:       opts.TTL,
+		threshold: opts.SemanticThreshold,
+		clock:     opts.Clock,
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+		vectors:   col,
+	}
+}
+
+// Len reports the live entry count (expired entries linger until a
+// lookup or eviction touches them).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get looks key up: first the exact tier, then — when the exact tier
+// misses and the semantic tier is enabled — the nearest cached query in
+// the same scope above the similarity threshold. Expired entries are
+// evicted on contact, never served.
+func (c *Cache) Get(key Key) (any, HitKind) {
+	if c == nil {
+		return nil, Miss
+	}
+	now := c.clock()
+	id := key.ID()
+
+	c.mu.Lock()
+	if e, ok := c.entries[id]; ok {
+		if now.Before(e.expires) {
+			c.lru.MoveToFront(e.elem)
+			v := e.value
+			c.mu.Unlock()
+			return v, Exact
+		}
+		c.removeLocked(e)
+	}
+	c.mu.Unlock()
+
+	if c.threshold > 1 {
+		return nil, Miss
+	}
+	// The semantic probe runs outside c.mu: the collection has its own
+	// lock, and a candidate surviving into the re-check below is
+	// re-validated against the entry map under c.mu.
+	res, err := c.vectors.Query(vectordb.QueryRequest{
+		Text: Normalize(key.Query),
+		TopK: 3,
+		// Equality shorthand: only entries with the identical scope
+		// (strategy, models, budget, RAG fingerprint) are comparable.
+		Where: vectordb.Metadata{"scope": key.Scope},
+	})
+	if err != nil {
+		return nil, Miss
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range res {
+		if r.Similarity < c.threshold {
+			break // results are ordered; nothing further clears the bar
+		}
+		e, ok := c.entries[r.ID]
+		if !ok {
+			continue // evicted between probe and re-check
+		}
+		if !now.Before(e.expires) {
+			c.removeLocked(e)
+			continue
+		}
+		c.lru.MoveToFront(e.elem)
+		return e.value, Semantic
+	}
+	return nil, Miss
+}
+
+// Put stores (or refreshes) the answer for key, evicting the least
+// recently used entries at capacity.
+func (c *Cache) Put(key Key, value any) {
+	if c == nil {
+		return
+	}
+	nq := Normalize(key.Query)
+	id := nq + keySep + key.Scope
+	expires := c.clock().Add(c.ttl)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		e.value = value
+		e.expires = expires
+		c.lru.MoveToFront(e.elem)
+		return // the semantic document is already in place
+	}
+	for len(c.entries) >= c.capacity {
+		c.removeLocked(c.lru.Back().Value.(*entry))
+	}
+	e := &entry{id: id, scope: key.Scope, value: value, expires: expires}
+	e.elem = c.lru.PushFront(e)
+	c.entries[id] = e
+	_ = c.vectors.Upsert(vectordb.Document{
+		ID:       id,
+		Text:     nq,
+		Metadata: vectordb.Metadata{"scope": key.Scope},
+	})
+}
+
+// Flush drops every entry — the coherence hammer the server swings on
+// settings changes and document upload/delete, where any cached answer
+// might now be produced differently.
+func (c *Cache) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]string, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	c.vectors.Delete(ids...)
+	c.entries = make(map[string]*entry)
+	c.lru.Init()
+}
+
+// removeLocked evicts e from both tiers. Caller holds c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.id)
+	c.lru.Remove(e.elem)
+	c.vectors.Delete(e.id)
+}

@@ -1,0 +1,176 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"  What   is\tGo? ": "what is go?",
+		"what is go?":       "what is go?",
+		"WHAT\nIS\nGO?":     "what is go?",
+		"":                  "",
+		"   ":               "",
+		"one":               "one",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExactHit(t *testing.T) {
+	c := New(Options{})
+	key := Key{Query: "What is Go?", Scope: "oua|a,b|256"}
+	if _, kind := c.Get(key); kind != Miss {
+		t.Fatalf("empty cache Get = %v, want Miss", kind)
+	}
+	c.Put(key, "answer")
+	v, kind := c.Get(key)
+	if kind != Exact || v != "answer" {
+		t.Fatalf("Get = (%v, %v), want (answer, Exact)", v, kind)
+	}
+	// Reformatted duplicates collide in the exact tier.
+	v, kind = c.Get(Key{Query: "  what   IS go? ", Scope: key.Scope})
+	if kind != Exact || v != "answer" {
+		t.Fatalf("normalized Get = (%v, %v), want (answer, Exact)", v, kind)
+	}
+	// A different scope is a different answer.
+	if _, kind := c.Get(Key{Query: key.Query, Scope: "other"}); kind == Exact {
+		t.Fatal("scope mismatch served an exact hit")
+	}
+}
+
+func TestSemanticHit(t *testing.T) {
+	// A permissive threshold so the hashing encoder's similarity between
+	// near-duplicate phrasings clears the bar deterministically.
+	c := New(Options{SemanticThreshold: 0.3})
+	key := Key{Query: "what is the capital of france", Scope: "s"}
+	c.Put(key, "paris")
+
+	v, kind := c.Get(Key{Query: "what is the capital city of france", Scope: "s"})
+	if kind != Semantic || v != "paris" {
+		t.Fatalf("Get = (%v, %v), want (paris, Semantic)", v, kind)
+	}
+	// Same rephrasing in a different scope must miss: scopes are not
+	// semantically comparable.
+	if _, kind := c.Get(Key{Query: "what is the capital city of france", Scope: "other"}); kind != Miss {
+		t.Fatalf("cross-scope semantic Get = %v, want Miss", kind)
+	}
+}
+
+func TestSemanticThresholdRejects(t *testing.T) {
+	c := New(Options{}) // default 0.97
+	c.Put(Key{Query: "what is the capital of france", Scope: "s"}, "paris")
+	if _, kind := c.Get(Key{Query: "how do neural networks learn", Scope: "s"}); kind != Miss {
+		t.Fatalf("unrelated query Get = %v, want Miss", kind)
+	}
+}
+
+func TestSemanticTierDisabled(t *testing.T) {
+	c := New(Options{SemanticThreshold: 2})
+	c.Put(Key{Query: "what is go", Scope: "s"}, "a language")
+	// Byte-identical still hits (exact tier)...
+	if _, kind := c.Get(Key{Query: "what is go", Scope: "s"}); kind != Exact {
+		t.Fatal("exact tier should survive a disabled semantic tier")
+	}
+	// ...but nothing else can.
+	if _, kind := c.Get(Key{Query: "what is go please", Scope: "s"}); kind != Miss {
+		t.Fatal("semantic tier served a hit while disabled")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New(Options{TTL: time.Minute, Clock: clock})
+	key := Key{Query: "q", Scope: "s"}
+	c.Put(key, "v")
+
+	now = now.Add(59 * time.Second)
+	if _, kind := c.Get(key); kind != Exact {
+		t.Fatal("entry expired before its TTL")
+	}
+	// Get does not extend the TTL: 61s past Put is expired.
+	now = now.Add(2 * time.Second)
+	if _, kind := c.Get(key); kind != Miss {
+		t.Fatal("expired entry was served")
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("expired entry lingers: Len = %d", got)
+	}
+	// The semantic tier must not resurrect it either.
+	c2 := New(Options{TTL: time.Minute, Clock: clock, SemanticThreshold: 0.3})
+	c2.Put(Key{Query: "what is the capital of france", Scope: "s"}, "paris")
+	now = now.Add(2 * time.Minute)
+	if _, kind := c2.Get(Key{Query: "what is the capital city of france", Scope: "s"}); kind != Miss {
+		t.Fatal("semantic tier served an expired entry")
+	}
+}
+
+func TestPutRefreshesTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Options{TTL: time.Minute, Clock: func() time.Time { return now }})
+	key := Key{Query: "q", Scope: "s"}
+	c.Put(key, "v1")
+	now = now.Add(45 * time.Second)
+	c.Put(key, "v2")
+	now = now.Add(45 * time.Second) // 90s after first Put, 45s after refresh
+	v, kind := c.Get(key)
+	if kind != Exact || v != "v2" {
+		t.Fatalf("Get = (%v, %v), want (v2, Exact)", v, kind)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Options{Capacity: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(Key{Query: fmt.Sprintf("query number %d", i), Scope: "s"}, i)
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, kind := c.Get(Key{Query: "query number 0", Scope: "s"}); kind != Exact {
+		t.Fatal("warmup get missed")
+	}
+	c.Put(Key{Query: "query number 3", Scope: "s"}, 3)
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if _, kind := c.Get(Key{Query: "query number 1", Scope: "s"}); kind != Miss {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, q := range []string{"query number 0", "query number 2", "query number 3"} {
+		if _, kind := c.Get(Key{Query: q, Scope: "s"}); kind != Exact {
+			t.Fatalf("entry %q was evicted, want kept", q)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Options{SemanticThreshold: 0.3})
+	c.Put(Key{Query: "what is the capital of france", Scope: "s"}, "paris")
+	c.Flush()
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len after Flush = %d", got)
+	}
+	if _, kind := c.Get(Key{Query: "what is the capital of france", Scope: "s"}); kind != Miss {
+		t.Fatal("exact tier survived Flush")
+	}
+	if _, kind := c.Get(Key{Query: "what is the capital city of france", Scope: "s"}); kind != Miss {
+		t.Fatal("semantic tier survived Flush")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	c.Put(Key{Query: "q"}, "v") // must not panic
+	if _, kind := c.Get(Key{Query: "q"}); kind != Miss {
+		t.Fatal("nil cache hit")
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+}

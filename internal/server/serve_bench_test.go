@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+// hotQueries is the repeated-traffic working set for the serve
+// benchmark: the queries that real users keep asking.
+var hotQueries = []string{
+	"What is the capital of France?",
+	"How do neural networks learn?",
+	"What causes the seasons to change?",
+	"Who wrote the theory of relativity?",
+	"What is the speed of light in a vacuum?",
+	"How does photosynthesis work?",
+	"What is the largest planet in the solar system?",
+	"Why is the sky blue during the day?",
+}
+
+// perModelLatency is the simulated transport+decode delay per generation
+// call, roughly a small local model's chunk latency. It is what makes
+// the uncached path expensive enough for cache effects to be measured in
+// milliseconds rather than noise.
+const perModelLatency = 2 * time.Millisecond
+
+// benchmarkServe drives the full HTTP stack (s.ServeHTTP, SSE streaming
+// and all) with a mixed workload: hotPct percent of requests come from
+// the fixed hot set, the rest are unique. It reports p50_ms, p99_ms, and
+// qps alongside the standard ns/op.
+func benchmarkServe(b *testing.B, sv ServingOptions, hotPct int) {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	backend := core.NewFaultBackend(engine)
+	for _, m := range DefaultSettings().EnabledModels {
+		backend.SetLatency(m, perModelLatency)
+	}
+	s, err := NewServer(Options{Engine: engine, Backend: backend, Serving: sv})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	post := func(q string) int {
+		req := httptest.NewRequest("POST", "/api/query",
+			strings.NewReader(fmt.Sprintf(`{"query":%q}`, q)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w.Code
+	}
+	// Warm the hot set so the measured loop sees the steady state (the
+	// first-ever occurrence of each hot query is unavoidably a miss and
+	// belongs to warmup, not to the workload under study).
+	for _, q := range hotQueries {
+		if code := post(q); code != http.StatusOK {
+			b.Fatalf("warmup query status = %d", code)
+		}
+	}
+
+	var seq atomic.Int64
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			var q string
+			if int(n%100) < hotPct {
+				q = hotQueries[int(n)%len(hotQueries)]
+			} else {
+				q = fmt.Sprintf("unique question number %d with no repeat value", n)
+			}
+			t0 := time.Now()
+			code := post(q)
+			d := time.Since(t0)
+			if code != http.StatusOK {
+				b.Errorf("query status = %d", code)
+				return
+			}
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if b.Failed() || len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(pct(0.50), "p50_ms")
+	b.ReportMetric(pct(0.99), "p99_ms")
+	b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "qps")
+}
+
+// BenchmarkServeMix is the serving-layer load benchmark behind `make
+// bench-serve` (BENCH_serve.json). The cached-vs-uncached pair at the
+// same repeat rate isolates the serving layer's contribution; the
+// repeat-90 variant shows the ceiling as traffic concentrates.
+func BenchmarkServeMix(b *testing.B) {
+	caching := ServingOptions{CacheTTL: 10 * time.Minute, Coalesce: true}
+	b.Run("uncached_repeat50", func(b *testing.B) { benchmarkServe(b, ServingOptions{}, 50) })
+	b.Run("cached_repeat50", func(b *testing.B) { benchmarkServe(b, caching, 50) })
+	b.Run("cached_repeat90", func(b *testing.B) { benchmarkServe(b, caching, 90) })
+}

@@ -47,13 +47,24 @@
 // where code is a stable machine-readable identifier (invalid_json,
 // missing_field, invalid_strategy, unknown_session, unknown_document,
 // unknown_model, unknown_trace, invalid_settings, invalid_rating,
-// body_too_large, ingest_failed, retrieval_failed, ephemeral_context,
-// invalid_config, all_models_failed, query_failed) and message is the
-// human-readable detail. The one exception is GET /readyz, whose 503
-// body is the per-dependency check report itself. The /api/query stream
-// also forwards core orchestration events verbatim, including
-// "model_failed" frames when a model is dropped after retry exhaustion
-// while the query continues on the survivors.
+// body_too_large, request_too_large, overloaded, ingest_failed,
+// retrieval_failed, ephemeral_context, invalid_config,
+// all_models_failed, query_failed) and message is the human-readable
+// detail. The one exception is GET /readyz, whose 503 body is the
+// per-dependency check report itself. The /api/query stream also
+// forwards core orchestration events verbatim, including "model_failed"
+// frames when a model is dropped after retry exhaustion while the query
+// continues on the survivors.
+//
+// With Options.Serving configured, a cross-query serving layer sits in
+// front of orchestration (see ServingOptions and DESIGN.md "Serving
+// layer"): /api/query responses then carry an X-Cache header — MISS
+// (full orchestration ran), HIT (exact answer-cache replay), SEMANTIC
+// (near-duplicate query's answer replayed), or COALESCED (an identical
+// in-flight query's stream was shared) — and requests beyond the
+// admission bound are shed with 429, an "overloaded" envelope, and a
+// Retry-After header. /api/query request bodies are capped at 1 MiB
+// (413 + request_too_large beyond it).
 package server
 
 import (
@@ -73,6 +84,7 @@ import (
 	"llmms/internal/arena"
 	"llmms/internal/core"
 	"llmms/internal/llm"
+	"llmms/internal/qcache"
 	"llmms/internal/rag"
 	"llmms/internal/router"
 	"llmms/internal/session"
@@ -137,8 +149,19 @@ func DefaultSettings() Settings {
 
 // Options configures a Server.
 type Options struct {
-	// Engine is the inference backend. Required.
+	// Engine is the inference backend. Required: it serves the model
+	// inventory, embeddings, and GPU telemetry even when Backend
+	// overrides generation.
 	Engine *llm.Engine
+	// Backend, when non-nil, overrides the generation backend the
+	// orchestrator calls (default: Engine). Deployments point it at a
+	// modeld.Client to orchestrate across remote daemons; tests and
+	// benchmarks inject fault/latency backends.
+	Backend core.Backend
+	// Serving configures the cross-query serving layer (answer cache,
+	// in-flight coalescing, admission control). The zero value disables
+	// all three.
+	Serving ServingOptions
 	// Settings overrides DefaultSettings (zero value keeps the default).
 	Settings Settings
 	// SessionOptions tunes the session store.
@@ -172,6 +195,7 @@ type ReadyCheck struct {
 // implements http.Handler.
 type Server struct {
 	engine      *llm.Engine
+	backend     core.Backend
 	sessions    *session.Store
 	docs        *vectordb.Collection
 	ingestor    *rag.Ingestor
@@ -179,6 +203,9 @@ type Server struct {
 	arena       *arena.Arena
 	memory      *session.MemoryGraph
 	tel         *telemetry.Telemetry
+	cache       *qcache.Cache // nil when the answer cache is disabled
+	flights     *qcache.Group // nil when coalescing is disabled
+	gate        *qcache.Gate  // nil when admission is unbounded
 	readyChecks []ReadyCheck
 	pprofOn     bool
 	mux         *http.ServeMux
@@ -186,6 +213,7 @@ type Server struct {
 	mu       sync.Mutex
 	settings Settings
 	docIDs   map[string]docInfo
+	ragRev   int // document-set revision; bumped on upload/delete
 }
 
 type docInfo struct {
@@ -214,8 +242,13 @@ func NewServer(opts Options) (*Server, error) {
 	if tel == nil {
 		tel = telemetry.New(telemetry.Options{})
 	}
+	backend := opts.Backend
+	if backend == nil {
+		backend = opts.Engine
+	}
 	s := &Server{
 		engine:   opts.Engine,
+		backend:  backend,
 		sessions: session.NewStore(opts.SessionOptions),
 		docs:     col,
 		ingestor: rag.NewIngestor(col, rag.ChunkOptions{}),
@@ -228,6 +261,20 @@ func NewServer(opts Options) (*Server, error) {
 		docIDs:   make(map[string]docInfo),
 		mux:      http.NewServeMux(),
 	}
+	if sv := opts.Serving; sv.CacheTTL > 0 {
+		s.cache = qcache.New(qcache.Options{
+			Capacity:          sv.CacheCapacity,
+			TTL:               sv.CacheTTL,
+			SemanticThreshold: sv.SemanticThreshold,
+		})
+	}
+	if opts.Serving.Coalesce {
+		s.flights = qcache.NewGroup(opts.Serving.CoalesceBuffer)
+	}
+	// NewGate returns nil for a non-positive bound, so the unlimited
+	// default stays a nil no-op gate.
+	s.gate = qcache.NewGate(opts.Serving.MaxInflight, opts.Serving.MaxQueue,
+		func(depth int) { s.tel.QueueDepth.Set(float64(depth)) })
 	// The built-in readiness probe: the backend must expose at least one
 	// model, or every query is doomed to fail.
 	s.readyChecks = append([]ReadyCheck{{
@@ -438,11 +485,28 @@ type QueryRequest struct {
 	EphemeralContext string `json:"ephemeral_context,omitempty"`
 }
 
+// maxQueryBody caps the /api/query request body. Queries are a question
+// plus at most one ephemeral document; anything past a megabyte is a
+// mistake or an attack, and decoding it unbounded would let one request
+// balloon the heap.
+const maxQueryBody = 1 << 20
+
 // handleQuery runs one orchestrated query and streams core events as SSE
 // frames. The final frame is event "result" with the full core.Result.
+// When the serving layer is configured, the query may instead be
+// answered from the cache (X-Cache: HIT/SEMANTIC), by replaying an
+// identical in-flight leader (COALESCED), or shed with 429 when the
+// admission queue is full.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request_too_large",
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "invalid_json", "invalid JSON: %v", err)
 		return
 	}
@@ -468,8 +532,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Model != "" {
 		model = req.Model
 	}
+	models := st.EnabledModels
+	if strategy == core.StrategySingle {
+		models = []string{model}
+	}
 
-	// Resolve or create the session and build the contextual prompt.
+	// Resolve or create the session.
 	sessID := req.SessionID
 	if sessID == "" {
 		sessID = s.sessions.Create("").ID
@@ -479,11 +547,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown_session", "%v", err)
 		return
 	}
+
+	// ---- Serving layer (DESIGN.md "Serving layer") ----
+	// The cache probe runs before retrieval and prompt assembly: a hit
+	// skips every per-query cost, not just generation.
+	key, servable := s.servingKey(req, strategy, models, maxTokens, st, summary)
+	if servable && s.cache != nil {
+		lookupStart := time.Now()
+		v, kind := s.cache.Get(key)
+		s.tel.CacheLookupLat.Observe(time.Since(lookupStart).Seconds())
+		if kind != qcache.Miss {
+			s.serveCached(w, r, v.(*cachedAnswer), kind, sessID, req.Query)
+			return
+		}
+		s.tel.CacheMisses.Inc()
+	}
+	var flight *qcache.Flight
+	if servable && s.flights != nil {
+		var role qcache.Role
+		flight, role = s.flights.Join(key.ID())
+		if role == qcache.RoleFollower {
+			s.tel.Coalesced.Inc()
+			s.followFlight(w, r, flight, sessID, req.Query)
+			return
+		}
+		if role == qcache.RoleBypass {
+			flight = nil
+		}
+	}
+	// From here on this request is a leader (or uncoalesced): every exit
+	// must finish the flight exactly once so followers are released.
+	flightDone := false
+	finishFlight := func(out flightOutcome) {
+		if flight != nil && !flightDone {
+			flightDone = true
+			flight.Finish(out)
+		}
+	}
+	defer finishFlight(flightOutcome{})
+
+	// Admission control: orchestration fans out one generation stream
+	// per candidate model, so the query weighs its model count.
+	if s.gate != nil {
+		waitStart := time.Now()
+		err := s.gate.Acquire(r.Context(), len(models))
+		s.tel.QueueWait.Observe(time.Since(waitStart).Seconds())
+		if err != nil {
+			if errors.Is(err, qcache.ErrOverloaded) {
+				s.tel.Rejected.Inc()
+				body := errBody("overloaded", "server at orchestration capacity; retry shortly")
+				finishFlight(flightOutcome{status: http.StatusTooManyRequests, errBody: body, retryAfter: retryAfterSeconds})
+				w.Header().Set("Retry-After", retryAfterSeconds)
+				writeJSON(w, http.StatusTooManyRequests, body)
+				return
+			}
+			// The client gave up while queued; release followers with a
+			// retryable error and write nothing to the dead connection.
+			finishFlight(flightOutcome{
+				status:  http.StatusServiceUnavailable,
+				errBody: errBody("query_failed", "coalesced leader canceled while queued"),
+			})
+			return
+		}
+		defer s.gate.Release(len(models))
+	}
+
+	// Build the contextual prompt.
 	var chunks []string
 	if req.UseRAG && s.docs.Count() > 0 {
 		results, err := rag.Retrieve(s.docs, req.Query, st.RAGTopK, req.DocID)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "retrieval_failed", "retrieval: %v", err)
+			body := errBody("retrieval_failed", "retrieval: %v", err)
+			finishFlight(flightOutcome{status: http.StatusInternalServerError, errBody: body})
+			writeJSON(w, http.StatusInternalServerError, body)
 			return
 		}
 		for _, res := range results {
@@ -501,11 +637,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	prompt := rag.BuildPrompt(rag.PromptParts{Summary: summary, Chunks: chunks, Question: req.Query})
 
 	queryID := telemetry.NewQueryID()
+	// The stream context is cancelable independently of the request: a
+	// write failure (dead client) cancels it so the orchestration stops
+	// instead of generating into a closed socket.
+	ctx, cancelStream := context.WithCancel(r.Context())
+	defer cancelStream()
 	flusher, canStream := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Session-ID", sessID)
 	w.Header().Set("X-Query-ID", queryID)
+	if s.cache != nil || s.flights != nil || s.gate != nil {
+		w.Header().Set("X-Cache", "MISS")
+	}
 	w.WriteHeader(http.StatusOK)
 
 	s.tel.SSEStreams.Inc()
@@ -516,22 +660,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.tel.SSEDropped.Inc()
 		}
 	}()
+	cacheable := servable && s.cache != nil
+	var recorded []qcache.Frame
+	streamDead := false
 	writeEvent := func(event string, v any) {
 		data, err := json.Marshal(v)
 		if err != nil {
+			s.tel.SSEEncodeErrors.Inc()
 			return
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		// Followers and the cache consume the frame even when the
+		// leader's own client is gone.
+		if flight != nil {
+			flight.Publish(qcache.Frame{Event: event, Data: data})
+		}
+		if cacheable && event != "result" {
+			recorded = append(recorded, qcache.Frame{Event: event, Data: data})
+		}
+		if streamDead {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			s.tel.SSEEncodeErrors.Inc()
+			streamDead = true
+			cancelStream()
+			return
+		}
 		s.tel.SSEFrames.Inc()
 		if canStream {
 			flusher.Flush()
 		}
 	}
 
-	models := st.EnabledModels
-	if strategy == core.StrategySingle {
-		models = []string{model}
-	}
 	obs := s.tel.StartQuery(queryID, string(strategy), req.Query)
 	cfg := core.DefaultConfig(models...)
 	cfg.MaxTokens = maxTokens
@@ -540,14 +700,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cfg.Feedback = s.feedback
 	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
 	cfg.Recorder = obs
-	oc, err := core.New(s.engine, cfg)
+	oc, err := core.New(s.backend, cfg)
 	if err != nil {
 		obs.Finish(err)
 		writeEvent("error", errBody("invalid_config", "%v", err))
 		return
 	}
 
-	res, err := oc.Run(r.Context(), strategy, prompt)
+	res, err := oc.Run(ctx, strategy, prompt)
 	obs.Finish(err)
 	if err != nil {
 		code := "query_failed"
@@ -563,16 +723,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Persist the exchange for session continuity and cross-session
 	// recall (§9.5 contextual memory graphs).
-	if _, err := s.sessions.Append(sessID, session.Message{Role: session.RoleUser, Content: req.Query}); err == nil {
-		_, _ = s.sessions.Append(sessID, session.Message{
-			Role: session.RoleAssistant, Content: res.Answer, Model: res.Model,
-		})
-	}
+	s.appendExchange(sessID, req.Query, res)
 	s.memory.Add(session.Exchange{
 		SessionID: sessID, Question: req.Query, Answer: res.Answer,
 		Model: res.Model, Time: time.Now(),
 	})
 	writeEvent("result", map[string]any{"session_id": sessID, "query_id": queryID, "result": res})
+	if cacheable {
+		s.cache.Put(key, &cachedAnswer{frames: recorded, result: res})
+	}
+	finishFlight(flightOutcome{result: &res})
 }
 
 // uploadRequest is the JSON /api/upload payload (the browser reads the
@@ -606,7 +766,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.docIDs[docID] = docInfo{Name: req.Filename, Chunks: n}
+	s.ragRev++
 	s.mu.Unlock()
+	// RAG-grounded cached answers may now be stale.
+	s.invalidateCache()
 	writeJSON(w, http.StatusCreated, map[string]any{"doc_id": docID, "chunks": n})
 }
 
@@ -631,12 +794,16 @@ func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	_, ok := s.docIDs[id]
 	delete(s.docIDs, id)
+	if ok {
+		s.ragRev++
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown_document", "unknown document %q", id)
 		return
 	}
 	removed := s.ingestor.DeleteDocument(id)
+	s.invalidateCache()
 	writeJSON(w, http.StatusOK, map[string]any{"deleted_chunks": removed})
 }
 
@@ -714,6 +881,8 @@ func (s *Server) handlePutSettings(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.settings = st
 	s.mu.Unlock()
+	// Cached answers are keyed on the settings that produced them.
+	s.invalidateCache()
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -754,6 +923,7 @@ func (s *Server) handleConfigure(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.settings = st
 	s.mu.Unlock()
+	s.invalidateCache()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"settings":   st,
 		"changes":    changeLog,

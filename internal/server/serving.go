@@ -1,0 +1,236 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"llmms/internal/core"
+	"llmms/internal/qcache"
+	"llmms/internal/session"
+	"llmms/internal/telemetry"
+)
+
+// ServingOptions configures the cross-query serving layer between the
+// HTTP surface and the orchestrator: the answer cache, in-flight
+// coalescing, and admission control. The zero value disables all three,
+// leaving /api/query behavior-identical to a server without the layer.
+type ServingOptions struct {
+	// CacheTTL enables the two-tier answer cache when positive: exact
+	// hits on the normalized (query, strategy, models, budget, RAG
+	// fingerprint) key and semantic hits on near-duplicate queries are
+	// replayed without orchestrating. Entries expire after this TTL and
+	// the whole cache is flushed on settings changes and document
+	// upload/delete.
+	CacheTTL time.Duration
+	// CacheCapacity bounds the cache entries (non-positive means
+	// qcache.DefaultCapacity).
+	CacheCapacity int
+	// SemanticThreshold is the cosine similarity above which two
+	// distinct queries share a cached answer (zero means
+	// qcache.DefaultSemanticThreshold; > 1 disables the semantic tier).
+	SemanticThreshold float64
+	// Coalesce enables singleflight-style deduplication: identical
+	// queries arriving while one is already orchestrating replay the
+	// leader's SSE stream instead of fanning out again.
+	Coalesce bool
+	// CoalesceBuffer bounds the buffered frame history per flight in
+	// bytes (non-positive means qcache.DefaultFlightBuffer); past the
+	// bound a flight stops admitting new followers.
+	CoalesceBuffer int
+	// MaxInflight, when positive, bounds the total concurrent
+	// orchestration weight (each query weighs its fan-out width, i.e.
+	// its candidate model count). Requests beyond the bound wait in a
+	// FIFO queue; beyond the queue they are shed with 429.
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue (non-positive means
+	// 2×MaxInflight).
+	MaxQueue int
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 responses. The queue
+// drains at orchestration speed (hundreds of milliseconds to seconds),
+// so a one-second backoff is the shortest honest hint.
+const retryAfterSeconds = "1"
+
+// cachedAnswer is the cache entry value: the leader's recorded
+// orchestration frames (everything except the final result frame, which
+// is rebuilt per requester) plus the final result.
+type cachedAnswer struct {
+	frames []qcache.Frame
+	result core.Result
+}
+
+// flightOutcome is what a coalescing leader hands its followers at
+// Finish: the orchestration result on success, or the HTTP error it
+// answered with when it never started streaming (admission shed,
+// retrieval failure).
+type flightOutcome struct {
+	result     *core.Result
+	status     int
+	errBody    map[string]apiError
+	retryAfter string
+}
+
+// servingKey derives the cache/coalescing key for a query, reporting
+// whether the query is shareable at all. Context-dependent queries — a
+// session with history, or an ephemeral document — produce prompts no
+// other request reproduces, so they always bypass the serving layer.
+func (s *Server) servingKey(req QueryRequest, strategy core.Strategy, models []string, maxTokens int, st Settings, summary string) (qcache.Key, bool) {
+	if s.cache == nil && s.flights == nil {
+		return qcache.Key{}, false
+	}
+	if summary != "" || strings.TrimSpace(req.EphemeralContext) != "" {
+		return qcache.Key{}, false
+	}
+	ragFP := "-"
+	if req.UseRAG {
+		// The revision counter ties RAG-grounded answers to the document
+		// set that produced them; upload/delete bumps it (and flushes the
+		// cache outright — the counter additionally keeps stale keys from
+		// ever colliding with fresh ones).
+		ragFP = fmt.Sprintf("rag:%d:%s:%d", s.ragRevision(), req.DocID, st.RAGTopK)
+	}
+	scope := fmt.Sprintf("%s|%s|%d|%g|%g|%s",
+		strategy, strings.Join(models, ","), maxTokens, st.Alpha, st.Beta, ragFP)
+	return qcache.Key{Query: req.Query, Scope: scope}, true
+}
+
+// ragRevision returns the document-set revision (bumped on every upload
+// and delete).
+func (s *Server) ragRevision() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ragRev
+}
+
+// invalidateCache drops every cached answer — called whenever settings
+// or the document set change, since either can change what any query
+// would answer.
+func (s *Server) invalidateCache() {
+	s.cache.Flush()
+}
+
+// appendExchange persists one question/answer pair to a session (shared
+// by the fresh, cached, and coalesced paths).
+func (s *Server) appendExchange(sessID, query string, res core.Result) {
+	if _, err := s.sessions.Append(sessID, session.Message{Role: session.RoleUser, Content: query}); err == nil {
+		_, _ = s.sessions.Append(sessID, session.Message{
+			Role: session.RoleAssistant, Content: res.Answer, Model: res.Model,
+		})
+	}
+}
+
+// serveCached answers a query from a cache entry: the recorded
+// orchestration frames are replayed verbatim, then a fresh result frame
+// is built so the requester keeps its own session and query identity.
+// Cached replays do not feed the arena or the memory graph (they carry
+// no new orchestration evidence) and produce no trace.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ca *cachedAnswer, kind qcache.HitKind, sessID, query string) {
+	tier, label := "exact", "HIT"
+	if kind == qcache.Semantic {
+		tier, label = "semantic", "SEMANTIC"
+	}
+	s.tel.CacheHits.Inc(tier)
+
+	queryID := telemetry.NewQueryID()
+	flusher, canStream := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Session-ID", sessID)
+	w.Header().Set("X-Query-ID", queryID)
+	w.Header().Set("X-Cache", label)
+	w.WriteHeader(http.StatusOK)
+	s.tel.SSEStreams.Inc()
+	defer func() {
+		if r.Context().Err() != nil {
+			s.tel.SSEDropped.Inc()
+		}
+	}()
+
+	writeFrame := func(event string, data []byte) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			s.tel.SSEEncodeErrors.Inc()
+			return false
+		}
+		s.tel.SSEFrames.Inc()
+		if canStream {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, fr := range ca.frames {
+		if !writeFrame(fr.Event, fr.Data) {
+			return
+		}
+	}
+	data, err := json.Marshal(map[string]any{"session_id": sessID, "query_id": queryID, "result": ca.result})
+	if err != nil {
+		s.tel.SSEEncodeErrors.Inc()
+		return
+	}
+	if !writeFrame("result", data) {
+		return
+	}
+	s.appendExchange(sessID, query, ca.result)
+}
+
+// followFlight serves a coalesced follower: the leader's frames are
+// replayed verbatim as they arrive — event-for-event identical to the
+// leader's stream — and the shared result is appended to the follower's
+// own session. When the leader failed before streaming anything, its
+// HTTP error response is reproduced instead.
+func (s *Server) followFlight(w http.ResponseWriter, r *http.Request, f *qcache.Flight, sessID, query string) {
+	queryID := telemetry.NewQueryID()
+	flusher, canStream := w.(http.Flusher)
+	headersSent := false
+	writeFrame := func(fr qcache.Frame) error {
+		if !headersSent {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Header().Set("X-Session-ID", sessID)
+			w.Header().Set("X-Query-ID", queryID)
+			w.Header().Set("X-Cache", "COALESCED")
+			w.WriteHeader(http.StatusOK)
+			headersSent = true
+			s.tel.SSEStreams.Inc()
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", fr.Event, fr.Data); err != nil {
+			s.tel.SSEEncodeErrors.Inc()
+			return err
+		}
+		s.tel.SSEFrames.Inc()
+		if canStream {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	v, completed := f.Replay(r.Context(), writeFrame)
+	if headersSent && r.Context().Err() != nil {
+		s.tel.SSEDropped.Inc()
+	}
+	if !completed {
+		return // follower's client left, or its write failed mid-replay
+	}
+	out, _ := v.(flightOutcome)
+	if out.result != nil {
+		s.appendExchange(sessID, query, *out.result)
+		return
+	}
+	if headersSent {
+		return // the leader's error frame was already replayed
+	}
+	// The leader never streamed (shed by admission, retrieval failure):
+	// reproduce its plain HTTP error.
+	status, body := out.status, out.errBody
+	if status == 0 {
+		status, body = http.StatusInternalServerError, errBody("query_failed", "coalesced leader produced no response")
+	}
+	if out.retryAfter != "" {
+		w.Header().Set("Retry-After", out.retryAfter)
+	}
+	writeJSON(w, status, body)
+}

@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"llmms/internal/core"
+	"llmms/internal/llm"
+	"llmms/internal/session"
+	"llmms/internal/truthfulqa"
+)
+
+// newServingServer builds a test server with the serving layer on.
+func newServingServer(t *testing.T, sv ServingOptions, backend core.Backend) (*Server, *httptest.Server) {
+	t.Helper()
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	s, err := NewServer(Options{Engine: engine, Backend: backend, Serving: sv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postQuery runs one /api/query and returns the response with its full
+// body read (so SSE frames are complete).
+func postQuery(t *testing.T, url string, body map[string]any) (*http.Response, string) {
+	t.Helper()
+	resp := doJSON(t, "POST", url+"/api/query", body, nil)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+// blockingBackend parks every GenerateChunk call until released, so
+// tests can hold a query in flight deterministically.
+type blockingBackend struct {
+	inner   core.Backend
+	once    sync.Once
+	started chan struct{} // closed on the first call
+	release chan struct{} // close to let all calls proceed
+}
+
+func newBlockingBackend(inner core.Backend) *blockingBackend {
+	return &blockingBackend{inner: inner, started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (b *blockingBackend) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	b.once.Do(func() { close(b.started) })
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return llm.Chunk{}, ctx.Err()
+	}
+	return b.inner.GenerateChunk(ctx, req)
+}
+
+func TestQueryCacheExactHit(t *testing.T) {
+	s, ts := newServingServer(t, ServingOptions{CacheTTL: time.Minute}, nil)
+	q := map[string]any{"query": "What is the capital of France?"}
+
+	resp1, body1 := postQuery(t, ts.URL, q)
+	if got := resp1.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first query X-Cache = %q, want MISS", got)
+	}
+	resp2, body2 := postQuery(t, ts.URL, q)
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat query X-Cache = %q, want HIT", got)
+	}
+	if s.tel.CacheHits.Value("exact") != 1 {
+		t.Fatalf("cache_hits{exact} = %v, want 1", s.tel.CacheHits.Value("exact"))
+	}
+	// The replay carries the same orchestration frames and a result with
+	// the same answer (identities differ: fresh session and query IDs).
+	f1, f2 := sseFrames(t, body1), sseFrames(t, body2)
+	if len(f1) != len(f2) {
+		t.Fatalf("frame counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].Event != f2[i].Event {
+			t.Fatalf("frame %d event %q vs %q", i, f1[i].Event, f2[i].Event)
+		}
+		if f1[i].Event != "result" && f1[i].Data != f2[i].Data {
+			t.Fatalf("frame %d (%s) data differs", i, f1[i].Event)
+		}
+	}
+	// A whitespace/case reformatting still hits the exact tier.
+	resp3, _ := postQuery(t, ts.URL, map[string]any{"query": "  what is THE capital   of france? "})
+	if got := resp3.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("normalized repeat X-Cache = %q, want HIT", got)
+	}
+}
+
+func TestQueryCacheSemanticHit(t *testing.T) {
+	// The hashing encoder's similarity between rephrasings is far below
+	// the production 0.97 default, so the test lowers the bar — the point
+	// is the tier's mechanics, not the encoder's quality.
+	s, ts := newServingServer(t, ServingOptions{CacheTTL: time.Minute, SemanticThreshold: 0.3}, nil)
+	postQuery(t, ts.URL, map[string]any{"query": "What is the capital of France?"})
+	resp, body := postQuery(t, ts.URL, map[string]any{"query": "What is the capital city of France?"})
+	if got := resp.Header.Get("X-Cache"); got != "SEMANTIC" {
+		t.Fatalf("rephrased query X-Cache = %q, want SEMANTIC", got)
+	}
+	if s.tel.CacheHits.Value("semantic") != 1 {
+		t.Fatalf("cache_hits{semantic} = %v, want 1", s.tel.CacheHits.Value("semantic"))
+	}
+	frames := sseFrames(t, body)
+	if len(frames) == 0 || frames[len(frames)-1].Event != "result" {
+		t.Fatal("semantic replay did not end in a result frame")
+	}
+}
+
+func TestQueryCacheTTLExpiry(t *testing.T) {
+	_, ts := newServingServer(t, ServingOptions{CacheTTL: 50 * time.Millisecond}, nil)
+	q := map[string]any{"query": "What is the capital of France?"}
+	postQuery(t, ts.URL, q)
+	resp, _ := postQuery(t, ts.URL, q)
+	if got := resp.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("within-TTL repeat X-Cache = %q, want HIT", got)
+	}
+	time.Sleep(80 * time.Millisecond)
+	resp2, _ := postQuery(t, ts.URL, q)
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("post-TTL repeat X-Cache = %q, want MISS", got)
+	}
+}
+
+func TestQueryCacheInvalidatedByUploadAndSettings(t *testing.T) {
+	s, ts := newServingServer(t, ServingOptions{CacheTTL: time.Minute}, nil)
+	q := map[string]any{"query": "What is the capital of France?"}
+	postQuery(t, ts.URL, q)
+	if resp, _ := postQuery(t, ts.URL, q); resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatal("warmup repeat was not a HIT")
+	}
+
+	// Uploading a document flushes the cache: any answer might now be
+	// grounded differently.
+	up := doJSON(t, "POST", ts.URL+"/api/upload", map[string]any{
+		"filename": "facts.txt", "content": "Paris is the capital of France.",
+	}, nil)
+	if up.StatusCode != http.StatusCreated {
+		t.Fatalf("upload = %d", up.StatusCode)
+	}
+	if resp, _ := postQuery(t, ts.URL, q); resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatal("cache survived a document upload")
+	}
+
+	// Refill, then change settings: flushed again.
+	if resp, _ := postQuery(t, ts.URL, q); resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatal("refill repeat was not a HIT")
+	}
+	st := s.Settings()
+	st.MaxTokens = 1024
+	if resp := doJSON(t, "PUT", ts.URL+"/api/settings", st, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("settings update = %d", resp.StatusCode)
+	}
+	if resp, _ := postQuery(t, ts.URL, q); resp.Header.Get("X-Cache") != "MISS" {
+		t.Fatal("cache survived a settings change")
+	}
+}
+
+func TestQueryContextBypassesCache(t *testing.T) {
+	s, ts := newServingServer(t, ServingOptions{CacheTTL: time.Minute}, nil)
+
+	// Ephemeral context makes the prompt request-specific: repeats must
+	// never hit (or populate) the cache.
+	qe := map[string]any{
+		"query":             "What is the capital of France?",
+		"ephemeral_context": "France moved its capital to Lyon in this alternate history.",
+	}
+	postQuery(t, ts.URL, qe)
+	resp, _ := postQuery(t, ts.URL, qe)
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("ephemeral repeat X-Cache = %q, want MISS (bypass)", got)
+	}
+
+	// A session whose history has been folded into a summary also feeds
+	// the prompt, so those queries bypass too.
+	sessID := s.sessions.Create("long chat").ID
+	for i := 0; i < 12; i++ {
+		if _, err := s.sessions.Append(sessID, session.Message{Role: session.RoleUser, Content: "turn content"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if summary, _, _ := s.sessions.Context(sessID, 0); summary == "" {
+		t.Skip("session store did not summarize; bypass branch unreachable")
+	}
+	qs := map[string]any{"query": "What is the capital of France?", "session_id": sessID}
+	postQuery(t, ts.URL, qs)
+	resp2, _ := postQuery(t, ts.URL, qs)
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("summarized-session repeat X-Cache = %q, want MISS (bypass)", got)
+	}
+}
+
+func TestQueryCoalescedFollowerReplay(t *testing.T) {
+	backend := newBlockingBackend(llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())}))
+	s, ts := newServingServer(t, ServingOptions{Coalesce: true}, backend)
+	q := map[string]any{"query": "What is the capital of France?"}
+
+	type outcome struct {
+		resp *http.Response
+		body string
+	}
+	leader := make(chan outcome, 1)
+	go func() {
+		resp, body := postQuery(t, ts.URL, q)
+		leader <- outcome{resp, body}
+	}()
+	<-backend.started // the leader is inside orchestration, held open
+
+	follower := make(chan outcome, 1)
+	go func() {
+		resp, body := postQuery(t, ts.URL, q)
+		follower <- outcome{resp, body}
+	}()
+	// Wait until the second request has actually joined the flight, then
+	// let the leader finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.tel.Coalesced.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(backend.release)
+
+	lo, fo := <-leader, <-follower
+	if got := lo.resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("leader X-Cache = %q, want MISS", got)
+	}
+	if got := fo.resp.Header.Get("X-Cache"); got != "COALESCED" {
+		t.Fatalf("follower X-Cache = %q, want COALESCED", got)
+	}
+	// The acceptance bar: the follower's stream is event-for-event —
+	// in fact byte-for-byte — identical to the leader's.
+	if lo.body != fo.body {
+		t.Fatalf("follower body differs from leader body:\nleader:   %q\nfollower: %q", lo.body, fo.body)
+	}
+	if !bytes.Contains([]byte(lo.body), []byte("event: result")) {
+		t.Fatal("leader stream has no result frame")
+	}
+}
+
+func TestQueryAdmissionSheds429(t *testing.T) {
+	backend := newBlockingBackend(llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())}))
+	s, ts := newServingServer(t, ServingOptions{MaxInflight: 1, MaxQueue: 1}, backend)
+
+	running := make(chan outcomePair, 2)
+	go func() {
+		resp, body := postQuery(t, ts.URL, map[string]any{"query": "first long question"})
+		running <- outcomePair{resp, body}
+	}()
+	<-backend.started // query 1 holds the only slot
+
+	go func() {
+		resp, body := postQuery(t, ts.URL, map[string]any{"query": "second long question"})
+		running <- outcomePair{resp, body}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.QueueDepth() != 1 { // query 2 parked in the wait queue
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: query 3 is shed with 429 + Retry-After in the envelope.
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	resp := doJSON(t, "POST", ts.URL+"/api/query", map[string]any{"query": "third long question"}, &envelope)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated query status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if envelope.Error.Code != "overloaded" {
+		t.Fatalf("429 code = %q, want overloaded", envelope.Error.Code)
+	}
+	if s.tel.Rejected.Value() != 1 {
+		t.Fatalf("admission_rejected_total = %v, want 1", s.tel.Rejected.Value())
+	}
+
+	close(backend.release)
+	for i := 0; i < 2; i++ {
+		out := <-running
+		if out.resp.StatusCode != http.StatusOK {
+			t.Fatalf("admitted query %d status = %d, want 200", i, out.resp.StatusCode)
+		}
+		if !strings.Contains(out.body, "event: result") {
+			t.Fatalf("admitted query %d stream has no result frame", i)
+		}
+	}
+}
+
+type outcomePair struct {
+	resp *http.Response
+	body string
+}
+
+func TestQueryBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t)
+	big := strings.Repeat("x", maxQueryBody+1)
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"query":"`+big+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	var envelope map[string]apiError
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope["error"].Code != "request_too_large" {
+		t.Fatalf("413 code = %q, want request_too_large", envelope["error"].Code)
+	}
+}
+
+// deadWriter accepts headers but fails every body write, simulating a
+// client that disconnected before the stream started.
+type deadWriter struct {
+	header http.Header
+}
+
+func (w *deadWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *deadWriter) WriteHeader(int)           {}
+func (w *deadWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+func TestQuerySSEWriteErrorStopsStream(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	s, err := NewServer(Options{Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/api/query",
+		strings.NewReader(`{"query":"What is the capital of France?"}`))
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(&deadWriter{}, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler kept streaming to a dead client")
+	}
+	if got := s.tel.SSEEncodeErrors.Value(); got < 1 {
+		t.Fatalf("sse_encode_errors_total = %v, want >= 1", got)
+	}
+	// Exactly one failed frame: the stream was abandoned at the first
+	// write error instead of burning through the rest of the events.
+	if got := s.tel.SSEFrames.Value(); got != 0 {
+		t.Fatalf("sse_frames_written_total = %v, want 0 on a dead client", got)
+	}
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs the serving-layer load benchmark: the full HTTP stack under a
+# mixed repeat-rate workload, cached vs uncached, over a fixed-latency
+# fault backend. Reports p50_ms/p99_ms/qps per variant and writes
+# machine-readable JSON so the cache's latency win can be diffed across
+# commits. The raw `go test -bench` text goes to stderr.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_serve.json}"
+go test -bench='ServeMix' -run='^$' ./internal/server/ \
+	| tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"

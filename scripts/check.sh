@@ -16,14 +16,18 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+# -shuffle=on randomizes test order, flushing out tests that only pass
+# because an earlier test left shared state behind.
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
-# One-iteration smoke of the scoring fast-path benchmarks: proves the
-# benchmark code itself still compiles and runs (a broken benchmark
-# otherwise only surfaces when someone runs make bench-score).
+# One-iteration smoke of the scoring fast-path and serving-layer
+# benchmarks: proves the benchmark code itself still compiles and runs
+# (a broken benchmark otherwise only surfaces when someone runs make
+# bench-score / bench-serve).
 echo "== bench smoke (-benchtime=1x)"
 go test -run='^$' -bench='ScoreAll|EncodeIncremental|InterSim' -benchtime=1x \
 	./internal/core/ ./internal/embedding/ >/dev/null
+go test -run='^$' -bench='ServeMix' -benchtime=1x ./internal/server/ >/dev/null
 
 echo "== ok"
