@@ -40,7 +40,10 @@ type waiter struct {
 // NewGate builds a Gate admitting at most capacity units of concurrent
 // weight, with at most maxQueue requests waiting behind a full
 // semaphore (non-positive maxQueue means 2×capacity). onDepth, when
-// non-nil, is called with the new queue depth after every change. A
+// non-nil, is called with the new queue depth after every change; it
+// runs while the gate's lock is held — so successive depths are
+// delivered in order and the last call always reports the true depth —
+// and therefore must be fast and must not call back into the Gate. A
 // non-positive capacity returns nil — the unlimited gate.
 func NewGate(capacity, maxQueue int, onDepth func(int)) *Gate {
 	if capacity <= 0 {
@@ -52,9 +55,13 @@ func NewGate(capacity, maxQueue int, onDepth func(int)) *Gate {
 	return &Gate{capacity: capacity, maxQueue: maxQueue, onDepth: onDepth}
 }
 
-func (g *Gate) notifyDepth(d int) {
+// notifyDepthLocked publishes the current queue depth to the hook.
+// Callers must hold g.mu: keeping the callback under the lock is what
+// serializes notifications, so the gauge can never be left stale by a
+// reordered pair of concurrent updates.
+func (g *Gate) notifyDepthLocked() {
 	if g.onDepth != nil {
-		g.onDepth(d)
+		g.onDepth(g.waiters.Len())
 	}
 }
 
@@ -91,9 +98,8 @@ func (g *Gate) Acquire(ctx context.Context, weight int) error {
 	}
 	w := &waiter{ready: make(chan struct{}), weight: weight}
 	el := g.waiters.PushBack(w)
-	depth := g.waiters.Len()
+	g.notifyDepthLocked()
 	g.mu.Unlock()
-	g.notifyDepth(depth)
 
 	select {
 	case <-w.ready:
@@ -111,9 +117,8 @@ func (g *Gate) Acquire(ctx context.Context, weight int) error {
 		default:
 		}
 		g.waiters.Remove(el)
-		depth := g.waiters.Len()
+		g.notifyDepthLocked()
 		g.mu.Unlock()
-		g.notifyDepth(depth)
 		return ctx.Err()
 	}
 }
@@ -142,11 +147,10 @@ func (g *Gate) Release(weight int) {
 		close(w.ready)
 		granted = true
 	}
-	depth := g.waiters.Len()
-	g.mu.Unlock()
 	if granted {
-		g.notifyDepth(depth)
+		g.notifyDepthLocked()
 	}
+	g.mu.Unlock()
 }
 
 // QueueDepth reports how many requests are parked in the wait queue.

@@ -107,13 +107,24 @@ func (f *Flight) Followers() int {
 // follower. When the buffer bound is exceeded the flight seals — already
 // attached followers keep receiving frames (they need the complete
 // stream), but no new follower may join, bounding per-flight memory by
-// the bound plus one frame times the attach window.
+// the bound plus one frame times the attach window. A flight that seals
+// with no followers attached has no consumer and can never gain one, so
+// its history is dropped and buffering stops — a leader-only stream
+// costs O(1) memory past the bound, not O(stream).
 func (f *Flight) Publish(fr Frame) {
 	f.mu.Lock()
+	if f.sealed && f.followers == 0 {
+		f.mu.Unlock()
+		return
+	}
 	f.frames = append(f.frames, fr)
 	f.bytes += len(fr.Event) + len(fr.Data)
 	if f.bytes > f.g.maxBytes {
 		f.sealed = true
+		if f.followers == 0 {
+			f.frames = nil
+			f.bytes = 0
+		}
 	}
 	f.mu.Unlock()
 	f.cond.Broadcast()

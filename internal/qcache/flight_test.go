@@ -119,6 +119,24 @@ func TestFlightBufferOverflowSeals(t *testing.T) {
 	}
 }
 
+func TestFlightLeaderOnlySealDropsHistory(t *testing.T) {
+	g := NewGroup(16) // tiny bound
+	leader, _ := g.Join("k")
+	// No follower ever joins: once the bound trips, the buffer must be
+	// released and later frames must not re-accumulate — a leader-only
+	// flight's memory is O(1) past the bound, not O(stream).
+	for i := 0; i < 100; i++ {
+		leader.Publish(Frame{Event: "chunk", Data: []byte("0123456789abcdef")})
+	}
+	leader.mu.Lock()
+	frames, bytes := len(leader.frames), leader.bytes
+	leader.mu.Unlock()
+	if frames != 0 || bytes != 0 {
+		t.Fatalf("sealed leader-only flight still buffers %d frames (%d bytes), want 0", frames, bytes)
+	}
+	leader.Finish(nil)
+}
+
 func TestFlightReplayContextCancel(t *testing.T) {
 	g := NewGroup(0)
 	leader, _ := g.Join("k")

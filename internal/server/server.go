@@ -601,11 +601,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusTooManyRequests, body)
 				return
 			}
-			// The client gave up while queued; release followers with a
-			// retryable error and write nothing to the dead connection.
+			// The client gave up while queued; the condition the followers
+			// inherit is transient load, not a failed query, so release
+			// them with the retryable overloaded envelope and write
+			// nothing to the dead connection.
 			finishFlight(flightOutcome{
-				status:  http.StatusServiceUnavailable,
-				errBody: errBody("query_failed", "coalesced leader canceled while queued"),
+				status:     http.StatusServiceUnavailable,
+				errBody:    errBody("overloaded", "coalesced leader canceled while queued; retry shortly"),
+				retryAfter: retryAfterSeconds,
 			})
 			return
 		}
@@ -639,9 +642,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	queryID := telemetry.NewQueryID()
 	// The stream context is cancelable independently of the request: a
 	// write failure (dead client) cancels it so the orchestration stops
-	// instead of generating into a closed socket.
-	ctx, cancelStream := context.WithCancel(r.Context())
+	// instead of generating into a closed socket. A coalescing leader is
+	// additionally detached from its own connection — followers with
+	// healthy clients must not inherit a failure because the leader hung
+	// up — so its disconnect aborts the orchestration only when nobody
+	// is drafting behind it.
+	base := r.Context()
+	if flight != nil {
+		base = context.WithoutCancel(r.Context())
+	}
+	ctx, cancelStream := context.WithCancel(base)
 	defer cancelStream()
+	if flight != nil {
+		stopWatch := context.AfterFunc(r.Context(), func() {
+			if flight.Followers() == 0 {
+				cancelStream()
+			}
+		})
+		defer stopWatch()
+	}
 	flusher, canStream := w.(http.Flusher)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -670,8 +689,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Followers and the cache consume the frame even when the
-		// leader's own client is gone.
-		if flight != nil {
+		// leader's own client is gone. The result frame is excluded from
+		// both: it carries the leader's session/query identity, so the
+		// cache and the coalesced path each rebuild it per requester.
+		if flight != nil && event != "result" {
 			flight.Publish(qcache.Frame{Event: event, Data: data})
 		}
 		if cacheable && event != "result" {
@@ -683,7 +704,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 			s.tel.SSEEncodeErrors.Inc()
 			streamDead = true
-			cancelStream()
+			// Abandon the orchestration only when no follower is waiting
+			// on it — a coalesced flight keeps running for the healthy
+			// duplicates (and the answer is still cacheable).
+			if flight == nil || flight.Followers() == 0 {
+				cancelStream()
+			}
 			return
 		}
 		s.tel.SSEFrames.Inc()

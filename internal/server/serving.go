@@ -177,11 +177,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ca *cachedA
 	s.appendExchange(sessID, query, ca.result)
 }
 
-// followFlight serves a coalesced follower: the leader's frames are
-// replayed verbatim as they arrive — event-for-event identical to the
-// leader's stream — and the shared result is appended to the follower's
-// own session. When the leader failed before streaming anything, its
-// HTTP error response is reproduced instead.
+// followFlight serves a coalesced follower: the leader's orchestration
+// frames are replayed verbatim as they arrive — event-for-event
+// identical to the leader's stream — then a fresh "result" frame is
+// built from the shared outcome so the follower keeps its own session
+// and query identity (mirroring serveCached), and the shared answer is
+// appended to the follower's own session. When the leader failed before
+// streaming anything, its HTTP error response is reproduced instead.
 func (s *Server) followFlight(w http.ResponseWriter, r *http.Request, f *qcache.Flight, sessID, query string) {
 	queryID := telemetry.NewQueryID()
 	flusher, canStream := w.(http.Flusher)
@@ -217,6 +219,14 @@ func (s *Server) followFlight(w http.ResponseWriter, r *http.Request, f *qcache.
 	}
 	out, _ := v.(flightOutcome)
 	if out.result != nil {
+		data, err := json.Marshal(map[string]any{"session_id": sessID, "query_id": queryID, "result": *out.result})
+		if err != nil {
+			s.tel.SSEEncodeErrors.Inc()
+			return
+		}
+		if writeFrame(qcache.Frame{Event: "result", Data: data}) != nil {
+			return
+		}
 		s.appendExchange(sessID, query, *out.result)
 		return
 	}

@@ -244,13 +244,185 @@ func TestQueryCoalescedFollowerReplay(t *testing.T) {
 	if got := fo.resp.Header.Get("X-Cache"); got != "COALESCED" {
 		t.Fatalf("follower X-Cache = %q, want COALESCED", got)
 	}
-	// The acceptance bar: the follower's stream is event-for-event —
-	// in fact byte-for-byte — identical to the leader's.
-	if lo.body != fo.body {
-		t.Fatalf("follower body differs from leader body:\nleader:   %q\nfollower: %q", lo.body, fo.body)
+	// The acceptance bar: the follower's stream is event-for-event
+	// identical to the leader's — orchestration frames byte-for-byte,
+	// the result frame rebuilt with the follower's own identity.
+	lf, ff := sseFrames(t, lo.body), sseFrames(t, fo.body)
+	if len(lf) != len(ff) {
+		t.Fatalf("frame counts differ: leader %d vs follower %d", len(lf), len(ff))
 	}
-	if !bytes.Contains([]byte(lo.body), []byte("event: result")) {
+	for i := range lf {
+		if lf[i].Event != ff[i].Event {
+			t.Fatalf("frame %d event %q vs %q", i, lf[i].Event, ff[i].Event)
+		}
+		if lf[i].Event != "result" && lf[i].Data != ff[i].Data {
+			t.Fatalf("frame %d (%s) data differs:\nleader:   %s\nfollower: %s", i, lf[i].Event, lf[i].Data, ff[i].Data)
+		}
+	}
+	if len(lf) == 0 || lf[len(lf)-1].Event != "result" {
 		t.Fatal("leader stream has no result frame")
+	}
+	// The follower's result frame must carry the follower's own session,
+	// not the leader's — otherwise two distinct clients end up appending
+	// to one session.
+	var lres, fres struct {
+		SessionID string          `json:"session_id"`
+		Result    json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(lf[len(lf)-1].Data), &lres); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(ff[len(ff)-1].Data), &fres); err != nil {
+		t.Fatal(err)
+	}
+	if fres.SessionID == lres.SessionID {
+		t.Fatalf("follower result carries the leader's session %q", lres.SessionID)
+	}
+	if got := fo.resp.Header.Get("X-Session-ID"); fres.SessionID != got {
+		t.Fatalf("follower result session %q != its X-Session-ID header %q", fres.SessionID, got)
+	}
+	if !bytes.Equal(lres.Result, fres.Result) {
+		t.Fatal("follower result payload differs from the leader's")
+	}
+}
+
+// TestQueryLeaderDisconnectKeepsFollower covers the fault-tolerance half
+// of coalescing: the leader's client hanging up mid-orchestration must
+// not fail the followers drafting behind it — the orchestration runs to
+// completion for them.
+func TestQueryLeaderDisconnectKeepsFollower(t *testing.T) {
+	backend := newBlockingBackend(llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())}))
+	s, ts := newServingServer(t, ServingOptions{Coalesce: true}, backend)
+	body := `{"query":"What is the capital of France?"}`
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		req, err := http.NewRequestWithContext(leaderCtx, "POST", ts.URL+"/api/query", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return // canceled mid-stream, as intended
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	<-backend.started
+
+	follower := make(chan outcomePair, 1)
+	go func() {
+		resp, fbody := postQuery(t, ts.URL, map[string]any{"query": "What is the capital of France?"})
+		follower <- outcomePair{resp, fbody}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.tel.Coalesced.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the leader's client while the orchestration is parked, give
+	// the server a beat to observe the disconnect, then let it finish.
+	cancelLeader()
+	<-leaderDone
+	time.Sleep(50 * time.Millisecond)
+	close(backend.release)
+
+	fo := <-follower
+	if fo.resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower status = %d, want 200", fo.resp.StatusCode)
+	}
+	frames := sseFrames(t, fo.body)
+	if len(frames) == 0 || frames[len(frames)-1].Event != "result" {
+		t.Fatalf("follower of a disconnected leader got no result; events: %v", frames)
+	}
+	for _, fr := range frames {
+		if fr.Event == "error" {
+			t.Fatalf("follower inherited the dead leader's error: %s", fr.Data)
+		}
+	}
+}
+
+// TestQueryQueuedLeaderCanceledShedsFollowersRetryably covers the gate/
+// coalescing seam: a leader canceled while parked in the admission queue
+// never produced an answer, so its followers are released with the
+// retryable overloaded envelope, not a query failure.
+func TestQueryQueuedLeaderCanceledShedsFollowersRetryably(t *testing.T) {
+	backend := newBlockingBackend(llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())}))
+	s, ts := newServingServer(t, ServingOptions{Coalesce: true, MaxInflight: 1, MaxQueue: 1}, backend)
+
+	first := make(chan outcomePair, 1)
+	go func() {
+		resp, body := postQuery(t, ts.URL, map[string]any{"query": "first long question"})
+		first <- outcomePair{resp, body}
+	}()
+	<-backend.started // query 1 holds the only slot
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		req, err := http.NewRequestWithContext(leaderCtx, "POST", ts.URL+"/api/query",
+			strings.NewReader(`{"query":"second long question"}`))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.QueueDepth() != 1 { // query 2's leader parked in the wait queue
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	follower := make(chan outcomePair, 1)
+	go func() {
+		resp, body := postQuery(t, ts.URL, map[string]any{"query": "second long question"})
+		follower <- outcomePair{resp, body}
+	}()
+	for s.tel.Coalesced.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate request never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelLeader()
+	<-leaderDone
+
+	fo := <-follower
+	if fo.resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower status = %d, want 503", fo.resp.StatusCode)
+	}
+	if fo.resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queued-leader-canceled follower got no Retry-After hint")
+	}
+	var envelope map[string]apiError
+	if err := json.Unmarshal([]byte(fo.body), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope["error"].Code != "overloaded" {
+		t.Fatalf("follower error code = %q, want overloaded", envelope["error"].Code)
+	}
+
+	close(backend.release)
+	if out := <-first; out.resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query status = %d, want 200", out.resp.StatusCode)
 	}
 }
 
