@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score bench-serve check
+.PHONY: build test bench bench-score bench-serve bench-fanout check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ bench-serve:
 # BENCH_score.json; see DESIGN.md "Scoring fast path".
 bench-score:
 	./scripts/bench_score.sh BENCH_score.json
+
+# bench-fanout runs the pipelined-generation benchmark (persistent
+# per-model streams vs per-round chunk calls) and writes
+# BENCH_fanout.json; see DESIGN.md "Pipelined generation".
+bench-fanout:
+	./scripts/bench_fanout.sh BENCH_fanout.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

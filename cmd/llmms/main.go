@@ -52,6 +52,7 @@ func main() {
 	cacheCap := flag.Int("cache-capacity", qcache.DefaultCapacity, "answer cache entry bound")
 	semThreshold := flag.Float64("semantic-threshold", qcache.DefaultSemanticThreshold, "cosine similarity for semantic cache hits (>1 disables the tier)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent orchestration weight bound, 429 past the wait queue (0 = unlimited)")
+	streamSessions := flag.Bool("stream-sessions", true, "pipelined generation: one persistent stream per model per query, sliced per round (false = per-round chunk calls)")
 	flag.Parse()
 
 	ds, err := loadDataset(*dataset, *questions)
@@ -63,9 +64,10 @@ func main() {
 		LatencyScale: *latency,
 	})
 	srv, err := server.NewServer(server.Options{
-		Engine:      engine,
-		Telemetry:   telemetry.New(telemetry.Options{TraceCapacity: *traceCap}),
-		EnablePprof: *enablePprof,
+		Engine:           engine,
+		Telemetry:        telemetry.New(telemetry.Options{TraceCapacity: *traceCap}),
+		EnablePprof:      *enablePprof,
+		DisableStreaming: !*streamSessions,
 		Serving: server.ServingOptions{
 			CacheTTL:          *cacheTTL,
 			CacheCapacity:     *cacheCap,

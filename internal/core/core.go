@@ -126,6 +126,12 @@ type Config struct {
 	// model, which is the paper's "stream partial outputs concurrently";
 	// a positive value caps the workers for backends that throttle.
 	MaxConcurrent int
+	// DisableStreaming forces the per-round GenerateChunk path even when
+	// the backend implements llm.StreamingBackend. The default (false)
+	// opens one persistent generation stream per (model, query) and
+	// slices per-round chunks off a client-side buffer, so round r+1's
+	// tokens decode while round r is being scored (see stream.go).
+	DisableStreaming bool
 }
 
 // DefaultConfig returns the tuned configuration used throughout the
@@ -409,6 +415,11 @@ type candidate struct {
 
 	// MAB state
 	rewardSum float64
+
+	// sess is the candidate's persistent generation session (stream.go),
+	// attached when the backend supports streaming; nil keeps the plain
+	// per-round GenerateChunk path.
+	sess *genSession
 }
 
 func (c *candidate) outcome() ModelOutcome {

@@ -26,6 +26,22 @@ const (
 	// the active candidates); Elapsed is the pass's compute time. Feeds
 	// the llmms_score_duration_seconds latency budget histogram.
 	EventScorePass EventType = "score_pass"
+	// EventStreamOpen reports that a model's persistent generation stream
+	// was opened (once per session, lazily on the model's first drain).
+	EventStreamOpen EventType = "stream_open"
+	// EventStreamClose reports that a model's generation stream ended;
+	// Reason says why (done, pruned, early_exit, failed, query_end,
+	// error).
+	EventStreamClose EventType = "stream_close"
+	// EventStreamFallback reports that a model's stream broke mid-query
+	// and the session degraded to per-round chunk calls, resuming from
+	// the last good continuation state. Reason carries the stream error.
+	EventStreamFallback EventType = "stream_fallback"
+	// EventRoundStall reports how long a round's slowest streamed drain
+	// waited on generation (Elapsed). A pipelined query stalls near zero
+	// after round one because round r+1's tokens decode while round r is
+	// being scored.
+	EventRoundStall EventType = "round_stall"
 	// EventWinner closes the query with the selected answer.
 	EventWinner EventType = "winner"
 )
@@ -62,6 +78,10 @@ type Event struct {
 	// the tries the chunk took (1 = no retries); on model_failed events,
 	// the tries exhausted before the model was dropped.
 	Attempts int `json:"attempts,omitempty"`
+	// Prefetched is, on chunk events from a streamed drain, how many of
+	// the chunk's tokens were already buffered client-side when the round
+	// asked for them — the generation/scoring overlap made visible.
+	Prefetched int `json:"prefetched,omitempty"`
 	// Elapsed is a wall-clock duration (integer nanoseconds on the wire)
 	// whose reference depends on Type: on chunk events it is the cost of
 	// the generation call that produced the chunk, retries included; on

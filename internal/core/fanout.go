@@ -135,6 +135,10 @@ func generateWithRetry(ctx context.Context, b Backend, req llm.ChunkRequest, p R
 type fanJob struct {
 	cand *candidate
 	take int
+	// hint is the session-wide budget a lazily opened stream should
+	// cover — the most tokens this candidate could still receive this
+	// query. Ignored on the per-round path and once a stream is open.
+	hint int
 }
 
 // fanResult is the collected outcome of one fanJob, in job order.
@@ -144,8 +148,17 @@ type fanResult struct {
 	err      error
 	// elapsed is the generation call's wall clock, retries included —
 	// measured on the worker so queueing behind MaxConcurrent is
-	// excluded once the call starts.
+	// excluded once the call starts. On a streamed drain it is the time
+	// spent waiting for tokens not yet buffered (the round's stall).
 	elapsed time.Duration
+
+	// Session transitions, reported back so the orchestrating goroutine
+	// can emit the corresponding events in job order (stream.go).
+	streamed    bool   // chunk came off the persistent stream
+	opened      bool   // this call opened the session's stream
+	closeReason string // non-empty when this call ended the stream
+	fallback    error  // stream error that degraded the session mid-query
+	prefetched  int    // tokens already buffered when the drain started
 }
 
 // fanOut issues every job's GenerateChunk concurrently (bounded by
@@ -172,15 +185,33 @@ func (o *Orchestrator) fanOut(ctx context.Context, prompt string, jobs []fanJob)
 				sem <- struct{}{}
 				defer func() { <-sem }()
 			}
-			callStart := time.Now()
-			chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
-				Model: j.cand.model, Prompt: prompt, MaxTokens: j.take, Cont: j.cand.cont,
-			}, o.cfg.Retry)
-			results[i] = fanResult{chunk: chunk, attempts: attempts, err: err, elapsed: time.Since(callStart)}
+			results[i] = o.pull(ctx, j.cand, prompt, j.take, j.hint)
 		}(i, j)
 	}
 	wg.Wait()
 	return results
+}
+
+// pull issues one candidate's chunk call — through its persistent
+// generation session when one is attached (stream.go), via the plain
+// retried per-round path otherwise. It is the single generation entry
+// point for fan-out workers and the bandits' sequential pulls. A
+// candidate's session is touched by one pull at a time; pull never
+// mutates any other candidate state and never emits events, so it is
+// safe on fan-out workers.
+func (o *Orchestrator) pull(ctx context.Context, c *candidate, prompt string, take, hint int) fanResult {
+	callStart := time.Now()
+	var r fanResult
+	if c.sess != nil {
+		r = c.sess.next(ctx, c.cont, take, hint)
+	} else {
+		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
+			Model: c.model, Prompt: prompt, MaxTokens: take, Cont: c.cont,
+		}, o.cfg.Retry)
+		r = fanResult{chunk: chunk, attempts: attempts, err: err}
+	}
+	r.elapsed = time.Since(callStart)
+	return r
 }
 
 // failCandidate retires a model whose retry budget is exhausted: it is
@@ -190,6 +221,7 @@ func (o *Orchestrator) failCandidate(strategy Strategy, round int, c *candidate,
 	c.failed = true
 	c.pruned = true
 	c.failErr = err
+	o.closeSession(strategy, round, c, "failed")
 	o.emit(Event{Type: EventModelFailed, Strategy: strategy, Round: round,
 		Model: c.model, Attempts: attempts, Reason: err.Error()})
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"llmms/internal/llm"
+)
+
+// benchFanoutPrompt is a knowledge-base question padded with context so
+// the simulated prefill (prompt re-ingest) is a realistic fraction of
+// the round: the per-round chunked path pays it on every round, the
+// persistent stream pays it once per query. Deterministic by
+// construction — the engine plans the same answer every run.
+var benchFanoutPrompt = "Question: What happens if you swallow chewing gum?\n" +
+	"Context: " + strings.Repeat("Chewing gum base is largely indigestible and passes through the digestive tract intact. ", 20) +
+	"\nAnswer:"
+
+func benchFanoutConfig() Config {
+	cfg := DefaultConfig(llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2)
+	cfg.MaxTokens = 144
+	cfg.Rounds = 6
+	return cfg
+}
+
+func benchFanoutOnce(b *testing.B, disable bool) Result {
+	b.Helper()
+	cfg := benchFanoutConfig()
+	cfg.DisableStreaming = disable
+	o, err := New(llm.NewEngine(llm.Options{LatencyScale: 0.02}), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := o.OUA(context.Background(), benchFanoutPrompt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFanoutPipelined measures OUA per-query wall time with
+// simulated decode and prefill latency (LatencyScale 0.02): per_round is
+// the chunked baseline that re-opens a generation call — and re-ingests
+// the prompt — every round; pipelined holds one stream per model and
+// slices rounds off the client-side buffer. The pipelined sub-benchmark
+// first cross-checks the determinism contract: both paths must select
+// the same winner and answer.
+func BenchmarkFanoutPipelined(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"per_round", true},
+		{"pipelined", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			if !mode.disable {
+				ref := benchFanoutOnce(b, true)
+				got := benchFanoutOnce(b, false)
+				if got.Answer != ref.Answer || got.Model != ref.Model {
+					b.Fatalf("pipelined winner (%s, %q) != per-round winner (%s, %q)",
+						got.Model, got.Answer, ref.Model, ref.Answer)
+				}
+			}
+			cfg := benchFanoutConfig()
+			cfg.DisableStreaming = mode.disable
+			o, err := New(llm.NewEngine(llm.Options{LatencyScale: 0.02}), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.OUA(context.Background(), benchFanoutPrompt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -25,16 +26,31 @@ type FaultBackend struct {
 	latency map[string]time.Duration
 	failOn  map[string]map[int]error
 	failAll map[string]error
+
+	// Streaming schedule. Streams are opt-in (EnableStreams) so existing
+	// fault schedules keyed on GenerateChunk call numbers keep meaning
+	// what they say: an un-enabled FaultBackend reports
+	// llm.ErrStreamUnsupported and the orchestrator quietly stays on the
+	// per-round path.
+	streamsOn    bool
+	openFail     map[string]error
+	breakAfter   map[string]int
+	streamOpens  map[string]int
+	streamCloses map[string]int
 }
 
 // NewFaultBackend wraps inner with an empty fault schedule.
 func NewFaultBackend(inner Backend) *FaultBackend {
 	return &FaultBackend{
-		inner:   inner,
-		calls:   make(map[string]int),
-		latency: make(map[string]time.Duration),
-		failOn:  make(map[string]map[int]error),
-		failAll: make(map[string]error),
+		inner:        inner,
+		calls:        make(map[string]int),
+		latency:      make(map[string]time.Duration),
+		failOn:       make(map[string]map[int]error),
+		failAll:      make(map[string]error),
+		openFail:     make(map[string]error),
+		breakAfter:   make(map[string]int),
+		streamOpens:  make(map[string]int),
+		streamCloses: make(map[string]int),
 	}
 }
 
@@ -82,6 +98,148 @@ func (f *FaultBackend) TotalCalls() int {
 		n += c
 	}
 	return n
+}
+
+// EnableStreams makes the backend advertise persistent generation
+// streams, delegating opens to the inner backend (which must itself be
+// an llm.StreamingBackend). Off by default so chunk-count fault
+// schedules keep their meaning.
+func (f *FaultBackend) EnableStreams() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.streamsOn = true
+}
+
+// FailStreamOpen makes every OpenStream for model return err — a
+// backend that cannot hold sessions but still serves per-round chunks.
+func (f *FaultBackend) FailStreamOpen(model string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.openFail[model] = err
+}
+
+// BreakStreamAfter makes model's streams fail after delivering n tokens:
+// the first Next calls drain normally up to the break point (partial
+// slices included), then the stream errors — the mid-answer connection
+// drop the fallback ladder must survive without losing text.
+func (f *FaultBackend) BreakStreamAfter(model string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.breakAfter[model] = n
+}
+
+// StreamOpens reports how many streams model has opened successfully.
+func (f *FaultBackend) StreamOpens(model string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.streamOpens[model]
+}
+
+// StreamCloses reports how many of model's streams have been closed —
+// the leak check: after a query, StreamOpens == StreamCloses for every
+// model.
+func (f *FaultBackend) StreamCloses(model string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.streamCloses[model]
+}
+
+// OpenStream implements llm.StreamingBackend with fault injection. When
+// streams are not enabled (or the inner backend cannot stream) it
+// reports llm.ErrStreamUnsupported, which the orchestrator treats as a
+// quiet routing signal back to GenerateChunk.
+func (f *FaultBackend) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkStream, error) {
+	f.mu.Lock()
+	on := f.streamsOn
+	failErr := f.openFail[req.Model]
+	d := f.latency[req.Model]
+	brk, hasBrk := f.breakAfter[req.Model]
+	f.mu.Unlock()
+
+	if !on {
+		return nil, llm.ErrStreamUnsupported
+	}
+	sb, ok := f.inner.(llm.StreamingBackend)
+	if !ok {
+		return nil, llm.ErrStreamUnsupported
+	}
+	if d > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	if failErr != nil {
+		return nil, failErr
+	}
+	inner, err := sb.OpenStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.streamOpens[req.Model]++
+	f.mu.Unlock()
+	s := &faultStream{inner: inner, f: f, model: req.Model}
+	if hasBrk {
+		s.breakAfter = brk
+		s.breaks = true
+	}
+	return s, nil
+}
+
+// errStreamBroken is the scripted mid-stream failure BreakStreamAfter
+// injects.
+var errStreamBroken = errors.New("core: fault-injected stream break")
+
+// faultStream wraps an inner stream with the break schedule and the
+// open/close accounting.
+type faultStream struct {
+	inner      llm.ChunkStream
+	f          *FaultBackend
+	model      string
+	delivered  int
+	breakAfter int
+	breaks     bool
+	closeOnce  sync.Once
+}
+
+// Next delegates to the inner stream, capping each drain at the tokens
+// remaining before the scripted break so partial text precedes the
+// error, and failing once the break point is reached.
+func (s *faultStream) Next(ctx context.Context, maxTokens int) (llm.Chunk, error) {
+	if s.breaks {
+		left := s.breakAfter - s.delivered
+		if left <= 0 {
+			return llm.Chunk{}, errStreamBroken
+		}
+		if maxTokens <= 0 || maxTokens > left {
+			maxTokens = left
+		}
+	}
+	c, err := s.inner.Next(ctx, maxTokens)
+	s.delivered += c.EvalCount
+	return c, err
+}
+
+// Buffered passes through the inner stream's prefetch count.
+func (s *faultStream) Buffered() int {
+	if bs, ok := s.inner.(llm.BufferedStream); ok {
+		return bs.Buffered()
+	}
+	return 0
+}
+
+// Close closes the inner stream and counts the close exactly once.
+func (s *faultStream) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.inner.Close()
+		s.f.mu.Lock()
+		s.f.streamCloses[s.model]++
+		s.f.mu.Unlock()
+	})
+	return err
 }
 
 // GenerateChunk implements Backend: it applies the model's latency and

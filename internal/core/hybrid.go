@@ -51,10 +51,16 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		screenChunk = 1
 	}
 	used := 0
+	// A screening survivor could win the entire refinement pool on top of
+	// its screening chunk, so sessions are opened for that ceiling.
+	totalPulls := len(cands)
+	o.attachSessions(cands, prompt)
+	defer func() { o.closeAllSessions(StrategyHybrid, totalPulls, cands, "query_end") }()
+	sessionHint := cfg.MaxTokens - (n-1)*screenChunk
 	o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: 1, Elapsed: time.Since(start)})
 	jobs := make([]fanJob, n)
 	for i, c := range cands {
-		jobs[i] = fanJob{cand: c, take: screenChunk}
+		jobs[i] = fanJob{cand: c, take: screenChunk, hint: sessionHint}
 	}
 	results := o.fanOut(ctx, prompt, jobs)
 	if err := ctx.Err(); err != nil {
@@ -62,6 +68,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 	}
 	for i, r := range results {
 		c := jobs[i].cand
+		o.emitStreamEvents(StrategyHybrid, 1, c, r)
 		if r.err != nil {
 			o.failCandidate(StrategyHybrid, 1, c, r.attempts, r.err)
 			continue
@@ -82,9 +89,10 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: 1,
 				Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount,
-				Elapsed: r.elapsed, Attempts: r.attempts})
+				Elapsed: r.elapsed, Attempts: r.attempts, Prefetched: r.prefetched})
 		}
 	}
+	o.emitRoundStall(StrategyHybrid, 1, results)
 	if allFailed(cands) {
 		return Result{}, allModelsFailedError(StrategyHybrid, cands)
 	}
@@ -97,6 +105,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 			Model: c.model, Score: c.score, QuerySim: c.querySim, InterSim: c.interSim})
 		if c != best && best.score-c.score > cfg.PruneMargin {
 			c.pruned = true
+			o.closeSession(StrategyHybrid, 1, c, "pruned")
 			o.emit(Event{Type: EventPrune, Strategy: StrategyHybrid, Round: 1,
 				Model: c.model, Score: c.score,
 				Reason: fmt.Sprintf("screening: trailing best by %.3f", best.score-c.score)})
@@ -104,7 +113,6 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 	}
 
 	// Phase 2: UCB1 over the survivors with the remaining budget.
-	totalPulls := len(cands)
 	for used < cfg.MaxTokens {
 		gamma := cfg.Gamma0 * (1 - float64(used)/float64(cfg.MaxTokens))
 		arm := o.selectHybridArm(cands, gamma, totalPulls)
@@ -118,21 +126,19 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		totalPulls++
 		o.emit(Event{Type: EventRound, Strategy: StrategyHybrid, Round: totalPulls, Model: arm.model,
 			Elapsed: time.Since(start)})
-		callStart := time.Now()
-		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
-			Model: arm.model, Prompt: prompt, MaxTokens: take, Cont: arm.cont,
-		}, cfg.Retry)
-		callElapsed := time.Since(callStart)
-		if err != nil {
+		r := o.pull(ctx, arm, prompt, take, cfg.MaxTokens-used)
+		o.emitStreamEvents(StrategyHybrid, totalPulls, arm, r)
+		if r.err != nil {
 			if ctx.Err() != nil {
 				return Result{}, ctx.Err()
 			}
-			o.failCandidate(StrategyHybrid, totalPulls, arm, attempts, err)
+			o.failCandidate(StrategyHybrid, totalPulls, arm, r.attempts, r.err)
 			if allFailed(cands) {
 				return Result{}, allModelsFailedError(StrategyHybrid, cands)
 			}
 			continue
 		}
+		chunk := r.chunk
 		arm.response += chunk.Text
 		arm.cont = chunk.Context
 		arm.tokens += chunk.EvalCount
@@ -148,7 +154,11 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyHybrid, Round: totalPulls,
 				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
-				Elapsed: callElapsed, Attempts: attempts})
+				Elapsed: r.elapsed, Attempts: r.attempts, Prefetched: r.prefetched})
+		}
+		if r.streamed {
+			o.emit(Event{Type: EventRoundStall, Strategy: StrategyHybrid, Round: totalPulls,
+				Elapsed: r.elapsed})
 		}
 		o.scorePass(sc, StrategyHybrid, totalPulls, activeCandidates(cands))
 		arm.rewardSum += arm.score

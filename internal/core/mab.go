@@ -48,6 +48,11 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	// unpulled (the loop's budget check stops before they would matter).
 	used := 0
 	totalPulls := 0
+	// The budget is shared, so any single arm could in principle win all
+	// of it — each session's stream is opened for the full λ_max and the
+	// unclaimed tail is cancelled at close.
+	o.attachSessions(cands, prompt)
+	defer func() { o.closeAllSessions(StrategyMAB, totalPulls, cands, "query_end") }()
 	var jobs []fanJob
 	remaining := cfg.MaxTokens
 	for _, c := range cands {
@@ -59,7 +64,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 			break
 		}
 		remaining -= take
-		jobs = append(jobs, fanJob{cand: c, take: take})
+		jobs = append(jobs, fanJob{cand: c, take: take, hint: cfg.MaxTokens})
 	}
 	results := o.fanOut(ctx, prompt, jobs)
 	if err := ctx.Err(); err != nil {
@@ -70,6 +75,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		totalPulls++
 		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model,
 			Elapsed: time.Since(start)})
+		o.emitStreamEvents(StrategyMAB, totalPulls, arm, r)
 		if r.err != nil {
 			o.failCandidate(StrategyMAB, totalPulls, arm, r.attempts, r.err)
 			continue
@@ -90,9 +96,10 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
 				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
-				Elapsed: r.elapsed, Attempts: r.attempts})
+				Elapsed: r.elapsed, Attempts: r.attempts, Prefetched: r.prefetched})
 		}
 	}
+	o.emitRoundStall(StrategyMAB, totalPulls, results)
 	if allFailed(cands) {
 		return Result{}, allModelsFailedError(StrategyMAB, cands)
 	}
@@ -121,21 +128,19 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		o.emit(Event{Type: EventRound, Strategy: StrategyMAB, Round: totalPulls, Model: arm.model,
 			Elapsed: time.Since(start)})
 
-		callStart := time.Now()
-		chunk, attempts, err := generateWithRetry(ctx, o.backend, llm.ChunkRequest{
-			Model: arm.model, Prompt: prompt, MaxTokens: take, Cont: arm.cont,
-		}, cfg.Retry)
-		callElapsed := time.Since(callStart)
-		if err != nil {
+		r := o.pull(ctx, arm, prompt, take, cfg.MaxTokens-used)
+		o.emitStreamEvents(StrategyMAB, totalPulls, arm, r)
+		if r.err != nil {
 			if ctx.Err() != nil {
 				return Result{}, ctx.Err()
 			}
-			o.failCandidate(StrategyMAB, totalPulls, arm, attempts, err)
+			o.failCandidate(StrategyMAB, totalPulls, arm, r.attempts, r.err)
 			if allFailed(cands) {
 				return Result{}, allModelsFailedError(StrategyMAB, cands)
 			}
 			continue
 		}
+		chunk := r.chunk
 		arm.response += chunk.Text
 		arm.cont = chunk.Context
 		arm.tokens += chunk.EvalCount
@@ -151,7 +156,11 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 		if chunk.EvalCount > 0 {
 			o.emit(Event{Type: EventChunk, Strategy: StrategyMAB, Round: totalPulls,
 				Model: arm.model, Text: chunk.Text, Tokens: chunk.EvalCount,
-				Elapsed: callElapsed, Attempts: attempts})
+				Elapsed: r.elapsed, Attempts: r.attempts, Prefetched: r.prefetched})
+		}
+		if r.streamed {
+			o.emit(Event{Type: EventRoundStall, Strategy: StrategyMAB, Round: totalPulls,
+				Elapsed: r.elapsed})
 		}
 
 		// Reward the pull (line 9): relevance plus consensus, computed on

@@ -55,6 +55,11 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 
 	totalTokens := 0
 	round := 0
+	// Pipelined generation: with a streaming backend each candidate holds
+	// one open generation session; the sweep closes whatever is still
+	// open when the query ends, however it ends.
+	o.attachSessions(cands, prompt)
+	defer func() { o.closeAllSessions(StrategyOUA, round, cands, "query_end") }()
 	for {
 		round++
 		o.emit(Event{Type: EventRound, Strategy: StrategyOUA, Round: round, Elapsed: time.Since(start)})
@@ -74,7 +79,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 			if take > c.remaining {
 				take = c.remaining
 			}
-			jobs = append(jobs, fanJob{cand: c, take: take})
+			jobs = append(jobs, fanJob{cand: c, take: take, hint: c.remaining})
 		}
 		results := o.fanOut(ctx, prompt, jobs)
 		if err := ctx.Err(); err != nil {
@@ -83,6 +88,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 		progressed := false
 		for i, r := range results {
 			c := jobs[i].cand
+			o.emitStreamEvents(StrategyOUA, round, c, r)
 			if r.err != nil {
 				o.failCandidate(StrategyOUA, round, c, r.attempts, r.err)
 				redistribute(c, cands)
@@ -106,9 +112,10 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 				progressed = true
 				o.emit(Event{Type: EventChunk, Strategy: StrategyOUA, Round: round,
 					Model: c.model, Text: chunk.Text, Tokens: chunk.EvalCount,
-					Elapsed: r.elapsed, Attempts: r.attempts})
+					Elapsed: r.elapsed, Attempts: r.attempts, Prefetched: r.prefetched})
 			}
 		}
+		o.emitRoundStall(StrategyOUA, round, results)
 		if allFailed(cands) {
 			return Result{}, allModelsFailedError(StrategyOUA, cands)
 		}
@@ -129,6 +136,10 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 		if len(active) >= 2 {
 			best, second := topTwo(active)
 			if best.done && best.score > second.score+cfg.LeadMargin {
+				// The losers' streams are still generating; cancel them now
+				// rather than at the deferred query_end sweep so the early
+				// return actually releases backend capacity early.
+				o.closeAllSessions(StrategyOUA, round, cands, "early_exit")
 				return o.finishOUA(cands, best, totalTokens, round, true, start,
 					fmt.Sprintf("early exit: leads by %.3f", best.score-second.score)), nil
 			}
@@ -140,6 +151,7 @@ func (o *Orchestrator) OUA(ctx context.Context, prompt string) (Result, error) {
 			worst, secondWorst := bottomTwo(active)
 			if secondWorst.score-worst.score > cfg.PruneMargin {
 				worst.pruned = true
+				o.closeSession(StrategyOUA, round, worst, "pruned")
 				o.emit(Event{Type: EventPrune, Strategy: StrategyOUA, Round: round,
 					Model: worst.model, Score: worst.score,
 					Reason: fmt.Sprintf("trailing by %.3f", secondWorst.score-worst.score)})

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// enginePrompt is a knowledge-base question the simulated engine answers
+// deterministically — the fixture for streamed-vs-chunked comparisons.
+const enginePrompt = "Question: What happens if you swallow chewing gum?\nAnswer:"
+
+func engineModels() []string {
+	return []string{llm.ModelLlama3, llm.ModelMistral, llm.ModelQwen2}
+}
+
+// runBoth runs the same query with streaming on and off against freshly
+// built orchestrators and returns (streamed, chunked) results.
+func runBoth(t *testing.T, strat Strategy, mkBackend func() Backend, cfg Config) (Result, Result) {
+	t.Helper()
+	var out [2]Result
+	for i, disable := range []bool{false, true} {
+		c := cfg
+		c.DisableStreaming = disable
+		o := mustNew(t, mkBackend(), c)
+		res, err := o.Run(context.Background(), strat, enginePrompt)
+		if err != nil {
+			t.Fatalf("%s (DisableStreaming=%v): %v", strat, disable, err)
+		}
+		out[i] = res
+	}
+	return out[0], out[1]
+}
+
+// TestStreamingDeterminism checks the tentpole's core invariant: the
+// pipelined path must be an execution-strategy change only. For every
+// multi-model strategy, winner, answer, token accounting, and per-model
+// responses are identical with streaming on or off.
+func TestStreamingDeterminism(t *testing.T) {
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 512
+	for _, strat := range []Strategy{StrategyOUA, StrategyMAB, StrategyHybrid} {
+		streamed, chunked := runBoth(t, strat, func() Backend {
+			return llm.NewEngine(llm.Options{})
+		}, cfg)
+		if streamed.Answer != chunked.Answer || streamed.Model != chunked.Model {
+			t.Fatalf("%s: streamed winner (%s, %q) != chunked winner (%s, %q)",
+				strat, streamed.Model, streamed.Answer, chunked.Model, chunked.Answer)
+		}
+		if streamed.TokensUsed != chunked.TokensUsed {
+			t.Fatalf("%s: streamed used %d tokens, chunked %d",
+				strat, streamed.TokensUsed, chunked.TokensUsed)
+		}
+		for _, co := range chunked.Outcomes {
+			so, ok := streamed.Outcome(co.Model)
+			if !ok || so.Response != co.Response || so.Tokens != co.Tokens {
+				t.Fatalf("%s/%s: streamed outcome %+v != chunked %+v", strat, co.Model, so, co)
+			}
+		}
+	}
+}
+
+// streamEventTap collects the pipelined path's lifecycle events.
+type streamEventTap struct {
+	mu        sync.Mutex
+	opens     []Event
+	closes    []Event
+	fallbacks []Event
+}
+
+func (s *streamEventTap) install(cfg *Config) {
+	cfg.OnEvent = func(ev Event) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch ev.Type {
+		case EventStreamOpen:
+			s.opens = append(s.opens, ev)
+		case EventStreamClose:
+			s.closes = append(s.closes, ev)
+		case EventStreamFallback:
+			s.fallbacks = append(s.fallbacks, ev)
+		}
+	}
+}
+
+// TestMidStreamBreakFallsBackLosslessly scripts a connection drop after
+// a few tokens and checks the query degrades to the per-round path
+// without losing the text drained before the break: the broken model's
+// response — and the whole result — match a run that never streamed.
+func TestMidStreamBreakFallsBackLosslessly(t *testing.T) {
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 512
+	tap := &streamEventTap{}
+	tap.install(&cfg)
+	var fb *FaultBackend
+	streamed, chunked := runBoth(t, StrategyOUA, func() Backend {
+		fb = NewFaultBackend(llm.NewEngine(llm.Options{}))
+		fb.EnableStreams()
+		fb.BreakStreamAfter(llm.ModelLlama3, 10)
+		return fb
+	}, cfg)
+	if streamed.Answer != chunked.Answer || streamed.Model != chunked.Model {
+		t.Fatalf("broken-stream winner (%s, %q) != reference (%s, %q)",
+			streamed.Model, streamed.Answer, chunked.Model, chunked.Answer)
+	}
+	so, _ := streamed.Outcome(llm.ModelLlama3)
+	co, _ := chunked.Outcome(llm.ModelLlama3)
+	if so.Response != co.Response {
+		t.Fatalf("broken model lost drained text:\nstreamed %q\nchunked  %q", so.Response, co.Response)
+	}
+	found := false
+	for _, ev := range tap.fallbacks {
+		if ev.Model == llm.ModelLlama3 {
+			found = true
+			if ev.Reason == "" {
+				t.Fatalf("fallback event has no reason: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no stream_fallback event for the broken model; fallbacks = %+v", tap.fallbacks)
+	}
+	// The broken model kept generating via per-round chunks after the
+	// break — the fallback ladder, not a prune.
+	if so.Failed || (so.Pruned && so.Response == "") {
+		t.Fatalf("broken stream escalated to model failure: %+v", so)
+	}
+}
+
+// TestStreamOpenFailureDegradesQuietly checks an OpenStream error routes
+// the model to the per-round path for the rest of the query (broken
+// latch) while still announcing the degradation.
+func TestStreamOpenFailureDegradesQuietly(t *testing.T) {
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 256
+	tap := &streamEventTap{}
+	tap.install(&cfg)
+	fb := NewFaultBackend(llm.NewEngine(llm.Options{}))
+	fb.EnableStreams()
+	fb.FailStreamOpen(llm.ModelMistral, errBoom)
+	o := mustNew(t, fb, cfg)
+	res, err := o.OUA(context.Background(), enginePrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := res.Outcome(llm.ModelMistral)
+	if !ok || out.Failed || out.Response == "" {
+		t.Fatalf("open-failure model did not degrade to the chunked path: %+v", out)
+	}
+	if len(tap.fallbacks) == 0 || tap.fallbacks[0].Model != llm.ModelMistral {
+		t.Fatalf("no stream_fallback for the open failure; fallbacks = %+v", tap.fallbacks)
+	}
+	if fb.StreamOpens(llm.ModelMistral) != 0 {
+		t.Fatalf("failed open was counted as a success")
+	}
+}
+
+// waitEngineStreams polls the engine's live-session gauge to zero — the
+// producer goroutine exits asynchronously after cancel.
+func waitEngineStreams(t *testing.T, e *llm.Engine) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.OpenStreams() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("engine still holds %d open streams", e.OpenStreams())
+}
+
+// TestStreamsClosedOnQueryEnd runs every strategy and checks session
+// hygiene: every opened stream is closed (FaultBackend accounting) and
+// the engine holds no live generation sessions afterward — the
+// no-goroutine-leak check for prune, early exit, natural completion, and
+// the query-end sweep alike.
+func TestStreamsClosedOnQueryEnd(t *testing.T) {
+	for _, strat := range []Strategy{StrategyOUA, StrategyMAB, StrategyHybrid} {
+		engine := llm.NewEngine(llm.Options{})
+		fb := NewFaultBackend(engine)
+		fb.EnableStreams()
+		cfg := DefaultConfig(engineModels()...)
+		cfg.MaxTokens = 512
+		// Aggressive margins so OUA actually prunes and early-exits.
+		cfg.PruneMargin = 0.01
+		cfg.LeadMargin = 0.01
+		o := mustNew(t, fb, cfg)
+		if _, err := o.Run(context.Background(), strat, enginePrompt); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for _, m := range engineModels() {
+			if opens, closes := fb.StreamOpens(m), fb.StreamCloses(m); opens != closes {
+				t.Fatalf("%s/%s: %d streams opened, %d closed", strat, m, opens, closes)
+			}
+		}
+		waitEngineStreams(t, engine)
+	}
+}
+
+// TestStreamsClosedOnCancel checks a canceled query still sweeps its
+// sessions closed on the way out.
+func TestStreamsClosedOnCancel(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{LatencyScale: 0.05})
+	fb := NewFaultBackend(engine)
+	fb.EnableStreams()
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 512
+	o := mustNew(t, fb, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := o.OUA(ctx, enginePrompt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, m := range engineModels() {
+		if opens, closes := fb.StreamOpens(m), fb.StreamCloses(m); opens != closes {
+			t.Fatalf("%s: %d streams opened, %d closed after cancel", m, opens, closes)
+		}
+	}
+	waitEngineStreams(t, engine)
+}
+
+// TestPipelinedRoundsUnderRace drives the full pipelined machinery —
+// concurrent fan-out drains, background producer goroutines filling
+// buffers between rounds, a mid-stream break, and concurrent queries on
+// one orchestrator — with simulated decode latency so generation
+// genuinely overlaps scoring. Its assertions are light; its value is
+// running under check.sh's -race flag.
+func TestPipelinedRoundsUnderRace(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{LatencyScale: 0.002})
+	fb := NewFaultBackend(engine)
+	fb.EnableStreams()
+	fb.BreakStreamAfter(llm.ModelQwen2, 12)
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 256
+	o := mustNew(t, fb, cfg)
+	var wg sync.WaitGroup
+	for _, strat := range []Strategy{StrategyOUA, StrategyMAB, StrategyHybrid} {
+		wg.Add(1)
+		go func(s Strategy) {
+			defer wg.Done()
+			if _, err := o.Run(context.Background(), s, enginePrompt); err != nil {
+				t.Errorf("%s: %v", s, err)
+			}
+		}(strat)
+	}
+	wg.Wait()
+	waitEngineStreams(t, engine)
+}
+
+// TestPrefetchObserved checks the pipelining is real: with decode
+// latency flowing between rounds, at least one later-round chunk event
+// reports tokens that were already buffered when its drain started.
+func TestPrefetchObserved(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{})
+	cfg := DefaultConfig(engineModels()...)
+	// Small per-round slices so answers span several rounds; with no
+	// decode latency the producer runs well ahead of scoring, so later
+	// rounds find their tokens already buffered.
+	cfg.MaxTokens = 96
+	prefetched := 0
+	cfg.OnEvent = func(ev Event) {
+		if ev.Type == EventChunk {
+			prefetched += ev.Prefetched
+		}
+	}
+	o := mustNew(t, engine, cfg)
+	// The observation is inherently a race the producer almost always
+	// wins; a few queries make the "almost" irrelevant.
+	for i := 0; i < 10 && prefetched == 0; i++ {
+		if _, err := o.OUA(context.Background(), enginePrompt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prefetched == 0 {
+		t.Fatal("no chunk event reported prefetched tokens; pipelining is not overlapping")
+	}
+	waitEngineStreams(t, engine)
+}
+
+// TestRetryBackoffAbortsOnCancel pins the fault-tolerance contract the
+// pipelined fallback ladder leans on: a context canceled during the
+// between-attempt backoff sleep aborts generateWithRetry immediately
+// with the context's error, rather than sleeping out the schedule.
+func TestRetryBackoffAbortsOnCancel(t *testing.T) {
+	fb := NewFaultBackend(threeModels())
+	fb.FailAlways("good", errBoom)
+	policy := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Hour, MaxBackoff: time.Hour, ChunkTimeout: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, attempts, err := generateWithRetry(ctx, fb,
+		llm.ChunkRequest{Model: "good", Prompt: testPrompt, MaxTokens: 16}, policy)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (canceled during the first backoff)", attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("backoff ignored cancellation: returned after %v", elapsed)
+	}
+}

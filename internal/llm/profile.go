@@ -65,6 +65,12 @@ type Profile struct {
 	ContextWindow int `json:"context_window"`
 	// TokensPerSec is the simulated decode speed.
 	TokensPerSec float64 `json:"tokens_per_sec"`
+	// PrefillTokensPerSec is the simulated prompt-ingest speed: every
+	// fresh generation call processes prompt+context tokens at this rate
+	// before the first new token decodes. Zero means PrefillRate's
+	// default of 4× the decode speed — the single-stream prefill/decode
+	// ratio typical of a quantized 7–8B model on a V100.
+	PrefillTokensPerSec float64 `json:"prefill_tokens_per_sec,omitempty"`
 	// Verbosity selects the style decoration level.
 	Verbosity Verbosity `json:"verbosity"`
 	// Seed gives the model its deterministic identity: two models with
@@ -81,6 +87,15 @@ type Profile struct {
 	RAGSkill float64 `json:"rag_skill"`
 	// Style is the model's phrasing personality.
 	Style Style `json:"-"`
+}
+
+// PrefillRate returns the effective prompt-ingest speed in tokens per
+// second (see PrefillTokensPerSec for the default rule).
+func (p Profile) PrefillRate() float64 {
+	if p.PrefillTokensPerSec > 0 {
+		return p.PrefillTokensPerSec
+	}
+	return 4 * p.TokensPerSec
 }
 
 // SkillFor returns the truthfulness probability for a category.

@@ -1,0 +1,351 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file defines the persistent generation-session contract: instead
+// of issuing one budget-capped generation call per orchestration round
+// (re-sending the prompt plus accumulated context and paying stream
+// setup and prompt re-ingest every time), a caller opens ONE stream per
+// (model, query) and each round merely drains the next λ tokens from a
+// client-side buffer. The backend keeps decoding between rounds, so
+// generation overlaps with the orchestrator's scoring pass and a round
+// costs "drain buffered tokens" rather than "set up stream + re-ingest
+// prompt + decode chunk".
+
+// ErrStreamUnsupported reports that a backend (or the daemon behind it)
+// cannot serve persistent generation streams. Callers fall back to the
+// per-round GenerateChunk path; the error is a routing signal, not a
+// failure of the query.
+var ErrStreamUnsupported = errors.New("llm: persistent generation streams unsupported")
+
+// ErrStreamClosed reports a Next call on a stream after Close.
+var ErrStreamClosed = errors.New("llm: generation stream closed")
+
+// ChunkStream is one model's open generation session for one query.
+// Next drains up to maxTokens already-generated (or soon-generated)
+// tokens and synthesizes a Chunk with the same bookkeeping contract as
+// a GenerateChunk call: Text is the drained slice, EvalCount its token
+// count, Context the continuation state covering everything drained so
+// far (so a caller can resume via GenerateChunk if the stream later
+// breaks), and Done/DoneReason set on the terminal slice. maxTokens <= 0
+// drains the whole remainder. Slicing is on token boundaries; Next never
+// splits a delivered token.
+//
+// Next is not safe for concurrent use on one stream; Close may be called
+// from any goroutine and aborts backend generation. Streams must be
+// closed when abandoned (prune, early return, query end) to free backend
+// capacity.
+type ChunkStream interface {
+	Next(ctx context.Context, maxTokens int) (Chunk, error)
+	Close() error
+}
+
+// BufferedStream is optionally implemented by ChunkStream
+// implementations that can report how many generated-but-undrained
+// tokens sit in the client-side buffer — the pipelining win a caller can
+// observe (tokens for round r+1 already decoded while round r was being
+// scored).
+type BufferedStream interface {
+	Buffered() int
+}
+
+// StreamingBackend is implemented by backends that can hold a
+// generation stream open across orchestration rounds: the in-process
+// Engine and the HTTP modeld.Client. req.MaxTokens caps the whole
+// session (the model's total remaining allowance), req.Cont resumes a
+// previous generation exactly as in GenerateChunk.
+type StreamingBackend interface {
+	OpenStream(ctx context.Context, req ChunkRequest) (ChunkStream, error)
+}
+
+// streamPiece is one backend delivery: decoded text plus the ids of the
+// tokens it contains (one id per token, in generation order).
+type streamPiece struct {
+	text string
+	ids  []int
+}
+
+// StreamBuffer is the client-side token buffer shared by ChunkStream
+// implementations: a producer goroutine Pushes pieces as the backend
+// delivers them (then Finish or Fail exactly once), while the consumer
+// Drains per-round slices. It handles token-boundary slicing and the
+// per-slice Context/EvalCount/Done synthesis so both the engine-backed
+// and the HTTP-backed stream share one set of semantics.
+//
+// All methods are safe for concurrent use by one producer and one
+// consumer.
+type StreamBuffer struct {
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every state change
+
+	base     []int // continuation state the stream was opened from
+	pieces   []streamPiece
+	buffered int   // token count across pieces
+	drained  []int // base + ids of every token handed to the consumer
+
+	final  *Chunk // terminal metadata, set by Finish
+	err    error  // set by Fail (or Close)
+	closed bool
+}
+
+// NewStreamBuffer returns a buffer for a stream resumed from cont (nil
+// starts fresh). cont is cloned; the caller may reuse its slice.
+func NewStreamBuffer(cont []int) *StreamBuffer {
+	b := &StreamBuffer{notify: make(chan struct{})}
+	b.base = append([]int(nil), cont...)
+	b.drained = append([]int(nil), cont...)
+	return b
+}
+
+// signal wakes every Drain waiter. Callers hold b.mu.
+func (b *StreamBuffer) signal() {
+	close(b.notify)
+	b.notify = make(chan struct{})
+}
+
+// Push appends one delivered piece. Pieces must carry one id per token;
+// a non-empty piece without ids fails the stream with
+// ErrStreamUnsupported, because without ids the buffer cannot synthesize
+// the per-slice continuation state that makes mid-stream fallback
+// lossless — and it fails BEFORE buffering the piece, so the consumer
+// has not been handed any text the fallback would duplicate.
+func (b *StreamBuffer) Push(text string, ids []int) {
+	if text == "" && len(ids) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.final != nil || b.err != nil {
+		return
+	}
+	if len(ids) == 0 {
+		b.err = fmt.Errorf("llm: stream piece carries no token ids: %w", ErrStreamUnsupported)
+		b.signal()
+		return
+	}
+	b.pieces = append(b.pieces, streamPiece{text: text, ids: ids})
+	b.buffered += len(ids)
+	b.signal()
+}
+
+// Finish records the stream's terminal chunk (Done metadata). Buffered
+// pieces remain drainable; the terminal slice is synthesized once they
+// are exhausted.
+func (b *StreamBuffer) Finish(final Chunk) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.final != nil || b.err != nil {
+		return
+	}
+	f := final
+	b.final = &f
+	b.signal()
+}
+
+// Fail records a mid-stream error. Already-buffered pieces remain
+// drainable (they carry valid continuation state); the error surfaces
+// once the buffer is empty.
+func (b *StreamBuffer) Fail(err error) {
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.final != nil || b.err != nil {
+		return
+	}
+	b.err = err
+	b.signal()
+}
+
+// Close marks the buffer closed: subsequent Drains return
+// ErrStreamClosed without serving buffered text.
+func (b *StreamBuffer) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.signal()
+}
+
+// Buffered reports the generated-but-undrained token count.
+func (b *StreamBuffer) Buffered() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buffered
+}
+
+// Drain blocks until maxTokens tokens are buffered (or the stream
+// finished, failed, or ctx expired) and returns the next slice. A
+// stream that failed or was interrupted mid-slice returns what it has
+// as a normal partial chunk first — the error surfaces on the next
+// call — so drained text is never lost. maxTokens <= 0 waits for the
+// terminal chunk and drains everything.
+func (b *StreamBuffer) Drain(ctx context.Context, maxTokens int) (Chunk, error) {
+	b.mu.Lock()
+	for {
+		switch {
+		case b.closed:
+			b.mu.Unlock()
+			return Chunk{}, ErrStreamClosed
+		case b.final != nil || (maxTokens > 0 && b.buffered >= maxTokens):
+			c := b.sliceLocked(maxTokens)
+			b.mu.Unlock()
+			return c, nil
+		case b.err != nil:
+			if b.buffered > 0 {
+				c := b.sliceLocked(maxTokens)
+				b.mu.Unlock()
+				return c, nil
+			}
+			err := b.err
+			b.mu.Unlock()
+			return Chunk{}, err
+		case ctx.Err() != nil:
+			if b.buffered > 0 {
+				c := b.sliceLocked(maxTokens)
+				b.mu.Unlock()
+				return c, nil
+			}
+			err := ctx.Err()
+			b.mu.Unlock()
+			return Chunk{}, err
+		}
+		ch := b.notify
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		b.mu.Lock()
+	}
+}
+
+// sliceLocked pops up to maxTokens tokens' worth of whole pieces and
+// synthesizes the round chunk. Callers hold b.mu.
+func (b *StreamBuffer) sliceLocked(maxTokens int) Chunk {
+	var text string
+	taken := 0
+	for len(b.pieces) > 0 {
+		p := b.pieces[0]
+		if maxTokens > 0 && taken+len(p.ids) > maxTokens && taken > 0 {
+			break
+		}
+		// A single piece larger than the whole budget is still taken
+		// (tokens cannot be split below delivery granularity), but only
+		// as the first piece of a slice, so overshoot is bounded by one
+		// piece.
+		if maxTokens > 0 && taken+len(p.ids) > maxTokens && len(p.ids) > maxTokens {
+			// fallthrough: take it anyway
+		}
+		text += p.text
+		taken += len(p.ids)
+		b.drained = append(b.drained, p.ids...)
+		b.pieces = b.pieces[1:]
+		if maxTokens > 0 && taken >= maxTokens {
+			break
+		}
+	}
+	b.buffered -= taken
+	if len(b.pieces) == 0 && b.final != nil {
+		f := *b.final
+		f.Text = text
+		f.EvalCount = taken
+		if len(f.Context) == 0 {
+			f.Context = append([]int(nil), b.drained...)
+		}
+		if f.TotalTokens == 0 {
+			f.TotalTokens = len(f.Context)
+		}
+		return f
+	}
+	return Chunk{
+		Text:        text,
+		EvalCount:   taken,
+		DoneReason:  DoneLength,
+		Context:     append([]int(nil), b.drained...),
+		TotalTokens: len(b.drained),
+	}
+}
+
+// engineStream adapts the Engine's generation channel to the
+// ChunkStream contract through a StreamBuffer. The pump goroutine drains
+// the channel as fast as the engine produces, so the buffer — not the
+// channel's small capacity — bounds how far generation runs ahead of the
+// orchestrator's rounds.
+type engineStream struct {
+	buf    *StreamBuffer
+	cancel context.CancelFunc
+	once   sync.Once
+	onDone func()
+}
+
+// OpenStream implements StreamingBackend over the simulated engine: it
+// starts one Generate call covering the whole session budget and
+// buffers its token stream client-side. The engine's per-token decode
+// delay (LatencyScale) keeps flowing between Next calls, which is the
+// generation/scoring overlap the orchestrator exploits.
+func (e *Engine) OpenStream(ctx context.Context, req ChunkRequest) (ChunkStream, error) {
+	genCtx, cancel := context.WithCancel(ctx)
+	ch, err := e.Generate(genCtx, GenRequest{
+		Model: req.Model, Prompt: req.Prompt, MaxTokens: req.MaxTokens, Context: req.Cont,
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	e.streams.Add(1)
+	s := &engineStream{buf: NewStreamBuffer(req.Cont), cancel: cancel}
+	s.onDone = func() { e.streams.Add(-1) }
+	go func() {
+		for c := range ch {
+			if c.Done {
+				s.buf.Finish(c)
+				continue // let the producer close the channel
+			}
+			s.buf.Push(c.Text, c.Tokens)
+		}
+		// Defensive: a channel that closes without a Done chunk is an
+		// engine bug; surface it rather than hanging the consumer.
+		s.buf.Fail(io.ErrUnexpectedEOF)
+		s.settle()
+	}()
+	return s, nil
+}
+
+// settle runs the stream's end-of-life accounting exactly once.
+func (s *engineStream) settle() {
+	s.once.Do(func() {
+		if s.onDone != nil {
+			s.onDone()
+		}
+	})
+}
+
+// Next implements ChunkStream.
+func (s *engineStream) Next(ctx context.Context, maxTokens int) (Chunk, error) {
+	return s.buf.Drain(ctx, maxTokens)
+}
+
+// Buffered implements BufferedStream.
+func (s *engineStream) Buffered() int { return s.buf.Buffered() }
+
+// Close implements ChunkStream: it cancels the underlying generation
+// (the engine emits its cancel chunk and releases the hardware job) and
+// poisons the buffer.
+func (s *engineStream) Close() error {
+	s.cancel()
+	s.buf.Close()
+	return nil
+}
+
+// OpenStreams reports the engine-side generation sessions still
+// producing — the observability hook leak tests assert against. A
+// closed or naturally finished stream leaves the count as soon as its
+// producer goroutine exits.
+func (e *Engine) OpenStreams() int { return int(e.streams.Load()) }

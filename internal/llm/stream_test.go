@@ -1,0 +1,272 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestStreamBufferSlicing drains a finished buffer in per-round slices
+// and checks token-boundary slicing, continuation synthesis, and the
+// terminal chunk's authoritative metadata.
+func TestStreamBufferSlicing(t *testing.T) {
+	b := NewStreamBuffer(nil)
+	b.Push("Hello ", []int{1, 2})
+	b.Push("world", []int{3})
+	b.Push("!", []int{4})
+	b.Finish(Chunk{Done: true, DoneReason: DoneStop, Context: []int{1, 2, 3, 4}, EvalCount: 4, TotalTokens: 4})
+
+	ctx := context.Background()
+	c1, err := b.Drain(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Text != "Hello " || c1.EvalCount != 2 {
+		t.Fatalf("slice 1 = %q (%d tokens), want \"Hello \" (2)", c1.Text, c1.EvalCount)
+	}
+	if c1.Done || c1.DoneReason != DoneLength {
+		t.Fatalf("non-terminal slice Done=%v reason=%q, want length continuation", c1.Done, c1.DoneReason)
+	}
+	if len(c1.Context) != 2 || c1.Context[0] != 1 || c1.Context[1] != 2 {
+		t.Fatalf("slice 1 context = %v, want [1 2]", c1.Context)
+	}
+	c2, err := b.Drain(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Text != "world!" || c2.EvalCount != 2 {
+		t.Fatalf("slice 2 = %q (%d tokens), want \"world!\" (2)", c2.Text, c2.EvalCount)
+	}
+	if !c2.Done || c2.DoneReason != DoneStop {
+		t.Fatalf("terminal slice Done=%v reason=%q, want done/stop", c2.Done, c2.DoneReason)
+	}
+	if len(c2.Context) != 4 {
+		t.Fatalf("terminal context = %v, want 4 ids", c2.Context)
+	}
+}
+
+// TestStreamBufferNeverSplitsAPiece checks slicing rounds down to whole
+// pieces, except a single oversized first piece which is taken whole.
+func TestStreamBufferNeverSplitsAPiece(t *testing.T) {
+	b := NewStreamBuffer(nil)
+	b.Push("abc", []int{1, 2, 3})
+	b.Push("de", []int{4, 5})
+	b.Finish(Chunk{Done: true, DoneReason: DoneStop, Context: []int{1, 2, 3, 4, 5}})
+
+	c, err := b.Drain(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 3-token piece exceeds the 2-token ask but cannot be split:
+	// bounded overshoot, taken as the slice's first piece.
+	if c.Text != "abc" || c.EvalCount != 3 {
+		t.Fatalf("oversized first piece = %q (%d), want abc (3)", c.Text, c.EvalCount)
+	}
+	c2, err := b.Drain(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Text != "de" || !c2.Done {
+		t.Fatalf("tail slice = %q done=%v, want de/true", c2.Text, c2.Done)
+	}
+}
+
+// TestStreamBufferPartialBeforeError checks a failed stream serves what
+// it buffered as a normal partial slice first and only then surfaces
+// the error — drained text is never lost to a fallback.
+func TestStreamBufferPartialBeforeError(t *testing.T) {
+	b := NewStreamBuffer([]int{9})
+	b.Push("partial", []int{10, 11})
+	b.Fail(io.ErrUnexpectedEOF)
+
+	c, err := b.Drain(context.Background(), 8)
+	if err != nil {
+		t.Fatalf("partial drain errored early: %v", err)
+	}
+	if c.Text != "partial" || c.EvalCount != 2 {
+		t.Fatalf("partial = %q (%d), want partial (2)", c.Text, c.EvalCount)
+	}
+	if len(c.Context) != 3 || c.Context[0] != 9 {
+		t.Fatalf("partial context = %v, want base 9 + drained ids", c.Context)
+	}
+	if _, err := b.Drain(context.Background(), 8); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("drained-dry error = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestStreamBufferRejectsIdlessPieces checks a producer that cannot
+// attribute token ids fails the stream BEFORE any text is handed out,
+// so fallback re-generation cannot duplicate text.
+func TestStreamBufferRejectsIdlessPieces(t *testing.T) {
+	b := NewStreamBuffer(nil)
+	b.Push("text without ids", nil)
+	_, err := b.Drain(context.Background(), 4)
+	if err == nil || !errors.Is(err, ErrStreamUnsupported) {
+		t.Fatalf("err = %v, want ErrStreamUnsupported", err)
+	}
+}
+
+// TestStreamBufferCloseAndContext checks Close poisons the buffer and a
+// ctx cancel with an empty buffer returns the ctx error.
+func TestStreamBufferCloseAndContext(t *testing.T) {
+	b := NewStreamBuffer(nil)
+	b.Push("x", []int{1})
+	b.Close()
+	if _, err := b.Drain(context.Background(), 1); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("post-close drain err = %v, want ErrStreamClosed", err)
+	}
+
+	b2 := NewStreamBuffer(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b2.Drain(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled empty drain err = %v, want context.Canceled", err)
+	}
+	// With buffered tokens, cancellation still yields the partial first.
+	b3 := NewStreamBuffer(nil)
+	b3.Push("y", []int{2})
+	if c, err := b3.Drain(ctx, 4); err != nil || c.Text != "y" {
+		t.Fatalf("canceled partial drain = %q, %v; want y, nil", c.Text, err)
+	}
+}
+
+// TestEngineStreamMatchesChunkedPath drains an engine stream in
+// per-round slices and checks the text, continuation, and done reason
+// are token-for-token what the per-round GenerateChunk ladder returns —
+// the determinism invariant the orchestrator's pipelined path relies on.
+func TestEngineStreamMatchesChunkedPath(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	const prompt = "Are bats blind?"
+	const step = 5
+
+	// Reference: the per-round chunked path.
+	var refText string
+	var cont []int
+	var refReasons []DoneReason
+	for i := 0; i < 50; i++ {
+		c, err := e.GenerateChunk(ctx, ChunkRequest{Model: ModelLlama3, Prompt: prompt, MaxTokens: step, Cont: cont})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refText += c.Text
+		cont = c.Context
+		refReasons = append(refReasons, c.DoneReason)
+		if c.DoneReason == DoneStop {
+			break
+		}
+	}
+
+	s, err := e.OpenStream(ctx, ChunkRequest{Model: ModelLlama3, Prompt: prompt, MaxTokens: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var gotText string
+	var gotReasons []DoneReason
+	for i := 0; i < 50; i++ {
+		c, err := s.Next(ctx, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotText += c.Text
+		gotReasons = append(gotReasons, c.DoneReason)
+		if c.Done {
+			if c.DoneReason != DoneStop {
+				t.Fatalf("terminal reason = %q, want stop", c.DoneReason)
+			}
+			break
+		}
+	}
+	if gotText != refText {
+		t.Fatalf("streamed text %q != chunked text %q", gotText, refText)
+	}
+	if len(gotReasons) != len(refReasons) {
+		t.Fatalf("streamed %d slices, chunked %d", len(gotReasons), len(refReasons))
+	}
+	for i := range gotReasons {
+		if gotReasons[i] != refReasons[i] {
+			t.Fatalf("slice %d reason %q != chunked %q", i, gotReasons[i], refReasons[i])
+		}
+	}
+}
+
+// TestEngineStreamContinuationResumes checks a slice's synthesized
+// Context is a valid GenerateChunk resume point — the property that
+// makes mid-stream fallback lossless.
+func TestEngineStreamContinuationResumes(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	const prompt = "Are bats blind?"
+	full, _, err := e.GenerateAll(ctx, GenRequest{Model: ModelMistral, Prompt: prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := e.OpenStream(ctx, ChunkRequest{Model: ModelMistral, Prompt: prompt, MaxTokens: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := s.Next(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	tail, err := e.GenerateChunk(ctx, ChunkRequest{Model: ModelMistral, Prompt: prompt, Cont: head.Context})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Text+tail.Text != full {
+		t.Fatalf("stream head + chunked tail = %q, want %q", head.Text+tail.Text, full)
+	}
+}
+
+// TestEngineOpenStreamsAccounting checks the engine's live-session
+// gauge: opens are visible, and both Close and natural completion
+// release the session.
+func TestEngineOpenStreamsAccounting(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	s, err := e.OpenStream(ctx, ChunkRequest{Model: ModelLlama3, Prompt: "Are bats blind?", MaxTokens: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.OpenStreams(); got != 1 {
+		t.Fatalf("OpenStreams after open = %d, want 1", got)
+	}
+	if _, err := s.Next(ctx, 0); err != nil { // drain to completion
+		t.Fatal(err)
+	}
+	s.Close()
+	waitForStreams(t, e, 0)
+
+	// Close mid-generation must also release the session.
+	s2, err := e.OpenStream(ctx, ChunkRequest{Model: ModelQwen2, Prompt: "Are bats blind?", MaxTokens: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Next(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	waitForStreams(t, e, 0)
+	if _, err := s2.Next(ctx, 1); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("post-close Next err = %v, want ErrStreamClosed", err)
+	}
+}
+
+// waitForStreams polls the engine's session gauge until it reaches want
+// (the producer goroutine exits asynchronously after cancel/finish).
+func waitForStreams(t *testing.T, e *Engine, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.OpenStreams() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("OpenStreams = %d, want %d after wait", e.OpenStreams(), want)
+}

@@ -243,13 +243,18 @@ var scanBufPool = sync.Pool{
 // half-empty chunk. The partial chunk carries Done == false and the
 // continuation state of the request it resumed from, so a retry replays
 // the same chunk.
-func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (chunk llm.Chunk, err error) {
 	start := time.Now()
+	// Latency is observed with an outcome label so failed or truncated
+	// calls cannot pollute the healthy-call distribution: a dead daemon
+	// failing fast would otherwise drag the histogram toward zero while
+	// timeouts drag it toward the deadline.
+	defer func() { c.observeChunk(req.Model, start, err) }()
 	wire := GenerateRequest{Model: req.Model, Prompt: req.Prompt, Context: req.Cont}
 	wire.Options.NumPredict = req.MaxTokens
 	var text strings.Builder
 	var out llm.Chunk
-	err := c.Generate(ctx, wire, func(gr GenerateResponse) error {
+	err = c.Generate(ctx, wire, func(gr GenerateResponse) error {
 		text.WriteString(gr.Response)
 		if gr.Done {
 			out.Done = true
@@ -260,9 +265,6 @@ func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.C
 		}
 		return nil
 	})
-	if c.tel != nil {
-		c.tel.ClientChunkLat.Observe(time.Since(start).Seconds(), req.Model)
-	}
 	out.Text = text.String()
 	if err != nil {
 		return llm.Chunk{}, err
@@ -280,6 +282,150 @@ func (c *Client) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.C
 		return out, fmt.Errorf("%w (got %d bytes of text)", ErrTruncatedStream, text.Len())
 	}
 	return out, nil
+}
+
+// observeChunk records one GenerateChunk call's latency under the
+// bounded outcome label set (ok, error, canceled).
+func (c *Client) observeChunk(model string, start time.Time, err error) {
+	if c.tel == nil {
+		return
+	}
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "canceled"
+	default:
+		outcome = "error"
+	}
+	c.tel.ClientChunkLat.Observe(time.Since(start).Seconds(), model, outcome)
+}
+
+// OpenStream implements llm.StreamingBackend over the wire: it POSTs
+// one /api/generate covering the session's whole token budget with the
+// stream_tokens extension on, holds the NDJSON stream open, and buffers
+// delivered tokens client-side; each ChunkStream.Next then slices the
+// next per-round chunk off the buffer with synthesized continuation
+// state, so the daemon ingests the prompt once per query instead of
+// once per round.
+//
+// The client's default Timeout deliberately does NOT apply: a session
+// legitimately lives for the whole query. Cancellation is the caller's
+// ctx or Close. A daemon that does not echo token ids (a stock Ollama)
+// fails the stream with llm.ErrStreamUnsupported before any text is
+// handed out, so callers can fall back to per-round GenerateChunk
+// without duplicating output.
+func (c *Client) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkStream, error) {
+	wire := GenerateRequest{Model: req.Model, Prompt: req.Prompt, Context: req.Cont}
+	wire.Options.NumPredict = req.MaxTokens
+	wire.Options.StreamTokens = true
+	data, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	httpReq, err := http.NewRequestWithContext(sctx, http.MethodPost, c.base+"/api/generate", bytes.NewReader(data))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		cancel()
+		c.observe("generate_stream", start, err)
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := decodeError(resp)
+		resp.Body.Close()
+		cancel()
+		c.observe("generate_stream", start, err)
+		return nil, err
+	}
+	s := &clientStream{buf: llm.NewStreamBuffer(req.Cont), cancel: cancel}
+	go c.pumpStream(resp, s.buf, req.Model, start)
+	return s, nil
+}
+
+// pumpStream drains one open generation stream into its client-side
+// buffer until the done line, a protocol error, or cancellation.
+func (c *Client) pumpStream(resp *http.Response, buf *llm.StreamBuffer, model string, start time.Time) {
+	defer resp.Body.Close()
+	scanBuf := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(scanBuf)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(*scanBuf, maxScanLine)
+	finished := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var gr GenerateResponse
+		if err := json.Unmarshal(line, &gr); err != nil {
+			buf.Fail(fmt.Errorf("modeld: bad stream line: %w", err))
+			c.observe("generate_stream", start, err)
+			return
+		}
+		if gr.Done {
+			buf.Finish(llm.Chunk{
+				Done: true, DoneReason: llm.DoneReason(gr.DoneReason),
+				Context: gr.Context, EvalCount: gr.EvalCount, TotalTokens: len(gr.Context),
+			})
+			finished = true
+			continue
+		}
+		if gr.Response == "" && len(gr.Tokens) == 0 {
+			continue
+		}
+		if len(gr.Tokens) == 0 {
+			// The daemon ignored stream_tokens (e.g. a stock Ollama):
+			// without per-line ids the buffer cannot synthesize resume
+			// state, so refuse the session before any text leaks out.
+			buf.Fail(fmt.Errorf("modeld: daemon does not echo stream tokens: %w", llm.ErrStreamUnsupported))
+			c.observe("generate_stream", start, nil)
+			return
+		}
+		buf.Push(gr.Response, gr.Tokens)
+	}
+	switch {
+	case finished:
+		c.observe("generate_stream", start, nil)
+	case sc.Err() != nil:
+		buf.Fail(fmt.Errorf("%w: %v", ErrTruncatedStream, sc.Err()))
+		c.observe("generate_stream", start, sc.Err())
+	default:
+		if c.tel != nil {
+			c.tel.ClientTruncated.Inc(model)
+		}
+		buf.Fail(ErrTruncatedStream)
+		c.observe("generate_stream", start, ErrTruncatedStream)
+	}
+}
+
+// clientStream adapts a pumped HTTP generation stream to llm.ChunkStream.
+type clientStream struct {
+	buf    *llm.StreamBuffer
+	cancel context.CancelFunc
+}
+
+// Next implements llm.ChunkStream.
+func (s *clientStream) Next(ctx context.Context, maxTokens int) (llm.Chunk, error) {
+	return s.buf.Drain(ctx, maxTokens)
+}
+
+// Buffered implements llm.BufferedStream.
+func (s *clientStream) Buffered() int { return s.buf.Buffered() }
+
+// Close implements llm.ChunkStream: it aborts the HTTP request (the
+// daemon sees the disconnect and stops generating) and poisons the
+// buffer.
+func (s *clientStream) Close() error {
+	s.cancel()
+	s.buf.Close()
+	return nil
 }
 
 // Embed returns embeddings for the inputs using the named encoder model.

@@ -46,6 +46,15 @@ type GenerateRequest struct {
 	Context []int  `json:"context,omitempty"`
 	Options struct {
 		NumPredict int `json:"num_predict,omitempty"`
+		// StreamTokens is an LLM-MS extension: when true, every
+		// streamed NDJSON line echoes the ids of the tokens it carries
+		// (GenerateResponse.Tokens), so a client holding the stream
+		// open across orchestration rounds can synthesize per-slice
+		// continuation state without waiting for the final line. A
+		// daemon that does not understand the option simply omits the
+		// field, which the client detects and treats as
+		// stream-unsupported.
+		StreamTokens bool `json:"stream_tokens,omitempty"`
 	} `json:"options,omitempty"`
 }
 
@@ -59,6 +68,9 @@ type GenerateResponse struct {
 	DoneReason string `json:"done_reason,omitempty"`
 	Context    []int  `json:"context,omitempty"`
 	EvalCount  int    `json:"eval_count,omitempty"`
+	// Tokens carries the ids of this line's tokens when the request set
+	// Options.StreamTokens (LLM-MS extension; see GenerateRequest).
+	Tokens []int `json:"tokens,omitempty"`
 }
 
 // EmbedRequest is the wire form of an embedding call. Input accepts a
@@ -231,6 +243,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	for c := range chunks {
 		resp := GenerateResponse{Model: req.Model, CreatedAt: now(), Response: c.Text, Done: c.Done}
+		if req.Options.StreamTokens {
+			resp.Tokens = c.Tokens
+		}
 		if c.Done {
 			resp.DoneReason = string(c.DoneReason)
 			resp.Context = c.Context

@@ -58,8 +58,8 @@ func TestClientInstrumentation(t *testing.T) {
 	if got := tel.ClientLatency.Count("generate"); got != 1 {
 		t.Errorf("latency count{generate} = %v, want 1", got)
 	}
-	if got := tel.ClientChunkLat.Count(model); got != 1 {
-		t.Errorf("chunk latency count{%s} = %v, want 1", model, got)
+	if got := tel.ClientChunkLat.Count(model, "ok"); got != 1 {
+		t.Errorf("chunk latency count{%s,ok} = %v, want 1", model, got)
 	}
 	if got := tel.ClientTruncated.Value(model); got != 0 {
 		t.Errorf("truncated{%s} = %v, want 0", model, got)
@@ -86,6 +86,16 @@ func TestClientTruncatedStreamCounter(t *testing.T) {
 	// level, so it counts as ok — truncation is its own signal.
 	if got := tel.ClientRequests.Value("generate", "error"); got != 0 {
 		t.Errorf("requests{generate,error} = %v, want 0", got)
+	}
+	// Regression: the chunk latency observation must see the truncation
+	// error and land under the error outcome — an earlier version
+	// observed latency before the truncation check and filed dead-daemon
+	// calls as healthy, dragging the ok histogram toward zero.
+	if got := tel.ClientChunkLat.Count("m", "error"); got != 1 {
+		t.Errorf("chunk latency count{m,error} = %v, want 1", got)
+	}
+	if got := tel.ClientChunkLat.Count("m", "ok"); got != 0 {
+		t.Errorf("chunk latency count{m,ok} = %v, want 0", got)
 	}
 }
 

@@ -175,6 +175,10 @@ type Options struct {
 	// default: profiles expose internals and cost CPU, so production
 	// deployments opt in explicitly (the -pprof flag on cmd/llmms).
 	EnablePprof bool
+	// DisableStreaming forces per-round generation calls even when the
+	// backend can hold persistent generation streams (the -stream-sessions
+	// flag on cmd/llmms; see core.Config.DisableStreaming).
+	DisableStreaming bool
 	// ReadyChecks are the dependency probes behind GET /readyz, in
 	// addition to the built-in "models" check (model inventory
 	// non-empty). Each check gets a bounded context; a non-nil error
@@ -208,6 +212,7 @@ type Server struct {
 	gate        *qcache.Gate  // nil when admission is unbounded
 	readyChecks []ReadyCheck
 	pprofOn     bool
+	noStreaming bool
 	mux         *http.ServeMux
 
 	mu       sync.Mutex
@@ -247,19 +252,20 @@ func NewServer(opts Options) (*Server, error) {
 		backend = opts.Engine
 	}
 	s := &Server{
-		engine:   opts.Engine,
-		backend:  backend,
-		sessions: session.NewStore(opts.SessionOptions),
-		docs:     col,
-		ingestor: rag.NewIngestor(col, rag.ChunkOptions{}),
-		feedback: core.NewFeedbackStore(),
-		arena:    arena.New(arena.Options{}),
-		memory:   session.NewMemoryGraph(session.MemoryGraphOptions{}),
-		tel:      tel,
-		pprofOn:  opts.EnablePprof,
-		settings: st,
-		docIDs:   make(map[string]docInfo),
-		mux:      http.NewServeMux(),
+		engine:      opts.Engine,
+		backend:     backend,
+		sessions:    session.NewStore(opts.SessionOptions),
+		docs:        col,
+		ingestor:    rag.NewIngestor(col, rag.ChunkOptions{}),
+		feedback:    core.NewFeedbackStore(),
+		arena:       arena.New(arena.Options{}),
+		memory:      session.NewMemoryGraph(session.MemoryGraphOptions{}),
+		tel:         tel,
+		pprofOn:     opts.EnablePprof,
+		noStreaming: opts.DisableStreaming,
+		settings:    st,
+		docIDs:      make(map[string]docInfo),
+		mux:         http.NewServeMux(),
 	}
 	if sv := opts.Serving; sv.CacheTTL > 0 {
 		s.cache = qcache.New(qcache.Options{
@@ -724,6 +730,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cfg.Alpha = st.Alpha
 	cfg.Beta = st.Beta
 	cfg.Feedback = s.feedback
+	cfg.DisableStreaming = s.noStreaming
 	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
 	cfg.Recorder = obs
 	oc, err := core.New(s.backend, cfg)

@@ -78,10 +78,21 @@ func (q *QueryObserver) RecordEvent(ev core.Event) {
 		if r := retriesOf(ev.Attempts); r > 0 {
 			q.tel.Retries.Add(float64(r), ev.Model)
 		}
+		if ev.Prefetched > 0 {
+			q.tel.StreamPrefetch.Add(float64(ev.Prefetched), ev.Model)
+		}
 	case core.EventScore:
 		q.tr.Scores = append(q.tr.Scores, ScorePoint{Round: ev.Round, Model: ev.Model, Score: ev.Score})
 	case core.EventScorePass:
 		q.tel.ScoreLatency.Observe(ev.Elapsed.Seconds(), string(ev.Strategy))
+	case core.EventStreamOpen:
+		q.tel.StreamOpens.Inc(ev.Model)
+	case core.EventStreamClose:
+		q.tel.StreamCloses.Inc(ev.Model, ev.Reason)
+	case core.EventStreamFallback:
+		q.tel.StreamFallbacks.Inc(ev.Model)
+	case core.EventRoundStall:
+		q.tel.RoundStall.Observe(ev.Elapsed.Seconds(), string(ev.Strategy))
 	case core.EventPrune:
 		q.tr.Pruned = append(q.tr.Pruned, ev.Model)
 		q.tel.Prunes.Inc(string(ev.Strategy))

@@ -49,9 +49,14 @@ const DefaultMaxQueryBytes = 2048
 //	llmms_admission_queue_depth                      requests parked in the admission queue (gauge)
 //	llmms_admission_queue_wait_seconds               time spent waiting for an orchestration slot
 //	llmms_admission_rejected_total                   requests shed with 429 at a full queue
+//	llmms_stream_prefetch_tokens_total{model}        tokens already buffered when a round drained them
+//	llmms_round_stall_seconds{strategy}              time a round waited on generation
+//	llmms_stream_opens_total{model}                  persistent generation streams opened
+//	llmms_stream_closes_total{model,reason}          streams closed (reason: done|pruned|early_exit|failed|query_end|error)
+//	llmms_stream_fallbacks_total{model}              sessions degraded to per-round chunk calls
 //	modeld_client_requests_total{op,outcome}         daemon client requests by operation
 //	modeld_client_request_duration_seconds{op}       daemon client request latency
-//	modeld_client_chunk_duration_seconds{model}      daemon client chunk latency
+//	modeld_client_chunk_duration_seconds{model,outcome}  daemon client chunk latency
 //	modeld_client_truncated_streams_total{model}     streams ending without done:true
 type Telemetry struct {
 	Registry *Registry
@@ -73,6 +78,12 @@ type Telemetry struct {
 	SSEDropped      Counter
 	SSEFrames       Counter
 	SSEEncodeErrors Counter
+
+	StreamPrefetch  Counter
+	RoundStall      Histogram
+	StreamOpens     Counter
+	StreamCloses    Counter
+	StreamFallbacks Counter
 
 	CacheHits      Counter
 	CacheMisses    Counter
@@ -129,6 +140,24 @@ func New(opts Options) *Telemetry {
 		TracesStored: reg.Gauge("llmms_query_traces",
 			"Completed query traces currently retained."),
 
+		StreamPrefetch: reg.Counter("llmms_stream_prefetch_tokens_total",
+			"Tokens already generated and buffered client-side at the moment a round drained them — the pipelining overlap won, by model.", "model"),
+		// Round stalls measure how long the orchestrator waited for
+		// generation after the buffer ran dry. A healthy pipelined query
+		// stalls in the microsecond-to-millisecond range after round one,
+		// so this histogram uses the microsecond ladder shared with the
+		// scoring pass.
+		RoundStall: reg.Histogram("llmms_round_stall_seconds",
+			"Time a round's slowest streamed drain waited on generation, by strategy.",
+			[]float64{1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1},
+			"strategy"),
+		StreamOpens: reg.Counter("llmms_stream_opens_total",
+			"Persistent generation streams opened, by model.", "model"),
+		StreamCloses: reg.Counter("llmms_stream_closes_total",
+			"Persistent generation streams closed, by model and reason.", "model", "reason"),
+		StreamFallbacks: reg.Counter("llmms_stream_fallbacks_total",
+			"Generation sessions that degraded to per-round chunk calls after a stream error, by model.", "model"),
+
 		HTTPRequests: reg.Counter("llmms_http_requests_total",
 			"HTTP requests by route pattern and status code.", "route", "code"),
 		HTTPLatency: reg.Histogram("llmms_http_request_duration_seconds",
@@ -167,7 +196,7 @@ func New(opts Options) *Telemetry {
 		ClientLatency: reg.Histogram("modeld_client_request_duration_seconds",
 			"Daemon client request latency by operation.", nil, "op"),
 		ClientChunkLat: reg.Histogram("modeld_client_chunk_duration_seconds",
-			"Daemon client GenerateChunk latency by model.", nil, "model"),
+			"Daemon client GenerateChunk latency by model and outcome (ok, error, canceled).", nil, "model", "outcome"),
 		ClientTruncated: reg.Counter("modeld_client_truncated_streams_total",
 			"Generation streams that ended without a done:true line, by model.", "model"),
 

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Runs the pipelined-generation benchmark (persistent per-model streams
+# vs per-round chunk calls, under simulated decode + prefill latency)
+# and writes machine-readable JSON so the per-round wall-time win can be
+# diffed across commits. The raw `go test -bench` text goes to stderr.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_fanout.json}"
+go test -bench='FanoutPipelined' -benchmem -run='^$' ./internal/core/ \
+	| tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"

@@ -26,7 +26,7 @@ go test -race -shuffle=on ./...
 # (a broken benchmark otherwise only surfaces when someone runs make
 # bench-score / bench-serve).
 echo "== bench smoke (-benchtime=1x)"
-go test -run='^$' -bench='ScoreAll|EncodeIncremental|InterSim' -benchtime=1x \
+go test -run='^$' -bench='ScoreAll|EncodeIncremental|InterSim|FanoutPipelined' -benchtime=1x \
 	./internal/core/ ./internal/embedding/ >/dev/null
 go test -run='^$' -bench='ServeMix' -benchtime=1x ./internal/server/ >/dev/null
 
