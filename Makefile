@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score bench-serve bench-fanout check
+.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ bench-score:
 # BENCH_fanout.json; see DESIGN.md "Pipelined generation".
 bench-fanout:
 	./scripts/bench_fanout.sh BENCH_fanout.json
+
+# bench-fleet runs the model-fleet benchmarks (a dying replica's cost
+# before/after its breaker opens, p99 with and without hedging) and
+# writes BENCH_fleet.json; see DESIGN.md "Model fleet".
+bench-fleet:
+	./scripts/bench_fleet.sh BENCH_fleet.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

@@ -7,7 +7,7 @@
 //	llmms [-addr :8080] [-questions 400] [-latency 0.02]
 //	      [-trace-capacity 256] [-pprof]
 //	      [-cache-ttl 5m] [-cache-capacity 256] [-semantic-threshold 0.97]
-//	      [-max-inflight 0]
+//	      [-max-inflight 0] [-fleet 0] [-hedge-p95 0]
 //
 // -questions sizes the engine's knowledge base (the simulated models can
 // answer that many benchmark questions); -latency scales the simulated
@@ -24,6 +24,15 @@
 // cosine similarity above which a rephrased query shares a cached answer
 // (> 1 disables the semantic tier), and -max-inflight bounds concurrent
 // orchestration weight, shedding excess load with 429 (0 = unlimited).
+//
+// The fleet flags put the replicated model-fleet layer (see DESIGN.md
+// "Model fleet") between orchestration and the engine: -fleet N runs N
+// health-checked replicas per model with per-replica circuit breakers
+// and least-loaded routing (0 disables the layer), and -hedge-p95 F
+// fires a backup request on a second replica once a call exceeds
+// F × the model's observed p95 latency (0 disables hedging). With the
+// fleet on, /readyz gains per-model "fleet:<model>" checks and
+// GET /api/fleet reports per-replica state.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 
+	"llmms/internal/fleet"
 	"llmms/internal/llm"
 	"llmms/internal/qcache"
 	"llmms/internal/server"
@@ -53,6 +63,8 @@ func main() {
 	semThreshold := flag.Float64("semantic-threshold", qcache.DefaultSemanticThreshold, "cosine similarity for semantic cache hits (>1 disables the tier)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent orchestration weight bound, 429 past the wait queue (0 = unlimited)")
 	streamSessions := flag.Bool("stream-sessions", true, "pipelined generation: one persistent stream per model per query, sliced per round (false = per-round chunk calls)")
+	fleetSize := flag.Int("fleet", 0, "replicas per model behind the fleet layer: breakers, health probes, least-loaded routing (0 = no fleet)")
+	hedgeP95 := flag.Float64("hedge-p95", 0, "hedge a chunk call on a second replica once it exceeds this multiple of the model's p95 latency (0 = no hedging; needs -fleet ≥ 2)")
 	flag.Parse()
 
 	ds, err := loadDataset(*dataset, *questions)
@@ -63,9 +75,20 @@ func main() {
 		Knowledge:    llm.NewKnowledge(ds),
 		LatencyScale: *latency,
 	})
+	tel := telemetry.New(telemetry.Options{TraceCapacity: *traceCap})
+	var pool *fleet.Pool
+	if *fleetSize > 0 {
+		pool, err = newFleet(engine, *fleetSize, *hedgeP95, tel)
+		if err != nil {
+			log.Fatalf("llmms: %v", err)
+		}
+		pool.Start()
+		defer pool.Close()
+	}
 	srv, err := server.NewServer(server.Options{
 		Engine:           engine,
-		Telemetry:        telemetry.New(telemetry.Options{TraceCapacity: *traceCap}),
+		Fleet:            pool,
+		Telemetry:        tel,
 		EnablePprof:      *enablePprof,
 		DisableStreaming: !*streamSessions,
 		Serving: server.ServingOptions{
@@ -95,4 +118,32 @@ func loadDataset(path string, n int) (truthfulqa.Dataset, error) {
 		return truthfulqa.Generate(n, 1), nil
 	}
 	return truthfulqa.LoadJSON(path)
+}
+
+// newFleet builds a pool of n replicas per engine model. The simulated
+// engine multiplexes every replica of a model (a real deployment would
+// hand each replica its own modeld.Client); the fleet layer on top —
+// breakers, probes, least-loaded routing, hedging — is exactly the
+// production wiring. The probe is a one-token generation, the cheapest
+// request that proves the replica can serve.
+func newFleet(engine *llm.Engine, n int, hedgeP95 float64, tel *telemetry.Telemetry) (*fleet.Pool, error) {
+	replicas := make(map[string][]fleet.Replica)
+	for _, p := range engine.Profiles() {
+		set := make([]fleet.Replica, n)
+		for i := range set {
+			set[i] = fleet.Replica{ID: fmt.Sprintf("r%d", i), Backend: engine}
+		}
+		replicas[p.Name] = set
+	}
+	return fleet.New(fleet.Config{
+		Replicas:    replicas,
+		HedgeFactor: hedgeP95,
+		Telemetry:   tel,
+		Probe: func(ctx context.Context, model string, r fleet.Replica) error {
+			_, err := r.Backend.GenerateChunk(ctx, llm.ChunkRequest{
+				Model: model, Prompt: "Question: ping?\nAnswer:", MaxTokens: 1,
+			})
+			return err
+		},
+	})
 }

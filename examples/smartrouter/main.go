@@ -43,7 +43,7 @@ func main() {
 		log.Fatal(err)
 	}
 	go func() { _ = http.Serve(ln, modeld.NewServer(engine)) }()
-	client := modeld.NewClient("http://"+ln.Addr().String(), nil)
+	client := modeld.New("http://" + ln.Addr().String())
 	fmt.Printf("model daemon on %s\n", ln.Addr())
 
 	models, err := client.Tags(context.Background())

@@ -34,18 +34,19 @@ import (
 	"llmms/internal/llm"
 )
 
-// Backend produces partial generations. llm.Engine and modeld.Client both
-// satisfy it; GenerateChunk is the paper's getChunk(LLM_i, p, λ): generate
-// up to req.MaxTokens more tokens of the model's answer to req.Prompt,
-// resuming from req.Cont (nil starts fresh), returning the aggregated
-// text so far this call, the done reason, and the continuation state.
+// Backend produces partial generations. llm.Engine, modeld.Client, and
+// fleet.Pool all satisfy it; GenerateChunk is the paper's getChunk(LLM_i,
+// p, λ): generate up to req.MaxTokens more tokens of the model's answer
+// to req.Prompt, resuming from req.Cont (nil starts fresh), returning
+// the aggregated text so far this call, the done reason, and the
+// continuation state.
 //
-// The orchestrator issues GenerateChunk calls concurrently — one
-// in-flight call per active model during a fan-out round — so
-// implementations must be safe for concurrent use across models.
-type Backend interface {
-	GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error)
-}
+// Backend is an alias of llm.Backend — the repository's single backend
+// contract. Streaming is an optional capability of the SAME value,
+// resolved through llm.AsStreaming (never by direct type assertion), so
+// wrappers like FaultBackend or a fleet pool cannot strip it silently;
+// see internal/llm/backend.go.
+type Backend = llm.Backend
 
 // Strategy names an orchestration policy.
 type Strategy string

@@ -16,6 +16,13 @@ import (
 // exercise prune-on-failure and the everyone-failed path). The zero
 // schedule is a transparent pass-through.
 //
+// Schedules are keyed by name. A plain FaultBackend keys every lookup by
+// the request's model, reproducing the historical behavior; a Replica
+// view (see Replica) keys lookups by "model@replica" instead, so one
+// FaultBackend over one shared engine can script divergent behavior for
+// each member of a fleet.Pool replica set — the slow replica, the dead
+// replica, the one that breaks streams mid-answer.
+//
 // FaultBackend is safe for concurrent use, like any orchestrator
 // backend.
 type FaultBackend struct {
@@ -54,42 +61,91 @@ func NewFaultBackend(inner Backend) *FaultBackend {
 	}
 }
 
-// SetLatency adds d of simulated transport delay to every call for
-// model. The delay respects context cancellation.
-func (f *FaultBackend) SetLatency(model string, d time.Duration) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.latency[model] = d
+// Unwrap exposes the inner backend to llm.AsStreaming capability probes.
+// FaultBackend decorates streams itself (OpenStream below), so the probe
+// finds the fault layer first; Unwrap exists for wrappers stacked on top.
+func (f *FaultBackend) Unwrap() llm.Backend { return f.inner }
+
+// ReplicaKey composes the schedule key a Replica view uses for model:
+// "model@id". Tests script a replica's behavior with e.g.
+// f.SetLatency(core.ReplicaKey(model, "r1"), 20*time.Millisecond).
+func ReplicaKey(model, id string) string { return model + "@" + id }
+
+// Replica returns a Backend view of f for one fleet replica: requests
+// pass through to the shared inner backend unchanged, but every schedule
+// lookup and call count is keyed ReplicaKey(req.Model, id) instead of
+// req.Model. The view shares f's mutex and accounting, so a test can
+// hand N views of one FaultBackend to a fleet pool and script each
+// replica independently.
+func (f *FaultBackend) Replica(id string) *FaultReplica {
+	return &FaultReplica{f: f, id: id}
 }
 
-// FailCall makes the nth GenerateChunk call (1-based, counted per model)
-// for model return err instead of reaching the inner backend.
-func (f *FaultBackend) FailCall(model string, nth int, err error) {
+// FaultReplica is one replica's view of a FaultBackend; see Replica.
+type FaultReplica struct {
+	f  *FaultBackend
+	id string
+}
+
+// ID returns the replica identifier the view keys its schedule under.
+func (r *FaultReplica) ID() string { return r.id }
+
+// GenerateChunk implements Backend under the replica's schedule key.
+func (r *FaultReplica) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	return r.f.generateKeyed(ctx, req, ReplicaKey(req.Model, r.id))
+}
+
+// OpenStream implements llm.StreamingBackend under the replica's
+// schedule key.
+func (r *FaultReplica) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkStream, error) {
+	return r.f.openStreamKeyed(ctx, req, ReplicaKey(req.Model, r.id))
+}
+
+// SetLatency adds d of simulated transport delay to every call for key
+// (a model name, or a ReplicaKey on replica views). The delay respects
+// context cancellation.
+func (f *FaultBackend) SetLatency(key string, d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.failOn[model] == nil {
-		f.failOn[model] = make(map[int]error)
+	f.latency[key] = d
+}
+
+// FailCall makes the nth GenerateChunk call (1-based, counted per key)
+// for key return err instead of reaching the inner backend.
+func (f *FaultBackend) FailCall(key string, nth int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failOn[key] == nil {
+		f.failOn[key] = make(map[int]error)
 	}
-	f.failOn[model][nth] = err
+	f.failOn[key][nth] = err
 }
 
-// FailAlways makes every call for model return err — a permanently dead
-// daemon.
-func (f *FaultBackend) FailAlways(model string, err error) {
+// FailAlways makes every call for key return err — a permanently dead
+// daemon (or dead replica, with a ReplicaKey).
+func (f *FaultBackend) FailAlways(key string, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.failAll[model] = err
+	f.failAll[key] = err
 }
 
-// Calls reports how many GenerateChunk calls model has received,
-// including the ones that were failed.
-func (f *FaultBackend) Calls(model string) int {
+// ClearFail removes key's permanent failure — the dead daemon coming
+// back, for probe-driven re-admission tests.
+func (f *FaultBackend) ClearFail(key string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.calls[model]
+	delete(f.failAll, key)
 }
 
-// TotalCalls reports the GenerateChunk calls across all models.
+// Calls reports how many GenerateChunk calls key has received, including
+// the ones that were failed.
+func (f *FaultBackend) Calls(key string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[key]
+}
+
+// TotalCalls reports the GenerateChunk calls across all keys.
 func (f *FaultBackend) TotalCalls() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -110,38 +166,37 @@ func (f *FaultBackend) EnableStreams() {
 	f.streamsOn = true
 }
 
-// FailStreamOpen makes every OpenStream for model return err — a
-// backend that cannot hold sessions but still serves per-round chunks.
-func (f *FaultBackend) FailStreamOpen(model string, err error) {
+// FailStreamOpen makes every OpenStream for key return err — a backend
+// that cannot hold sessions but still serves per-round chunks.
+func (f *FaultBackend) FailStreamOpen(key string, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.openFail[model] = err
+	f.openFail[key] = err
 }
 
-// BreakStreamAfter makes model's streams fail after delivering n tokens:
+// BreakStreamAfter makes key's streams fail after delivering n tokens:
 // the first Next calls drain normally up to the break point (partial
 // slices included), then the stream errors — the mid-answer connection
 // drop the fallback ladder must survive without losing text.
-func (f *FaultBackend) BreakStreamAfter(model string, n int) {
+func (f *FaultBackend) BreakStreamAfter(key string, n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.breakAfter[model] = n
+	f.breakAfter[key] = n
 }
 
-// StreamOpens reports how many streams model has opened successfully.
-func (f *FaultBackend) StreamOpens(model string) int {
+// StreamOpens reports how many streams key has opened successfully.
+func (f *FaultBackend) StreamOpens(key string) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.streamOpens[model]
+	return f.streamOpens[key]
 }
 
-// StreamCloses reports how many of model's streams have been closed —
-// the leak check: after a query, StreamOpens == StreamCloses for every
-// model.
-func (f *FaultBackend) StreamCloses(model string) int {
+// StreamCloses reports how many of key's streams have been closed — the
+// leak check: after a query, StreamOpens == StreamCloses for every key.
+func (f *FaultBackend) StreamCloses(key string) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.streamCloses[model]
+	return f.streamCloses[key]
 }
 
 // OpenStream implements llm.StreamingBackend with fault injection. When
@@ -149,17 +204,24 @@ func (f *FaultBackend) StreamCloses(model string) int {
 // reports llm.ErrStreamUnsupported, which the orchestrator treats as a
 // quiet routing signal back to GenerateChunk.
 func (f *FaultBackend) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkStream, error) {
+	return f.openStreamKeyed(ctx, req, req.Model)
+}
+
+// openStreamKeyed is OpenStream with the schedule key made explicit —
+// req.Model on the plain backend, ReplicaKey(model, id) on replica
+// views.
+func (f *FaultBackend) openStreamKeyed(ctx context.Context, req llm.ChunkRequest, key string) (llm.ChunkStream, error) {
 	f.mu.Lock()
 	on := f.streamsOn
-	failErr := f.openFail[req.Model]
-	d := f.latency[req.Model]
-	brk, hasBrk := f.breakAfter[req.Model]
+	failErr := f.openFail[key]
+	d := f.latency[key]
+	brk, hasBrk := f.breakAfter[key]
 	f.mu.Unlock()
 
 	if !on {
 		return nil, llm.ErrStreamUnsupported
 	}
-	sb, ok := f.inner.(llm.StreamingBackend)
+	sb, ok := llm.AsStreaming(f.inner)
 	if !ok {
 		return nil, llm.ErrStreamUnsupported
 	}
@@ -178,9 +240,9 @@ func (f *FaultBackend) OpenStream(ctx context.Context, req llm.ChunkRequest) (ll
 		return nil, err
 	}
 	f.mu.Lock()
-	f.streamOpens[req.Model]++
+	f.streamOpens[key]++
 	f.mu.Unlock()
-	s := &faultStream{inner: inner, f: f, model: req.Model}
+	s := &faultStream{inner: inner, f: f, key: key}
 	if hasBrk {
 		s.breakAfter = brk
 		s.breaks = true
@@ -197,7 +259,7 @@ var errStreamBroken = errors.New("core: fault-injected stream break")
 type faultStream struct {
 	inner      llm.ChunkStream
 	f          *FaultBackend
-	model      string
+	key        string
 	delivered  int
 	breakAfter int
 	breaks     bool
@@ -236,7 +298,7 @@ func (s *faultStream) Close() error {
 	s.closeOnce.Do(func() {
 		err = s.inner.Close()
 		s.f.mu.Lock()
-		s.f.streamCloses[s.model]++
+		s.f.streamCloses[s.key]++
 		s.f.mu.Unlock()
 	})
 	return err
@@ -245,13 +307,18 @@ func (s *faultStream) Close() error {
 // GenerateChunk implements Backend: it applies the model's latency and
 // failure schedule, then delegates to the inner backend.
 func (f *FaultBackend) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	return f.generateKeyed(ctx, req, req.Model)
+}
+
+// generateKeyed is GenerateChunk with the schedule key made explicit.
+func (f *FaultBackend) generateKeyed(ctx context.Context, req llm.ChunkRequest, key string) (llm.Chunk, error) {
 	f.mu.Lock()
-	f.calls[req.Model]++
-	n := f.calls[req.Model]
-	d := f.latency[req.Model]
-	err := f.failAll[req.Model]
-	if err == nil && f.failOn[req.Model] != nil {
-		err = f.failOn[req.Model][n]
+	f.calls[key]++
+	n := f.calls[key]
+	d := f.latency[key]
+	err := f.failAll[key]
+	if err == nil && f.failOn[key] != nil {
+		err = f.failOn[key][n]
 	}
 	f.mu.Unlock()
 

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"llmms/internal/llm"
 )
 
 func failureEvents(cfg *Config) *[]Event {
@@ -131,5 +134,43 @@ func TestRetryPolicyDefaults(t *testing.T) {
 	p = RetryPolicy{MaxAttempts: 1, BaseBackoff: -1, MaxBackoff: -1, ChunkTimeout: -1}.withDefaults()
 	if p.MaxAttempts != 1 || p.BaseBackoff != -1 || p.ChunkTimeout != -1 {
 		t.Fatalf("explicit policy rewritten: %+v", p)
+	}
+}
+
+// TestFaultReplicaViewsScheduleIndependently pins the per-replica
+// schedule keying: two Replica views of one FaultBackend script
+// divergent latency/failure behavior over one shared inner backend,
+// with call accounting kept per ReplicaKey.
+func TestFaultReplicaViewsScheduleIndependently(t *testing.T) {
+	fb := NewFaultBackend(threeModels())
+	r0, r1 := fb.Replica("r0"), fb.Replica("r1")
+	fb.FailAlways(ReplicaKey("good", "r0"), errBoom)
+	fb.SetLatency(ReplicaKey("good", "r1"), 5*time.Millisecond)
+
+	req := llm.ChunkRequest{Model: "good", Prompt: testPrompt, MaxTokens: 8}
+	if _, err := r0.GenerateChunk(context.Background(), req); !errors.Is(err, errBoom) {
+		t.Fatalf("r0 should fail with the scripted error, got %v", err)
+	}
+	start := time.Now()
+	if _, err := r1.GenerateChunk(context.Background(), req); err != nil {
+		t.Fatalf("r1 should pass through: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("r1 latency schedule not applied: %v", elapsed)
+	}
+	if got := fb.Calls(ReplicaKey("good", "r0")); got != 1 {
+		t.Fatalf("r0 calls = %d, want 1", got)
+	}
+	if got := fb.Calls(ReplicaKey("good", "r1")); got != 1 {
+		t.Fatalf("r1 calls = %d, want 1", got)
+	}
+	// The plain model key saw nothing: replica traffic is keyed apart.
+	if got := fb.Calls("good"); got != 0 {
+		t.Fatalf("plain-key calls = %d, want 0", got)
+	}
+	// Recovery path for probe-driven re-admission tests.
+	fb.ClearFail(ReplicaKey("good", "r0"))
+	if _, err := r0.GenerateChunk(context.Background(), req); err != nil {
+		t.Fatalf("r0 should recover after ClearFail: %v", err)
 	}
 }

@@ -140,7 +140,7 @@ func (o *Orchestrator) attachSessions(cands []*candidate, prompt string) {
 	if o.cfg.DisableStreaming {
 		return
 	}
-	sb, ok := o.backend.(llm.StreamingBackend)
+	sb, ok := llm.AsStreaming(o.backend)
 	if !ok {
 		return
 	}

@@ -310,3 +310,77 @@ func TestRetryBackoffAbortsOnCancel(t *testing.T) {
 		t.Fatalf("backoff ignored cancellation: returned after %v", elapsed)
 	}
 }
+
+// chunkOnlyWrapper decorates the chunk path and nothing else — the
+// wrapper shape that used to strip streaming from the stack before the
+// backend contract collapsed into llm.Backend + llm.AsStreaming.
+type chunkOnlyWrapper struct{ inner Backend }
+
+func (w chunkOnlyWrapper) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	return w.inner.GenerateChunk(ctx, req)
+}
+
+// TestWrappedBackendStillStreams is the API-redesign regression test: a
+// chunk-only wrapper composed with llm.WrapPreserving must not downgrade
+// orchestration to the per-round path. The query streams (stream_open
+// events fire), and the result is identical to the unwrapped engine's.
+func TestWrappedBackendStillStreams(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{})
+	wrapped := llm.WrapPreserving(chunkOnlyWrapper{inner: engine}, engine)
+
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 512
+	tap := &streamEventTap{}
+	tap.install(&cfg)
+	o := mustNew(t, wrapped, cfg)
+	res, err := o.OUA(context.Background(), enginePrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap.mu.Lock()
+	opens := len(tap.opens)
+	tap.mu.Unlock()
+	if opens == 0 {
+		t.Fatal("wrapped backend never opened a stream: WrapPreserving failed to preserve the capability")
+	}
+	waitEngineStreams(t, engine)
+
+	// Same query against the bare engine: winner and answer must match —
+	// the wrapper is a pass-through, and streaming resolution must not
+	// change what the orchestrator computes.
+	ref, err := mustNew(t, llm.NewEngine(llm.Options{}), DefaultConfig(engineModels()...)).
+		OUA(context.Background(), enginePrompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != ref.Model || res.Answer != ref.Answer {
+		t.Fatalf("wrapped winner (%s, %q) != reference (%s, %q)", res.Model, res.Answer, ref.Model, ref.Answer)
+	}
+}
+
+// TestFaultBackendStreamsThroughUnwrapChain pins FaultBackend's own
+// migration to llm.AsStreaming: its inner backend may itself be a
+// wrapper chain, and the capability must resolve through it.
+func TestFaultBackendStreamsThroughUnwrapChain(t *testing.T) {
+	engine := llm.NewEngine(llm.Options{})
+	// Inner chain: a preserving composite over a chunk-only wrapper.
+	inner := llm.WrapPreserving(chunkOnlyWrapper{inner: engine}, engine)
+	fb := NewFaultBackend(inner)
+	fb.EnableStreams()
+	sb, ok := llm.AsStreaming(Backend(fb))
+	if !ok {
+		t.Fatal("FaultBackend must advertise streaming once enabled")
+	}
+	st, err := sb.OpenStream(context.Background(), llm.ChunkRequest{
+		Model: llm.ModelLlama3, Prompt: enginePrompt, MaxTokens: 16,
+	})
+	if err != nil {
+		t.Fatalf("OpenStream through FaultBackend's wrapped inner: %v", err)
+	}
+	st.Close()
+	if fb.StreamOpens(llm.ModelLlama3) != 1 || fb.StreamCloses(llm.ModelLlama3) != 1 {
+		t.Fatalf("accounting: opens=%d closes=%d, want 1/1",
+			fb.StreamOpens(llm.ModelLlama3), fb.StreamCloses(llm.ModelLlama3))
+	}
+	waitEngineStreams(t, engine)
+}

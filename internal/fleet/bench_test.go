@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llmms/internal/llm"
+)
+
+// This file is the fleet layer's wall-clock evidence (BENCH_fleet.json
+// via make bench-fleet):
+//
+//   - FleetDyingReplica: a replica that turned into a slow failure adds
+//     ~zero p50 latency once its breaker opens — the pool's p50 with a
+//     dying replica matches the all-healthy p50, instead of every other
+//     request eating the slow failure.
+//   - FleetHedge: with one chronically slow replica, p95-triggered
+//     hedging cuts p99 from "the slow replica's latency" to "hedge
+//     delay + the fast replica's latency".
+
+// sleepBackend answers after a fixed ctx-aware delay; with dying set it
+// answers the delay with an error instead — a slow failure, the worst
+// kind.
+type sleepBackend struct {
+	delay time.Duration
+	dying atomic.Bool
+}
+
+func (s *sleepBackend) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return llm.Chunk{}, ctx.Err()
+	case <-t.C:
+	}
+	if s.dying.Load() {
+		return llm.Chunk{}, errDown
+	}
+	return llm.Chunk{Text: "ok", EvalCount: 1, Done: true}, nil
+}
+
+// reportPercentiles attaches wall-clock p50/p99 to the benchmark result
+// alongside the default ns/op.
+func reportPercentiles(b *testing.B, lats []time.Duration) {
+	b.Helper()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := func(q float64) float64 {
+		return float64(lats[int(float64(len(lats)-1)*q)]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(p(0.50), "p50_ms")
+	b.ReportMetric(p(0.99), "p99_ms")
+}
+
+func benchLoop(b *testing.B, p *Pool) {
+	lats := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := p.GenerateChunk(context.Background(), testReq("m")); err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	b.StopTimer()
+	reportPercentiles(b, lats)
+}
+
+// BenchmarkFleetDyingReplica compares a two-replica fleet where both
+// replicas serve in ~1ms against the same fleet after one replica turned
+// into a 20ms-then-error slow failure. The dying replica's breaker opens
+// during warmup, so the measured p50 should match the healthy baseline:
+// an ejected replica costs nothing per request.
+func BenchmarkFleetDyingReplica(b *testing.B) {
+	newPool := func(b *testing.B, r0 *sleepBackend) *Pool {
+		p, err := New(Config{
+			Replicas: map[string][]Replica{"m": {
+				{ID: "r0", Backend: r0},
+				{ID: "r1", Backend: &sleepBackend{delay: time.Millisecond}},
+			}},
+			FailureThreshold: 3,
+			Cooldown:         time.Hour, // stays ejected for the whole run
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(p.Close)
+		return p
+	}
+
+	b.Run("healthy", func(b *testing.B) {
+		p := newPool(b, &sleepBackend{delay: time.Millisecond})
+		benchLoop(b, p)
+	})
+
+	b.Run("dying", func(b *testing.B) {
+		r0 := &sleepBackend{delay: 20 * time.Millisecond}
+		r0.dying.Store(true)
+		p := newPool(b, r0)
+		// Warmup: eat the slow failures until the breaker trips; callers
+		// retry, so no request is ultimately lost.
+		for replicaState2(b, p).State != "open" {
+			_, _ = p.GenerateChunk(context.Background(), testReq("m"))
+		}
+		benchLoop(b, p)
+	})
+}
+
+// replicaState2 is replicaState for benchmarks (testing.B), pinned to
+// model "m" replica "r0".
+func replicaState2(b *testing.B, p *Pool) ReplicaStatus {
+	b.Helper()
+	for _, ms := range p.Status() {
+		for _, rs := range ms.Replicas {
+			if ms.Model == "m" && rs.ID == "r0" {
+				return rs
+			}
+		}
+	}
+	b.Fatal("no status for m/r0")
+	return ReplicaStatus{}
+}
+
+// BenchmarkFleetHedge runs a fleet with one chronically slow replica
+// (10ms) and one fast one (1ms). Without hedging, every request routed
+// to the slow replica pays the full 10ms, so p99 ≈ 10ms. With hedging
+// at 0.3 × p95, those requests fire a backup on the fast replica after
+// a few milliseconds and finish at hedge-delay + 1ms — the tail
+// collapses while p50 stays put.
+func BenchmarkFleetHedge(b *testing.B) {
+	newPool := func(b *testing.B, factor float64) *Pool {
+		p, err := New(Config{
+			Replicas: map[string][]Replica{"m": {
+				{ID: "slow", Backend: &sleepBackend{delay: 10 * time.Millisecond}},
+				{ID: "fast", Backend: &sleepBackend{delay: time.Millisecond}},
+			}},
+			HedgeFactor:     factor,
+			HedgeMinSamples: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(p.Close)
+		// Warmup fills the latency window so hedging is armed (and gives
+		// the no-hedge variant identical treatment).
+		for i := 0; i < 16; i++ {
+			if _, err := p.GenerateChunk(context.Background(), testReq("m")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return p
+	}
+
+	b.Run("off", func(b *testing.B) {
+		benchLoop(b, newPool(b, 0))
+	})
+	b.Run("on", func(b *testing.B) {
+		benchLoop(b, newPool(b, 0.3))
+	})
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import "time"
+
+// breakerState is one replica's circuit position.
+type breakerState int
+
+const (
+	// breakerClosed passes traffic and counts consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen ejects the replica from selection until the cooldown
+	// elapses.
+	breakerOpen
+	// breakerHalfOpen admits exactly one trial request; its outcome
+	// closes or re-opens the circuit.
+	breakerHalfOpen
+)
+
+// Transition names for the llmms_fleet_breaker_transitions_total{to}
+// label — a fixed vocabulary, never free text.
+const (
+	toOpen     = "open"
+	toHalfOpen = "half_open"
+	toClosed   = "closed"
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return toClosed
+	case breakerOpen:
+		return toOpen
+	default:
+		return toHalfOpen
+	}
+}
+
+// breaker is one replica's circuit breaker:
+//
+//	closed --(threshold consecutive failures)--> open
+//	open   --(cooldown elapses, next admit)----> half-open (one trial)
+//	half-open --(trial succeeds)---------------> closed
+//	half-open --(trial fails)------------------> open (timer restarts)
+//
+// All methods must be called with the owning replica's mutex held; the
+// breaker itself is not locked. Methods that change state return the
+// destination transition label ("" when nothing changed) so the caller
+// can feed telemetry outside the lock.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	trial       bool // the half-open trial request is in flight
+}
+
+// selectable reports whether admit would pass, without side effects —
+// the replica-selection filter.
+func (b *breaker) selectable() bool {
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	default:
+		return !b.trial
+	}
+}
+
+// admit reports whether a request may be sent through this replica,
+// transitioning open → half-open once the cooldown has passed and
+// reserving the single trial slot.
+func (b *breaker) admit() (ok bool, transition string) {
+	switch b.state {
+	case breakerClosed:
+		return true, ""
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, ""
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return true, toHalfOpen
+	default:
+		if b.trial {
+			return false, ""
+		}
+		b.trial = true
+		return true, ""
+	}
+}
+
+// releaseTrial returns an admitted-but-unused trial slot (e.g. the
+// request was never actually sent) without judging the replica.
+func (b *breaker) releaseTrial() { b.trial = false }
+
+// onSuccess records a served request. Any non-closed state closes: a
+// successful half-open trial re-admits the replica, and a success
+// arriving while open (a request admitted before the circuit tripped)
+// proves the backend alive again.
+func (b *breaker) onSuccess() (transition string) {
+	b.consecFails = 0
+	b.trial = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		return toClosed
+	}
+	return ""
+}
+
+// onFailure records a failed request: a failed half-open trial re-opens
+// immediately (restarting the cooldown), and the threshold-th
+// consecutive failure trips a closed circuit.
+func (b *breaker) onFailure() (transition string) {
+	b.consecFails++
+	b.trial = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		return toOpen
+	case breakerClosed:
+		if b.consecFails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return toOpen
+		}
+	}
+	return ""
+}

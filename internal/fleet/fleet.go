@@ -1,0 +1,550 @@
+// Package fleet is the replicated model-fleet layer: it presents a set
+// of interchangeable replicas per model as ONE llm.Backend (and
+// llm.StreamingBackend) to the orchestrator, which keeps reasoning
+// about models while this layer handles instances.
+//
+// Per request the pool picks a replica by power-of-two-choices over
+// live inflight counts, filtered through per-replica circuit breakers
+// (closed → open after consecutive failures → half-open trial after a
+// cooldown) and prober-maintained health. When hedging is enabled, a
+// chunk call that outlives the model's observed p95 × HedgeFactor fires
+// a second attempt on a different replica; first success wins and the
+// loser is cancelled.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llmms/internal/llm"
+	"llmms/internal/telemetry"
+)
+
+// Replica names one backend instance serving a model. IDs must be
+// unique within a model's replica set; they become the {replica} label
+// on fleet metrics and the key in /api/fleet.
+type Replica struct {
+	ID      string
+	Backend llm.Backend
+}
+
+// Config assembles a Pool.
+type Config struct {
+	// Replicas maps model name → replica set. Every model needs at
+	// least one replica with a non-nil backend.
+	Replicas map[string][]Replica
+
+	// FailureThreshold is the consecutive-failure count that trips a
+	// replica's breaker open. Default 3.
+	FailureThreshold int
+	// Cooldown is how long an open breaker ejects its replica before a
+	// half-open trial is admitted. Default 5s.
+	Cooldown time.Duration
+
+	// Probe, when set, is invoked per replica every ProbeInterval. A
+	// probe error counts toward ejection (ProbeFailures consecutive
+	// errors mark the replica unhealthy); a success re-admits an
+	// unhealthy replica and closes a cooled-down open breaker without
+	// burning a user request on the trial.
+	Probe         func(ctx context.Context, model string, r Replica) error
+	ProbeInterval time.Duration // default 10s
+	ProbeTimeout  time.Duration // default 2s
+	ProbeFailures int           // default 2
+
+	// HedgeFactor enables tail-latency hedging when > 0: a chunk call
+	// still unanswered after HedgeFactor × p95(model latency) fires a
+	// backup attempt on a second replica. 1.0 hedges at the observed
+	// p95; 0 disables. Hedging needs HedgeMinSamples observations
+	// (default 8) before it arms, and never applies to streams.
+	HedgeFactor     float64
+	HedgeMinSamples int
+
+	// Telemetry receives fleet gauges/counters; nil disables.
+	Telemetry *telemetry.Telemetry
+
+	// Seed fixes the selection RNG for reproducible tests; 0 seeds from
+	// an arbitrary constant.
+	Seed int64
+}
+
+// Fleet error sentinels, matchable with errors.Is.
+var (
+	// ErrUnknownModel reports a request for a model with no replica set.
+	ErrUnknownModel = errors.New("fleet: model has no replica set")
+	// ErrNoReplicas reports that every replica of the model is ejected
+	// (breaker open within cooldown, or prober-marked unhealthy).
+	ErrNoReplicas = errors.New("fleet: no selectable replica")
+)
+
+// latWindow is the per-model latency ring size feeding the hedging p95.
+const latWindow = 64
+
+// replicaStates is the fixed vocabulary of the one-hot
+// llmms_fleet_replica_state gauge.
+var replicaStates = []string{"serving", "open", "half_open", "unhealthy"}
+
+// Pool is the fleet. It satisfies llm.Backend and llm.StreamingBackend,
+// so it drops in wherever a single engine or modeld client did.
+type Pool struct {
+	cfg    Config
+	tel    *telemetry.Telemetry
+	models map[string]*modelPool
+	names  []string // sorted model names
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	probeWG  sync.WaitGroup
+}
+
+// modelPool is one model's replica set plus its latency window.
+type modelPool struct {
+	model    string
+	replicas []*replica
+
+	lmu     sync.Mutex
+	lat     [latWindow]time.Duration
+	latN    int // filled entries (≤ latWindow)
+	latNext int // ring cursor
+}
+
+// replica is the pool-internal state for one Replica.
+type replica struct {
+	mp      *modelPool
+	id      string
+	backend llm.Backend
+
+	inflight atomic.Int64 // live requests + open streams, the P2C load signal
+
+	mu         sync.Mutex
+	br         breaker
+	probeFails int
+	unhealthy  bool
+}
+
+// New validates cfg and builds the pool. Call Start to launch the
+// prober (a no-op without cfg.Probe) and Close to stop it.
+func New(cfg Config) (*Pool, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("fleet: config has no models")
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 10 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.ProbeFailures <= 0 {
+		cfg.ProbeFailures = 2
+	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = 8
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x6c6d6d73 // "llms"; determinism matters, the value doesn't
+	}
+	p := &Pool{
+		cfg:    cfg,
+		tel:    cfg.Telemetry,
+		models: make(map[string]*modelPool, len(cfg.Replicas)),
+		rng:    rand.New(rand.NewSource(seed)),
+		stopCh: make(chan struct{}),
+	}
+	for model, set := range cfg.Replicas {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("fleet: model %q has no replicas", model)
+		}
+		mp := &modelPool{model: model}
+		seen := make(map[string]bool, len(set))
+		for _, rep := range set {
+			if rep.ID == "" {
+				return nil, fmt.Errorf("fleet: model %q has a replica without an ID", model)
+			}
+			if rep.Backend == nil {
+				return nil, fmt.Errorf("fleet: replica %s/%s has no backend", model, rep.ID)
+			}
+			if seen[rep.ID] {
+				return nil, fmt.Errorf("fleet: model %q has duplicate replica ID %q", model, rep.ID)
+			}
+			seen[rep.ID] = true
+			r := &replica{
+				mp:      mp,
+				id:      rep.ID,
+				backend: rep.Backend,
+				br: breaker{
+					threshold: cfg.FailureThreshold,
+					cooldown:  cfg.Cooldown,
+					now:       time.Now,
+				},
+			}
+			mp.replicas = append(mp.replicas, r)
+		}
+		p.models[model] = mp
+		p.names = append(p.names, model)
+	}
+	sort.Strings(p.names)
+	for _, name := range p.names {
+		for _, r := range p.models[name].replicas {
+			p.publishState(r)
+		}
+	}
+	return p, nil
+}
+
+// Models returns the configured model names, sorted.
+func (p *Pool) Models() []string {
+	return append([]string(nil), p.names...)
+}
+
+// stateLocked maps the replica's combined health+breaker position onto
+// the exported state vocabulary. Prober-marked unhealth dominates: a
+// replica that fails its health checks is out regardless of its
+// breaker. Callers hold r.mu.
+func (r *replica) stateLocked() string {
+	if r.unhealthy {
+		return "unhealthy"
+	}
+	switch r.br.state {
+	case breakerClosed:
+		return "serving"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half_open"
+	}
+}
+
+// publishState refreshes the replica's one-hot state gauge.
+func (p *Pool) publishState(r *replica) {
+	if p.tel == nil {
+		return
+	}
+	r.mu.Lock()
+	st := r.stateLocked()
+	r.mu.Unlock()
+	for _, s := range replicaStates {
+		v := 0.0
+		if s == st {
+			v = 1
+		}
+		p.tel.FleetReplicaState.Set(v, r.mp.model, r.id, s)
+	}
+}
+
+// noteTransition feeds a breaker transition into telemetry.
+func (p *Pool) noteTransition(r *replica, to string) {
+	if to == "" {
+		return
+	}
+	if p.tel != nil {
+		p.tel.FleetBreakerTransitions.Inc(r.mp.model, r.id, to)
+	}
+	p.publishState(r)
+}
+
+// pick selects a replica for one attempt: filter to selectable replicas
+// (healthy, breaker admitting), choose by power-of-two-choices over
+// inflight counts, then reserve admission (which may consume a
+// half-open trial slot). exclude skips the hedge's primary replica.
+func (p *Pool) pick(mp *modelPool, exclude *replica) (*replica, error) {
+	elig := make([]*replica, 0, len(mp.replicas))
+	for _, r := range mp.replicas {
+		if r == exclude {
+			continue
+		}
+		r.mu.Lock()
+		ok := !r.unhealthy && r.br.selectable()
+		r.mu.Unlock()
+		if ok {
+			elig = append(elig, r)
+		}
+	}
+	// Admission can race with a concurrent trip or trial reservation, so
+	// loop: drop a replica that refuses and try the next-best.
+	for len(elig) > 0 {
+		i := p.pickIndex(elig)
+		r := elig[i]
+		r.mu.Lock()
+		ok, trans := r.br.admit()
+		healthy := !r.unhealthy
+		r.mu.Unlock()
+		if ok && healthy {
+			p.noteTransition(r, trans)
+			return r, nil
+		}
+		elig = append(elig[:i], elig[i+1:]...)
+	}
+	return nil, fmt.Errorf("%w (model %s)", ErrNoReplicas, mp.model)
+}
+
+// pickIndex is power-of-two-choices: sample two distinct candidates,
+// keep the one with fewer requests in flight. With one candidate there
+// is no choice; ties go to the first sample.
+func (p *Pool) pickIndex(elig []*replica) int {
+	if len(elig) == 1 {
+		return 0
+	}
+	p.rmu.Lock()
+	i := p.rng.Intn(len(elig))
+	j := p.rng.Intn(len(elig) - 1)
+	p.rmu.Unlock()
+	if j >= i {
+		j++
+	}
+	if elig[j].inflight.Load() < elig[i].inflight.Load() {
+		return j
+	}
+	return i
+}
+
+// settle feeds one request outcome into the replica's breaker. A
+// context.Canceled error is neutral: the caller abandoned the call
+// (hedge loser, client disconnect), which says nothing about replica
+// health — but the reserved half-open trial slot is still released.
+// DeadlineExceeded does count as a failure: the replica blew a deadline
+// somebody set.
+func (p *Pool) settle(r *replica, err error) {
+	r.mu.Lock()
+	var trans string
+	switch {
+	case errors.Is(err, context.Canceled):
+		r.br.releaseTrial()
+	case err == nil:
+		trans = r.br.onSuccess()
+	default:
+		trans = r.br.onFailure()
+	}
+	r.mu.Unlock()
+	p.noteTransition(r, trans)
+}
+
+// call runs one chunk attempt on one replica with full accounting:
+// inflight for the P2C signal, outcome for the breaker, latency for the
+// hedging window.
+func (p *Pool) call(ctx context.Context, r *replica, req llm.ChunkRequest) (llm.Chunk, error) {
+	r.inflight.Add(1)
+	start := time.Now()
+	chunk, err := r.backend.GenerateChunk(ctx, req)
+	r.inflight.Add(-1)
+	p.settle(r, err)
+	if err == nil {
+		r.mp.observe(time.Since(start))
+	}
+	return chunk, err
+}
+
+// observe records one successful call's latency in the model's ring.
+func (mp *modelPool) observe(d time.Duration) {
+	mp.lmu.Lock()
+	mp.lat[mp.latNext] = d
+	mp.latNext = (mp.latNext + 1) % latWindow
+	if mp.latN < latWindow {
+		mp.latN++
+	}
+	mp.lmu.Unlock()
+}
+
+// p95 returns the model's observed p95 latency once minSamples
+// observations exist.
+func (mp *modelPool) p95(minSamples int) (time.Duration, bool) {
+	mp.lmu.Lock()
+	n := mp.latN
+	if n < minSamples {
+		mp.lmu.Unlock()
+		return 0, false
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, mp.lat[:n])
+	mp.lmu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[int(float64(n-1)*0.95)], true
+}
+
+// hedgeDelay reports whether hedging is armed for this model and, if
+// so, the delay before the backup attempt fires.
+func (p *Pool) hedgeDelay(mp *modelPool) (time.Duration, bool) {
+	if p.cfg.HedgeFactor <= 0 || len(mp.replicas) < 2 {
+		return 0, false
+	}
+	p95, ok := mp.p95(p.cfg.HedgeMinSamples)
+	if !ok {
+		return 0, false
+	}
+	d := time.Duration(float64(p95) * p.cfg.HedgeFactor)
+	if d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// GenerateChunk implements llm.Backend: route to the least-loaded
+// admissible replica, optionally hedging with a second replica when the
+// call outlives the model's p95-derived delay. First success wins; the
+// loser is cancelled (a neutral outcome for its breaker).
+func (p *Pool) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chunk, error) {
+	mp := p.models[req.Model]
+	if mp == nil {
+		return llm.Chunk{}, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model)
+	}
+	primary, err := p.pick(mp, nil)
+	if err != nil {
+		return llm.Chunk{}, err
+	}
+	delay, armed := p.hedgeDelay(mp)
+	if !armed {
+		return p.call(ctx, primary, req)
+	}
+
+	// Hedged path. The shared cancelable context kills the loser the
+	// moment a winner lands; the channel is buffered for both attempts
+	// so the loser's goroutine can always deliver and exit.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		chunk llm.Chunk
+		err   error
+		r     *replica
+	}
+	results := make(chan outcome, 2)
+	launch := func(r *replica) {
+		go func() {
+			c, e := p.call(cctx, r, req)
+			results <- outcome{chunk: c, err: e, r: r}
+		}()
+	}
+	launch(primary)
+	pending := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			backup, perr := p.pick(mp, primary)
+			if perr != nil {
+				continue // nobody to hedge to; keep waiting on the primary
+			}
+			if p.tel != nil {
+				p.tel.FleetHedges.Inc(req.Model, "fired")
+			}
+			pending++
+			launch(backup)
+		case o := <-results:
+			pending--
+			if o.err == nil {
+				if o.r != primary && p.tel != nil {
+					p.tel.FleetHedges.Inc(req.Model, "won")
+				}
+				return o.chunk, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if pending == 0 {
+				return llm.Chunk{}, firstErr
+			}
+		}
+	}
+}
+
+// OpenStream implements llm.StreamingBackend: a persistent session is
+// routed to one replica by the same health/breaker/least-loaded rule as
+// chunk calls. Hedging never applies — a session cannot be cheaply
+// raced. The replica's inflight count includes the stream for its whole
+// life, so P2C steers new work away from stream-loaded replicas; a
+// mid-stream failure feeds the breaker once. A picked replica that
+// cannot stream reports llm.ErrStreamUnsupported (a routing signal —
+// the orchestrator falls back to per-round chunks, still through the
+// fleet).
+func (p *Pool) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkStream, error) {
+	mp := p.models[req.Model]
+	if mp == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model)
+	}
+	r, err := p.pick(mp, nil)
+	if err != nil {
+		return nil, err
+	}
+	sb, ok := llm.AsStreaming(r.backend)
+	if !ok {
+		// Capability, not failure: release any reserved trial slot and
+		// leave the breaker unjudged.
+		r.mu.Lock()
+		r.br.releaseTrial()
+		r.mu.Unlock()
+		return nil, llm.ErrStreamUnsupported
+	}
+	r.inflight.Add(1)
+	st, err := sb.OpenStream(ctx, req)
+	if err != nil {
+		r.inflight.Add(-1)
+		if errors.Is(err, llm.ErrStreamUnsupported) {
+			r.mu.Lock()
+			r.br.releaseTrial()
+			r.mu.Unlock()
+			return nil, err
+		}
+		p.settle(r, err)
+		return nil, err
+	}
+	p.settle(r, nil)
+	return &fleetStream{inner: st, r: r, p: p}, nil
+}
+
+// fleetStream wraps a replica's stream with fleet accounting: the
+// replica stays "loaded" (inflight) until Close, and the first
+// mid-stream failure counts against its breaker.
+type fleetStream struct {
+	inner llm.ChunkStream
+	r     *replica
+	p     *Pool
+
+	failed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// Next implements llm.ChunkStream.
+func (s *fleetStream) Next(ctx context.Context, maxTokens int) (llm.Chunk, error) {
+	c, err := s.inner.Next(ctx, maxTokens)
+	if err != nil &&
+		!errors.Is(err, llm.ErrStreamClosed) &&
+		!errors.Is(err, context.Canceled) &&
+		s.failed.CompareAndSwap(false, true) {
+		s.p.settle(s.r, err)
+	}
+	return c, err
+}
+
+// Buffered implements llm.BufferedStream when the replica's stream does.
+func (s *fleetStream) Buffered() int {
+	if b, ok := s.inner.(llm.BufferedStream); ok {
+		return b.Buffered()
+	}
+	return 0
+}
+
+// Close implements llm.ChunkStream and releases the replica's inflight
+// slot exactly once.
+func (s *fleetStream) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.inner.Close()
+		s.r.inflight.Add(-1)
+	})
+	return err
+}

@@ -1,0 +1,123 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// chunkOnly is a wrapper that decorates GenerateChunk and nothing else —
+// the exact shape that used to strip streaming from the stack.
+type chunkOnly struct{ inner Backend }
+
+func (c chunkOnly) GenerateChunk(ctx context.Context, req ChunkRequest) (Chunk, error) {
+	return c.inner.GenerateChunk(ctx, req)
+}
+
+// passThrough declares stream pass-through via Wrapper.
+type passThrough struct{ chunkOnly }
+
+func (p passThrough) Unwrap() Backend { return p.inner }
+
+func TestAsStreamingDirect(t *testing.T) {
+	e := NewEngine(Options{})
+	sb, ok := AsStreaming(e)
+	if !ok || sb == nil {
+		t.Fatal("engine should resolve as streaming")
+	}
+}
+
+func TestAsStreamingStrippedWithoutUnwrap(t *testing.T) {
+	e := NewEngine(Options{})
+	if _, ok := AsStreaming(chunkOnly{inner: e}); ok {
+		t.Fatal("a wrapper without Unwrap or OpenStream must not stream")
+	}
+}
+
+func TestAsStreamingFollowsUnwrapChain(t *testing.T) {
+	e := NewEngine(Options{})
+	b := passThrough{chunkOnly{inner: passThrough{chunkOnly{inner: e}}}}
+	sb, ok := AsStreaming(b)
+	if !ok {
+		t.Fatal("Unwrap chain should resolve to the engine's streaming capability")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := sb.OpenStream(ctx, ChunkRequest{
+		Model: ModelLlama3, Prompt: "Question: hi?\nAnswer:", MaxTokens: 8,
+	})
+	if err != nil {
+		t.Fatalf("OpenStream through the chain: %v", err)
+	}
+	st.Close()
+}
+
+func TestAsStreamingNil(t *testing.T) {
+	if _, ok := AsStreaming(nil); ok {
+		t.Fatal("nil backend cannot stream")
+	}
+}
+
+func TestWrapPreservingGraftsStreaming(t *testing.T) {
+	e := NewEngine(Options{})
+	wrapped := WrapPreserving(chunkOnly{inner: e}, e)
+	sb, ok := AsStreaming(wrapped)
+	if !ok {
+		t.Fatal("WrapPreserving must preserve the inner backend's streaming capability")
+	}
+	st, err := sb.OpenStream(context.Background(), ChunkRequest{
+		Model: ModelLlama3, Prompt: "Question: hi?\nAnswer:", MaxTokens: 8,
+	})
+	if err != nil {
+		t.Fatalf("OpenStream on preserved composite: %v", err)
+	}
+	st.Close()
+	// The chunk path still goes through the wrapper.
+	if _, err := wrapped.GenerateChunk(context.Background(), ChunkRequest{
+		Model: ModelLlama3, Prompt: "Question: hi?\nAnswer:", MaxTokens: 8,
+	}); err != nil {
+		t.Fatalf("GenerateChunk on preserved composite: %v", err)
+	}
+}
+
+func TestWrapPreservingLeavesStreamingWrapperAlone(t *testing.T) {
+	e := NewEngine(Options{})
+	// The engine itself streams; wrapping it over anything must return it
+	// unchanged — it made its own streaming decision.
+	if got := WrapPreserving(e, NewEngine(Options{})); got != Backend(e) {
+		t.Fatal("a streaming outer backend must be returned unchanged")
+	}
+	// Same for a Wrapper: its Unwrap chain is its declaration.
+	p := passThrough{chunkOnly{inner: e}}
+	if got := WrapPreserving(p, e); got != Backend(p) {
+		t.Fatal("a Wrapper outer backend must be returned unchanged")
+	}
+}
+
+func TestWrapPreservingNonStreamingInner(t *testing.T) {
+	inner := chunkOnly{inner: NewEngine(Options{})}
+	outer := chunkOnly{inner: inner}
+	if got := WrapPreserving(outer, inner); got != Backend(outer) {
+		t.Fatal("nothing to preserve: outer must be returned unchanged")
+	}
+	if _, ok := AsStreaming(WrapPreserving(outer, inner)); ok {
+		t.Fatal("streaming must not appear out of thin air")
+	}
+}
+
+func TestWrapPreservingNilOuter(t *testing.T) {
+	e := NewEngine(Options{})
+	if got := WrapPreserving(nil, e); got != Backend(e) {
+		t.Fatal("nil outer should collapse to inner")
+	}
+}
+
+func TestPreservingCompositeSurfacesUnsupported(t *testing.T) {
+	// Force the composite shape, then break the inner chain's capability:
+	// OpenStream must report ErrStreamUnsupported, the quiet routing
+	// signal back to per-round generation.
+	c := preservingBackend{outer: chunkOnly{inner: NewEngine(Options{})}, inner: chunkOnly{}}
+	if _, err := c.OpenStream(context.Background(), ChunkRequest{Model: ModelLlama3}); !errors.Is(err, ErrStreamUnsupported) {
+		t.Fatalf("want ErrStreamUnsupported, got %v", err)
+	}
+}

@@ -72,24 +72,36 @@ func defaultHTTPClient() *http.Client {
 	return defaultClient
 }
 
-// NewClient returns a client for a daemon at base (e.g.
-// "http://127.0.0.1:11434"). A nil httpClient selects the package's
-// shared fan-out-tuned client (see defaultHTTPClient); passing a non-nil
-// client overrides it entirely.
-func NewClient(base string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = defaultHTTPClient()
+// Option configures a Client at construction; see New. Options replace
+// the old two-step construct-then-mutate shape (NewClient + Instrument):
+// a Client is now fully configured before its first request, so no
+// caller can observe a half-configured client and new knobs don't widen
+// the constructor signature.
+type Option func(*Client)
+
+// WithHTTPClient overrides the package's shared fan-out-tuned HTTP
+// client (see defaultHTTPClient) entirely. A nil hc keeps the default.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// Instrument attaches a telemetry bundle: every daemon request is then
-// counted in modeld_client_requests_total{op,outcome} and timed in
+// WithTimeout sets the default per-request deadline applied to daemon
+// requests whose context does not already carry one. Zero or negative
+// leaves requests unbounded (the historical default).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.Timeout = d }
+}
+
+// WithTelemetry attaches a telemetry bundle: every daemon request is
+// then counted in modeld_client_requests_total{op,outcome} and timed in
 // modeld_client_request_duration_seconds{op}, with per-model chunk
 // latency (modeld_client_chunk_duration_seconds{model}) and truncated
 // streams (modeld_client_truncated_streams_total{model}) on the
-// GenerateChunk path. Returns the client for chaining; a nil bundle
-// leaves the client uninstrumented.
+// GenerateChunk path. A nil bundle leaves the client uninstrumented.
 //
 // Label cardinality is bounded by construction: op is one of a fixed
 // set of endpoint names (generate, chat, embed, tags, show, ps,
@@ -98,6 +110,38 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // — they are unbounded and would explode the series space (the
 // registry's series cap would collapse them into "_other", losing the
 // per-model signal too).
+func WithTelemetry(tel *telemetry.Telemetry) Option {
+	return func(c *Client) { c.tel = tel }
+}
+
+// New returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:11434"), configured by options. With no options the
+// client uses the package's shared fan-out-tuned HTTP client, no default
+// timeout, and no telemetry.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: defaultHTTPClient()}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NewClient returns a client for a daemon at base. A nil httpClient
+// selects the package's shared fan-out-tuned client.
+//
+// Deprecated: use New with WithHTTPClient. NewClient remains as a thin
+// shim for external callers; everything in this repository constructs
+// through New.
+func NewClient(base string, httpClient *http.Client) *Client {
+	return New(base, WithHTTPClient(httpClient))
+}
+
+// Instrument attaches a telemetry bundle after construction and returns
+// the client for chaining.
+//
+// Deprecated: pass WithTelemetry to New instead, so the client never
+// exists half-configured. Instrument remains as a shim for external
+// callers and must not be called concurrently with requests.
 func (c *Client) Instrument(tel *telemetry.Telemetry) *Client {
 	c.tel = tel
 	return c

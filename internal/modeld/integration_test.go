@@ -23,7 +23,7 @@ func wireStack(t *testing.T, ds truthfulqa.Dataset) (*llm.Engine, *modeld.Client
 	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(ds)})
 	srv := httptest.NewServer(modeld.NewServer(engine))
 	t.Cleanup(srv.Close)
-	return engine, modeld.NewClient(srv.URL, srv.Client())
+	return engine, modeld.New(srv.URL, modeld.WithHTTPClient(srv.Client()))
 }
 
 func TestOrchestrationOverHTTP(t *testing.T) {
@@ -176,7 +176,7 @@ func TestClientErrorPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A client pointed at a dead endpoint surfaces transport errors.
-	dead := modeld.NewClient("http://127.0.0.1:1", nil)
+	dead := modeld.New("http://127.0.0.1:1")
 	if _, err := dead.Tags(ctx); err == nil {
 		t.Fatal("expected transport error")
 	}

@@ -20,7 +20,7 @@ func newTestDaemon(t *testing.T) (*Client, *llm.Engine) {
 	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(100, 1))})
 	srv := httptest.NewServer(NewServer(engine))
 	t.Cleanup(srv.Close)
-	return NewClient(srv.URL, srv.Client()), engine
+	return New(srv.URL, WithHTTPClient(srv.Client())), engine
 }
 
 func TestGenerateStreaming(t *testing.T) {
@@ -241,7 +241,7 @@ func TestGenerateChunkTruncatedStream(t *testing.T) {
 		io.WriteString(w, `{"model":"m","response":"answer"}`+"\n")
 	}))
 	defer srv.Close()
-	c := NewClient(srv.URL, srv.Client())
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
 	cont := []int{7, 9}
 	chunk, err := c.GenerateChunk(context.Background(),
 		llm.ChunkRequest{Model: "m", Prompt: "q", MaxTokens: 8, Cont: cont})
@@ -264,7 +264,7 @@ func TestClientTimeout(t *testing.T) {
 		<-r.Context().Done() // hang until the client gives up
 	}))
 	defer srv.Close()
-	c := NewClient(srv.URL, srv.Client())
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
 	c.Timeout = 30 * time.Millisecond
 	start := time.Now()
 	if _, err := c.Tags(context.Background()); err == nil {

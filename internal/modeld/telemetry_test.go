@@ -20,7 +20,7 @@ import (
 func TestClientInstrumentation(t *testing.T) {
 	c, engine := newTestDaemon(t)
 	tel := telemetry.New(telemetry.Options{})
-	c.Instrument(tel)
+	c.Instrument(tel) // deprecated shim, pinned working here
 	ctx := context.Background()
 	model := engine.Profiles()[0].Name
 
@@ -75,7 +75,7 @@ func TestClientTruncatedStreamCounter(t *testing.T) {
 	}))
 	defer srv.Close()
 	tel := telemetry.New(telemetry.Options{})
-	c := NewClient(srv.URL, srv.Client()).Instrument(tel)
+	c := New(srv.URL, WithHTTPClient(srv.Client()), WithTelemetry(tel))
 	if _, err := c.GenerateChunk(context.Background(), llm.ChunkRequest{Model: "m", Prompt: "q", MaxTokens: 8}); err == nil {
 		t.Fatal("expected truncation error")
 	}
@@ -107,7 +107,7 @@ func TestClientCanceledOutcome(t *testing.T) {
 	}))
 	defer srv.Close()
 	tel := telemetry.New(telemetry.Options{})
-	c := NewClient(srv.URL, srv.Client()).Instrument(tel)
+	c := New(srv.URL, WithHTTPClient(srv.Client()), WithTelemetry(tel))
 	c.Timeout = 20 * time.Millisecond
 	if _, err := c.Tags(context.Background()); err == nil {
 		t.Fatal("expected timeout")

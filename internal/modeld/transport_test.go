@@ -11,14 +11,14 @@ import (
 	"time"
 )
 
-// TestDefaultClientSharedOnce pins the NewClient(base, nil) contract: the
-// tuned default client is built exactly once and shared across clients,
-// and a caller-supplied client overrides it.
+// TestDefaultClientSharedOnce pins the New(base) contract: the tuned
+// default client is built exactly once and shared across clients, and
+// WithHTTPClient overrides it.
 func TestDefaultClientSharedOnce(t *testing.T) {
-	a := NewClient("http://127.0.0.1:1", nil)
-	b := NewClient("http://127.0.0.1:2", nil)
+	a := New("http://127.0.0.1:1")
+	b := New("http://127.0.0.1:2")
 	if a.hc != b.hc {
-		t.Fatal("nil-httpClient clients must share one default client")
+		t.Fatal("option-less clients must share one default client")
 	}
 	if a.hc == http.DefaultClient {
 		t.Fatal("default client must be the tuned transport, not http.DefaultClient")
@@ -32,8 +32,32 @@ func TestDefaultClientSharedOnce(t *testing.T) {
 			tr.MaxIdleConnsPerHost, http.DefaultMaxIdleConnsPerHost)
 	}
 	own := &http.Client{}
-	if c := NewClient("http://127.0.0.1:3", own); c.hc != own {
-		t.Fatal("caller-supplied http.Client must be used as-is")
+	if c := New("http://127.0.0.1:3", WithHTTPClient(own)); c.hc != own {
+		t.Fatal("WithHTTPClient must be used as-is")
+	}
+	// A nil override keeps the default rather than nil-ing the client.
+	if c := New("http://127.0.0.1:4", WithHTTPClient(nil)); c.hc != a.hc {
+		t.Fatal("WithHTTPClient(nil) must keep the shared default")
+	}
+}
+
+// TestClientOptions covers the remaining construction options and the
+// deprecated shims external callers may still use.
+func TestClientOptions(t *testing.T) {
+	if c := New("http://127.0.0.1:1/", WithTimeout(3*time.Second)); c.Timeout != 3*time.Second {
+		t.Fatalf("WithTimeout not applied: %v", c.Timeout)
+	}
+	// Deprecated shims must keep their historical behavior.
+	own := &http.Client{}
+	c := NewClient("http://127.0.0.1:1", own)
+	if c.hc != own {
+		t.Fatal("NewClient shim must honor its httpClient argument")
+	}
+	if got := NewClient("http://127.0.0.1:1", nil); got.hc != defaultHTTPClient() {
+		t.Fatal("NewClient(base, nil) shim must select the shared default client")
+	}
+	if c.Instrument(nil) != c {
+		t.Fatal("Instrument shim must return the client for chaining")
 	}
 }
 

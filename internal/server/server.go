@@ -23,6 +23,7 @@
 //	GET  /api/arena            pairwise-game Elo standings (§9.5)
 //	GET  /api/recall           contextual memory-graph recall (§9.5)
 //	GET  /api/gpu              hardware telemetry
+//	GET  /api/fleet            per-replica fleet status (only with Options.Fleet)
 //	GET  /api/traces           recent completed query traces (newest first, ?limit=)
 //	GET  /api/traces/{id}      one query's span timings (rounds, chunks, scores)
 //	GET  /metrics              Prometheus text-format metrics exposition
@@ -83,6 +84,7 @@ import (
 
 	"llmms/internal/arena"
 	"llmms/internal/core"
+	"llmms/internal/fleet"
 	"llmms/internal/llm"
 	"llmms/internal/qcache"
 	"llmms/internal/rag"
@@ -158,6 +160,13 @@ type Options struct {
 	// modeld.Client to orchestrate across remote daemons; tests and
 	// benchmarks inject fault/latency backends.
 	Backend core.Backend
+	// Fleet, when non-nil, is the replicated model-fleet layer. It
+	// becomes the generation backend when Backend is nil, every fleet
+	// model gains a per-model /readyz check named "fleet:<model>" (ready
+	// iff at least one replica is healthy with a closed breaker), and
+	// GET /api/fleet exposes the per-replica status snapshot. The caller
+	// owns the pool's lifecycle (Start/Close).
+	Fleet *fleet.Pool
 	// Serving configures the cross-query serving layer (answer cache,
 	// in-flight coalescing, admission control). The zero value disables
 	// all three.
@@ -210,6 +219,7 @@ type Server struct {
 	cache       *qcache.Cache // nil when the answer cache is disabled
 	flights     *qcache.Group // nil when coalescing is disabled
 	gate        *qcache.Gate  // nil when admission is unbounded
+	fleet       *fleet.Pool   // nil without Options.Fleet
 	readyChecks []ReadyCheck
 	pprofOn     bool
 	noStreaming bool
@@ -249,11 +259,16 @@ func NewServer(opts Options) (*Server, error) {
 	}
 	backend := opts.Backend
 	if backend == nil {
-		backend = opts.Engine
+		if opts.Fleet != nil {
+			backend = opts.Fleet
+		} else {
+			backend = opts.Engine
+		}
 	}
 	s := &Server{
 		engine:      opts.Engine,
 		backend:     backend,
+		fleet:       opts.Fleet,
 		sessions:    session.NewStore(opts.SessionOptions),
 		docs:        col,
 		ingestor:    rag.NewIngestor(col, rag.ChunkOptions{}),
@@ -292,6 +307,18 @@ func NewServer(opts Options) (*Server, error) {
 			return nil
 		},
 	}}, opts.ReadyChecks...)
+	// Per-model fleet readiness: a model with every replica ejected
+	// (open breaker or prober-marked unhealthy) makes the server unready
+	// even though the process is alive and other models still serve.
+	if s.fleet != nil {
+		for _, model := range s.fleet.Models() {
+			m := model
+			s.readyChecks = append(s.readyChecks, ReadyCheck{
+				Name:  "fleet:" + m,
+				Check: func(context.Context) error { return s.fleet.Ready(m) },
+			})
+		}
+	}
 	s.routes()
 	return s, nil
 }
@@ -320,6 +347,9 @@ func (s *Server) routes() {
 	s.handle("GET /api/arena", s.handleArena)
 	s.handle("GET /api/recall", s.handleRecall)
 	s.handle("GET /api/gpu", s.handleGPU)
+	if s.fleet != nil {
+		s.handle("GET /api/fleet", s.handleFleet)
+	}
 	s.handle("GET /api/traces", s.handleTraces)
 	s.handle("GET /api/traces/{id}", s.handleTrace)
 	if s.pprofOn {
@@ -437,6 +467,13 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, report)
+}
+
+// handleFleet reports the replica pool's per-replica state — the
+// operator view behind the llmms_fleet_* metrics: which replicas serve,
+// which breakers are open, who carries how much in-flight load.
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.fleet.Status())
 }
 
 // handleTraces lists recent completed query traces, newest first.

@@ -54,6 +54,9 @@ const DefaultMaxQueryBytes = 2048
 //	llmms_stream_opens_total{model}                  persistent generation streams opened
 //	llmms_stream_closes_total{model,reason}          streams closed (reason: done|pruned|early_exit|failed|query_end|error)
 //	llmms_stream_fallbacks_total{model}              sessions degraded to per-round chunk calls
+//	llmms_fleet_replica_state{model,replica,state}   replica state one-hot gauge (state: serving|half_open|open|unhealthy)
+//	llmms_fleet_hedges_total{model,outcome}          hedged requests (outcome: fired|won)
+//	llmms_fleet_breaker_transitions_total{model,replica,to}  circuit breaker transitions (to: open|half_open|closed)
 //	modeld_client_requests_total{op,outcome}         daemon client requests by operation
 //	modeld_client_request_duration_seconds{op}       daemon client request latency
 //	modeld_client_chunk_duration_seconds{model,outcome}  daemon client chunk latency
@@ -92,6 +95,10 @@ type Telemetry struct {
 	QueueDepth     Gauge
 	QueueWait      Histogram
 	Rejected       Counter
+
+	FleetReplicaState       Gauge
+	FleetHedges             Counter
+	FleetBreakerTransitions Counter
 
 	ClientRequests  Counter
 	ClientLatency   Histogram
@@ -190,6 +197,19 @@ func New(opts Options) *Telemetry {
 			"Time spent waiting for an orchestration slot before running.", nil),
 		Rejected: reg.Counter("llmms_admission_rejected_total",
 			"Requests shed with 429 because the admission queue was full."),
+
+		// Fleet label cardinality is bounded by deployment shape: models ×
+		// replicas × a fixed state/transition vocabulary. Replica IDs come
+		// from configuration, never from requests.
+		FleetReplicaState: reg.Gauge("llmms_fleet_replica_state",
+			"One-hot replica state by model and replica (state: serving, half_open, open, unhealthy).",
+			"model", "replica", "state"),
+		FleetHedges: reg.Counter("llmms_fleet_hedges_total",
+			"Tail-latency hedges by model and outcome (fired: second replica launched; won: hedge finished first).",
+			"model", "outcome"),
+		FleetBreakerTransitions: reg.Counter("llmms_fleet_breaker_transitions_total",
+			"Per-replica circuit breaker transitions by destination state (open, half_open, closed).",
+			"model", "replica", "to"),
 
 		ClientRequests: reg.Counter("modeld_client_requests_total",
 			"Daemon client requests by operation and outcome.", "op", "outcome"),

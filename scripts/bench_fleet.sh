@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs the model-fleet benchmarks (breaker ejection of a dying replica,
+# p95-triggered hedging under a chronically slow replica) and writes
+# machine-readable JSON so the tail-latency wins can be diffed across
+# commits. The raw `go test -bench` text goes to stderr. A fixed
+# -benchtime in iterations keeps the p50/p99 percentile metrics
+# comparable between runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_fleet.json}"
+go test -bench='Fleet' -benchtime=300x -run='^$' ./internal/fleet/ \
+	| tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"
