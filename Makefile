@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet check
+.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ bench-fanout:
 # writes BENCH_fleet.json; see DESIGN.md "Model fleet".
 bench-fleet:
 	./scripts/bench_fleet.sh BENCH_fleet.json
+
+# bench-trace runs the tracing-overhead benchmark (span collection on
+# vs off over the uncached serving path) and writes BENCH_trace.json;
+# see DESIGN.md "Distributed tracing & logging".
+bench-trace:
+	./scripts/bench_trace.sh BENCH_trace.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	llmms [-addr :8080] [-questions 400] [-latency 0.02]
-//	      [-trace-capacity 256] [-pprof]
+//	      [-trace-capacity 256] [-trace-sample 1.0] [-pprof]
 //	      [-cache-ttl 5m] [-cache-capacity 256] [-semantic-threshold 0.97]
 //	      [-max-inflight 0] [-fleet 0] [-hedge-p95 0]
+//	      [-log-level info] [-log-format text] [-slow-query 2s] [-version]
 //
 // -questions sizes the engine's knowledge base (the simulated models can
 // answer that many benchmark questions); -latency scales the simulated
@@ -33,6 +34,14 @@
 // F × the model's observed p95 latency (0 disables hedging). With the
 // fleet on, /readyz gains per-model "fleet:<model>" checks and
 // GET /api/fleet reports per-replica state.
+//
+// The observability flags: -log-level and -log-format control the
+// structured (log/slog) logger shared by the server, orchestrator, and
+// fleet — every line stamped with query and trace IDs; -slow-query
+// warns when a query's span tree exceeds the threshold; -trace-sample
+// sets tail-based trace retention (errors and slow-tail traces are
+// always kept, ordinary traces kept with this probability); -version
+// prints the build version and Go runtime and exits.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
@@ -65,7 +75,21 @@ func main() {
 	streamSessions := flag.Bool("stream-sessions", true, "pipelined generation: one persistent stream per model per query, sliced per round (false = per-round chunk calls)")
 	fleetSize := flag.Int("fleet", 0, "replicas per model behind the fleet layer: breakers, health probes, least-loaded routing (0 = no fleet)")
 	hedgeP95 := flag.Float64("hedge-p95", 0, "hedge a chunk call on a second replica once it exceeds this multiple of the model's p95 latency (0 = no hedging; needs -fleet ≥ 2)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	traceSample := flag.Float64("trace-sample", 1, "retention probability for ordinary traces; errors and slow-tail traces are always kept")
+	slowQuery := flag.Duration("slow-query", server.DefaultSlowQueryThreshold, "log a warning when a query's span tree exceeds this duration (negative disables)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("llmms %s %s\n", server.Version, telemetry.GoVersion())
+		return
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("llmms: %v", err)
+	}
 
 	ds, err := loadDataset(*dataset, *questions)
 	if err != nil {
@@ -76,9 +100,11 @@ func main() {
 		LatencyScale: *latency,
 	})
 	tel := telemetry.New(telemetry.Options{TraceCapacity: *traceCap})
+	tel.Traces.SetSampleRate(*traceSample)
+	telemetry.RegisterBuildInfo(tel.Registry, server.Version)
 	var pool *fleet.Pool
 	if *fleetSize > 0 {
-		pool, err = newFleet(engine, *fleetSize, *hedgeP95, tel)
+		pool, err = newFleet(engine, *fleetSize, *hedgeP95, tel, logger)
 		if err != nil {
 			log.Fatalf("llmms: %v", err)
 		}
@@ -86,11 +112,13 @@ func main() {
 		defer pool.Close()
 	}
 	srv, err := server.NewServer(server.Options{
-		Engine:           engine,
-		Fleet:            pool,
-		Telemetry:        tel,
-		EnablePprof:      *enablePprof,
-		DisableStreaming: !*streamSessions,
+		Engine:             engine,
+		Fleet:              pool,
+		Telemetry:          tel,
+		EnablePprof:        *enablePprof,
+		DisableStreaming:   !*streamSessions,
+		Logger:             logger,
+		SlowQueryThreshold: *slowQuery,
 		Serving: server.ServingOptions{
 			CacheTTL:          *cacheTTL,
 			CacheCapacity:     *cacheCap,
@@ -126,7 +154,7 @@ func loadDataset(path string, n int) (truthfulqa.Dataset, error) {
 // breakers, probes, least-loaded routing, hedging — is exactly the
 // production wiring. The probe is a one-token generation, the cheapest
 // request that proves the replica can serve.
-func newFleet(engine *llm.Engine, n int, hedgeP95 float64, tel *telemetry.Telemetry) (*fleet.Pool, error) {
+func newFleet(engine *llm.Engine, n int, hedgeP95 float64, tel *telemetry.Telemetry, logger *slog.Logger) (*fleet.Pool, error) {
 	replicas := make(map[string][]fleet.Replica)
 	for _, p := range engine.Profiles() {
 		set := make([]fleet.Replica, n)
@@ -139,6 +167,7 @@ func newFleet(engine *llm.Engine, n int, hedgeP95 float64, tel *telemetry.Teleme
 		Replicas:    replicas,
 		HedgeFactor: hedgeP95,
 		Telemetry:   tel,
+		Logger:      logger,
 		Probe: func(ctx context.Context, model string, r fleet.Replica) error {
 			_, err := r.Backend.GenerateChunk(ctx, llm.ChunkRequest{
 				Model: model, Prompt: "Question: ping?\nAnswer:", MaxTokens: 1,

@@ -8,6 +8,14 @@
 // Usage:
 //
 //	modeld [-addr :11434] [-questions 400] [-latency 0.02]
+//	       [-log-level info] [-log-format text] [-pprof] [-version]
+//
+// The daemon participates in distributed tracing: requests carrying a
+// W3C traceparent header join the caller's trace, and daemon-side
+// spans are returned to the caller on the final NDJSON line. -pprof
+// mounts net/http/pprof under /debug/pprof/ (off by default, matching
+// cmd/llmms); -version prints the daemon version and Go runtime and
+// exits.
 package main
 
 import (
@@ -15,9 +23,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 
 	"llmms/internal/llm"
 	"llmms/internal/modeld"
+	"llmms/internal/telemetry"
 	"llmms/internal/truthfulqa"
 )
 
@@ -25,13 +35,29 @@ func main() {
 	addr := flag.String("addr", ":11434", "listen address (Ollama's default port)")
 	questions := flag.Int("questions", 400, "knowledge base size")
 	latency := flag.Float64("latency", 0.02, "simulated decode latency scale (0 = no delay)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("modeld %s %s\n", modeld.Version, telemetry.GoVersion())
+		return
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("modeld: %v", err)
+	}
 
 	engine := llm.NewEngine(llm.Options{
 		Knowledge:    llm.NewKnowledge(truthfulqa.Generate(*questions, 1)),
 		LatencyScale: *latency,
 	})
-	srv := modeld.NewServer(engine)
+	srv := modeld.NewServer(engine,
+		modeld.WithLogger(logger),
+		modeld.WithPprof(*enablePprof),
+	)
 	fmt.Printf("modeld listening on %s\n", *addr)
 	for _, p := range engine.Profiles() {
 		fmt.Printf("  model %-12s %s %s ctx=%d\n", p.Name, p.Parameters, p.Quantization, p.ContextWindow)

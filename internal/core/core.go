@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -133,6 +134,12 @@ type Config struct {
 	// slices per-round chunks off a client-side buffer, so round r+1's
 	// tokens decode while round r is being scored (see stream.go).
 	DisableStreaming bool
+	// Logger, when non-nil, receives structured orchestration logs:
+	// model failures and stream fallbacks at warn, prunes/early exits
+	// and the winning selection at debug. The caller stamps it with
+	// query/trace IDs (logger.With) before handing it over; core never
+	// logs prompt or response text. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the tuned configuration used throughout the
@@ -361,7 +368,7 @@ func (o *Orchestrator) Single(ctx context.Context, model, prompt string) (Result
 }
 
 func (o *Orchestrator) emit(ev Event) {
-	if o.cfg.OnEvent == nil && o.cfg.Recorder == nil {
+	if o.cfg.OnEvent == nil && o.cfg.Recorder == nil && o.cfg.Logger == nil {
 		return
 	}
 	ev.Time = time.Now()
@@ -370,6 +377,33 @@ func (o *Orchestrator) emit(ev Event) {
 	}
 	if o.cfg.Recorder != nil {
 		o.cfg.Recorder.RecordEvent(ev)
+	}
+	o.logEvent(ev)
+}
+
+// logEvent maps the noteworthy orchestration events onto the
+// structured log. Failures and degradations warn; control-flow
+// decisions (prune, early exit, winner) log at debug so a debug-level
+// run narrates the whole query without flooding info-level output with
+// per-chunk noise.
+func (o *Orchestrator) logEvent(ev Event) {
+	log := o.cfg.Logger
+	if log == nil {
+		return
+	}
+	switch ev.Type {
+	case EventModelFailed:
+		log.Warn("model failed",
+			"model", ev.Model, "attempts", ev.Attempts, "reason", ev.Reason)
+	case EventStreamFallback:
+		log.Warn("stream fallback", "model", ev.Model)
+	case EventPrune:
+		log.Debug("model pruned",
+			"strategy", string(ev.Strategy), "model", ev.Model, "round", ev.Round)
+	case EventWinner:
+		log.Debug("winner selected",
+			"strategy", string(ev.Strategy), "model", ev.Model,
+			"tokens", ev.Tokens, "elapsed", ev.Elapsed)
 	}
 }
 

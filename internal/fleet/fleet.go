@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -68,6 +69,10 @@ type Config struct {
 	// Telemetry receives fleet gauges/counters; nil disables.
 	Telemetry *telemetry.Telemetry
 
+	// Logger receives structured fleet events: breaker transitions,
+	// health ejections/re-admissions, and hedge firings. Nil discards.
+	Logger *slog.Logger
+
 	// Seed fixes the selection RNG for reproducible tests; 0 seeds from
 	// an arbitrary constant.
 	Seed int64
@@ -94,6 +99,7 @@ var replicaStates = []string{"serving", "open", "half_open", "unhealthy"}
 type Pool struct {
 	cfg    Config
 	tel    *telemetry.Telemetry
+	log    *slog.Logger
 	models map[string]*modelPool
 	names  []string // sorted model names
 
@@ -158,9 +164,14 @@ func New(cfg Config) (*Pool, error) {
 	if seed == 0 {
 		seed = 0x6c6d6d73 // "llms"; determinism matters, the value doesn't
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.NopLogger()
+	}
 	p := &Pool{
 		cfg:    cfg,
 		tel:    cfg.Telemetry,
+		log:    log,
 		models: make(map[string]*modelPool, len(cfg.Replicas)),
 		rng:    rand.New(rand.NewSource(seed)),
 		stopCh: make(chan struct{}),
@@ -246,13 +257,20 @@ func (p *Pool) publishState(r *replica) {
 	}
 }
 
-// noteTransition feeds a breaker transition into telemetry.
+// noteTransition feeds a breaker transition into telemetry and the
+// structured log. Opens are warnings — a replica just got ejected from
+// traffic — while recoveries log at info.
 func (p *Pool) noteTransition(r *replica, to string) {
 	if to == "" {
 		return
 	}
 	if p.tel != nil {
 		p.tel.FleetBreakerTransitions.Inc(r.mp.model, r.id, to)
+	}
+	if to == toOpen {
+		p.log.Warn("breaker opened", "model", r.mp.model, "replica", r.id)
+	} else {
+		p.log.Info("breaker transition", "model", r.mp.model, "replica", r.id, "to", to)
 	}
 	p.publishState(r)
 }
@@ -335,12 +353,26 @@ func (p *Pool) settle(r *replica, err error) {
 
 // call runs one chunk attempt on one replica with full accounting:
 // inflight for the P2C signal, outcome for the breaker, latency for the
-// hedging window.
-func (p *Pool) call(ctx context.Context, r *replica, req llm.ChunkRequest) (llm.Chunk, error) {
+// hedging window, and — when the context carries a trace — a
+// "fleet.call" span recording which replica was picked, the breaker
+// state it was picked in, and whether this was the primary or the
+// hedged backup attempt.
+func (p *Pool) call(ctx context.Context, r *replica, req llm.ChunkRequest, role string) (llm.Chunk, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "fleet.call")
+	if sp != nil {
+		r.mu.Lock()
+		st := r.stateLocked()
+		r.mu.Unlock()
+		sp.SetAttr("model", req.Model)
+		sp.SetAttr("replica", r.id)
+		sp.SetAttr("breaker", st)
+		sp.SetAttr("role", role)
+	}
 	r.inflight.Add(1)
 	start := time.Now()
 	chunk, err := r.backend.GenerateChunk(ctx, req)
 	r.inflight.Add(-1)
+	sp.End(err)
 	p.settle(r, err)
 	if err == nil {
 		r.mp.observe(time.Since(start))
@@ -407,7 +439,7 @@ func (p *Pool) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chu
 	}
 	delay, armed := p.hedgeDelay(mp)
 	if !armed {
-		return p.call(ctx, primary, req)
+		return p.call(ctx, primary, req, "primary")
 	}
 
 	// Hedged path. The shared cancelable context kills the loser the
@@ -421,13 +453,13 @@ func (p *Pool) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chu
 		r     *replica
 	}
 	results := make(chan outcome, 2)
-	launch := func(r *replica) {
+	launch := func(r *replica, role string) {
 		go func() {
-			c, e := p.call(cctx, r, req)
+			c, e := p.call(cctx, r, req, role)
 			results <- outcome{chunk: c, err: e, r: r}
 		}()
 	}
-	launch(primary)
+	launch(primary, "primary")
 	pending := 1
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -442,8 +474,11 @@ func (p *Pool) GenerateChunk(ctx context.Context, req llm.ChunkRequest) (llm.Chu
 			if p.tel != nil {
 				p.tel.FleetHedges.Inc(req.Model, "fired")
 			}
+			p.log.Debug("hedge fired",
+				"model", req.Model, "primary", primary.id, "backup", backup.id,
+				"delay", delay)
 			pending++
-			launch(backup)
+			launch(backup, "backup")
 		case o := <-results:
 			pending--
 			if o.err == nil {
@@ -476,10 +511,14 @@ func (p *Pool) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkS
 	if mp == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model)
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "fleet.stream_open")
+	sp.SetAttr("model", req.Model)
 	r, err := p.pick(mp, nil)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
+	sp.SetAttr("replica", r.id)
 	sb, ok := llm.AsStreaming(r.backend)
 	if !ok {
 		// Capability, not failure: release any reserved trial slot and
@@ -487,10 +526,12 @@ func (p *Pool) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.ChunkS
 		r.mu.Lock()
 		r.br.releaseTrial()
 		r.mu.Unlock()
+		sp.End(llm.ErrStreamUnsupported)
 		return nil, llm.ErrStreamUnsupported
 	}
 	r.inflight.Add(1)
 	st, err := sb.OpenStream(ctx, req)
+	sp.End(err)
 	if err != nil {
 		r.inflight.Add(-1)
 		if errors.Is(err, llm.ErrStreamUnsupported) {

@@ -73,11 +73,13 @@ func (p *Pool) probeReplica(ctx context.Context, mp *modelPool, r *replica) {
 	r.mu.Lock()
 	var trans string
 	changed := false
+	ejected := false
 	if err != nil {
 		r.probeFails++
 		if !r.unhealthy && r.probeFails >= p.cfg.ProbeFailures {
 			r.unhealthy = true
 			changed = true
+			ejected = true
 		}
 	} else {
 		r.probeFails = 0
@@ -105,6 +107,15 @@ func (p *Pool) probeReplica(ctx context.Context, mp *modelPool, r *replica) {
 
 	if trans != "" && p.tel != nil {
 		p.tel.FleetBreakerTransitions.Inc(mp.model, r.id, trans)
+	}
+	if changed {
+		if ejected {
+			p.log.Warn("replica ejected by prober",
+				"model", mp.model, "replica", r.id, "err", err)
+		} else {
+			p.log.Info("replica re-admitted by prober",
+				"model", mp.model, "replica", r.id)
+		}
 	}
 	if trans != "" || changed {
 		p.publishState(r)

@@ -178,7 +178,10 @@ func (c *Client) withTimeout(ctx context.Context) (context.Context, context.Canc
 // do issues a JSON request and decodes the JSON response into out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) (err error) {
 	start := time.Now()
-	defer func() { c.observe(strings.TrimPrefix(path, "/api/"), start, err) }()
+	op := strings.TrimPrefix(path, "/api/")
+	defer func() { c.observe(op, start, err) }()
+	ctx, sp := telemetry.StartSpan(ctx, "modeld."+op)
+	defer func() { sp.End(err) }()
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	var body io.Reader
@@ -195,6 +198,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (err 
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp := sp.Traceparent(); tp != "" {
+		req.Header.Set("Traceparent", tp)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -220,9 +226,18 @@ func decodeError(resp *http.Response) error {
 
 // Generate streams a generation, invoking fn for every NDJSON line. The
 // final line has Done == true.
+//
+// When the context carries a span, the request is issued under a child
+// "modeld.generate" span whose traceparent rides the request header;
+// daemon-side spans echoed on the done line (see GenerateResponse.Spans)
+// are grafted into the local trace, so client and daemon timings land
+// in one tree.
 func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(GenerateResponse) error) (err error) {
 	start := time.Now()
 	defer func() { c.observe("generate", start, err) }()
+	ctx, sp := telemetry.StartSpan(ctx, "modeld.generate")
+	sp.SetAttr("model", req.Model)
+	defer func() { sp.End(err) }()
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	data, err := json.Marshal(req)
@@ -234,6 +249,9 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(Gene
 		return err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if tp := sp.Traceparent(); tp != "" {
+		httpReq.Header.Set("Traceparent", tp)
+	}
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return err
@@ -254,6 +272,9 @@ func (c *Client) Generate(ctx context.Context, req GenerateRequest, fn func(Gene
 		var gr GenerateResponse
 		if err := json.Unmarshal(line, &gr); err != nil {
 			return fmt.Errorf("modeld: bad stream line: %w", err)
+		}
+		if gr.Done && len(gr.Spans) > 0 {
+			sp.Adopt(gr.Spans)
 		}
 		if err := fn(gr); err != nil {
 			return err
@@ -367,17 +388,29 @@ func (c *Client) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.Chun
 	if err != nil {
 		return nil, err
 	}
+	// The stream span covers the whole session: opened here, ended by
+	// the pump on the done line (or failure), with the daemon's echoed
+	// spans grafted in before it closes. The span must not come from
+	// sctx — Close cancels sctx, but the span belongs to the query's
+	// still-live trace.
+	ctx, sp := telemetry.StartSpan(ctx, "modeld.stream")
+	sp.SetAttr("model", req.Model)
 	sctx, cancel := context.WithCancel(ctx)
 	httpReq, err := http.NewRequestWithContext(sctx, http.MethodPost, c.base+"/api/generate", bytes.NewReader(data))
 	if err != nil {
 		cancel()
+		sp.End(err)
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if tp := sp.Traceparent(); tp != "" {
+		httpReq.Header.Set("Traceparent", tp)
+	}
 	start := time.Now()
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		cancel()
+		sp.End(err)
 		c.observe("generate_stream", start, err)
 		return nil, err
 	}
@@ -385,17 +418,18 @@ func (c *Client) OpenStream(ctx context.Context, req llm.ChunkRequest) (llm.Chun
 		err := decodeError(resp)
 		resp.Body.Close()
 		cancel()
+		sp.End(err)
 		c.observe("generate_stream", start, err)
 		return nil, err
 	}
 	s := &clientStream{buf: llm.NewStreamBuffer(req.Cont), cancel: cancel}
-	go c.pumpStream(resp, s.buf, req.Model, start)
+	go c.pumpStream(resp, s.buf, req.Model, start, sp)
 	return s, nil
 }
 
 // pumpStream drains one open generation stream into its client-side
 // buffer until the done line, a protocol error, or cancellation.
-func (c *Client) pumpStream(resp *http.Response, buf *llm.StreamBuffer, model string, start time.Time) {
+func (c *Client) pumpStream(resp *http.Response, buf *llm.StreamBuffer, model string, start time.Time, sp *telemetry.Span) {
 	defer resp.Body.Close()
 	scanBuf := scanBufPool.Get().(*[]byte)
 	defer scanBufPool.Put(scanBuf)
@@ -410,10 +444,14 @@ func (c *Client) pumpStream(resp *http.Response, buf *llm.StreamBuffer, model st
 		var gr GenerateResponse
 		if err := json.Unmarshal(line, &gr); err != nil {
 			buf.Fail(fmt.Errorf("modeld: bad stream line: %w", err))
+			sp.End(err)
 			c.observe("generate_stream", start, err)
 			return
 		}
 		if gr.Done {
+			if len(gr.Spans) > 0 {
+				sp.Adopt(gr.Spans)
+			}
 			buf.Finish(llm.Chunk{
 				Done: true, DoneReason: llm.DoneReason(gr.DoneReason),
 				Context: gr.Context, EvalCount: gr.EvalCount, TotalTokens: len(gr.Context),
@@ -429,6 +467,7 @@ func (c *Client) pumpStream(resp *http.Response, buf *llm.StreamBuffer, model st
 			// without per-line ids the buffer cannot synthesize resume
 			// state, so refuse the session before any text leaks out.
 			buf.Fail(fmt.Errorf("modeld: daemon does not echo stream tokens: %w", llm.ErrStreamUnsupported))
+			sp.End(llm.ErrStreamUnsupported)
 			c.observe("generate_stream", start, nil)
 			return
 		}
@@ -436,15 +475,18 @@ func (c *Client) pumpStream(resp *http.Response, buf *llm.StreamBuffer, model st
 	}
 	switch {
 	case finished:
+		sp.End(nil)
 		c.observe("generate_stream", start, nil)
 	case sc.Err() != nil:
 		buf.Fail(fmt.Errorf("%w: %v", ErrTruncatedStream, sc.Err()))
+		sp.End(sc.Err())
 		c.observe("generate_stream", start, sc.Err())
 	default:
 		if c.tel != nil {
 			c.tel.ClientTruncated.Inc(model)
 		}
 		buf.Fail(ErrTruncatedStream)
+		sp.End(ErrTruncatedStream)
 		c.observe("generate_stream", start, ErrTruncatedStream)
 	}
 }

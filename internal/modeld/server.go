@@ -26,7 +26,9 @@ package modeld
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -71,6 +73,12 @@ type GenerateResponse struct {
 	// Tokens carries the ids of this line's tokens when the request set
 	// Options.StreamTokens (LLM-MS extension; see GenerateRequest).
 	Tokens []int `json:"tokens,omitempty"`
+	// Spans carries the daemon-side span records of this generation on
+	// the final (Done) line when the request arrived with a traceparent
+	// header (LLM-MS extension). The client grafts them into its local
+	// trace, so one query's span tree crosses the process boundary. A
+	// daemon that does not understand tracing simply omits the field.
+	Spans []telemetry.SpanRecord `json:"spans,omitempty"`
 }
 
 // EmbedRequest is the wire form of an embedding call. Input accepts a
@@ -129,29 +137,60 @@ type Server struct {
 	engine   *llm.Engine
 	mux      *http.ServeMux
 	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer
+	log      *slog.Logger
+	pprof    bool
 	requests telemetry.Counter
 	latency  telemetry.Histogram
 	genTok   telemetry.Counter
 }
 
+// ServerOption configures the daemon at construction; see NewServer.
+type ServerOption func(*Server)
+
+// WithLogger attaches a structured logger; generation requests log at
+// debug level (stamped with the propagated trace ID when the caller
+// sent one) and failures at warn. Nil keeps the default no-op logger.
+func WithLogger(log *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if log != nil {
+			s.log = log
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the daemon
+// mux — the same flag-gated profiling surface the platform server has.
+func WithPprof(enabled bool) ServerOption {
+	return func(s *Server) { s.pprof = enabled }
+}
+
 // NewServer wraps an engine in the daemon protocol. The daemon carries
 // its own metrics registry (modeld_requests_total{route,code},
 // modeld_request_duration_seconds{route},
-// modeld_generate_tokens_total{model}) exposed on GET /metrics; route
-// labels are the registration patterns and model labels the engine's
-// model names, so cardinality stays bounded.
-func NewServer(engine *llm.Engine) *Server {
+// modeld_generate_tokens_total{model}, plus llmms_go_* runtime gauges
+// and llmms_build_info) exposed on GET /metrics; route labels are the
+// registration patterns and model labels the engine's model names, so
+// cardinality stays bounded.
+func NewServer(engine *llm.Engine, opts ...ServerOption) *Server {
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	telemetry.RegisterBuildInfo(reg, Version)
 	s := &Server{
 		engine: engine,
 		mux:    http.NewServeMux(),
 		reg:    reg,
+		tracer: telemetry.NewTracer("modeld"),
+		log:    telemetry.NopLogger(),
 		requests: reg.Counter("modeld_requests_total",
 			"Daemon HTTP requests by route pattern and status code.", "route", "code"),
 		latency: reg.Histogram("modeld_request_duration_seconds",
 			"Daemon HTTP request latency by route pattern.", nil, "route"),
 		genTok: reg.Counter("modeld_generate_tokens_total",
 			"Tokens generated by the daemon, per model.", "model"),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.handle("POST /api/generate", s.handleGenerate)
 	s.handle("POST /api/chat", s.handleChat)
@@ -162,6 +201,13 @@ func NewServer(engine *llm.Engine) *Server {
 	s.handle("GET /api/version", s.handleVersion)
 	s.handle("GET /api/gpu", s.handleGPU)
 	s.mux.Handle("GET /metrics", reg.Handler())
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -208,13 +254,37 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := req.Stream == nil || *req.Stream
 
-	chunks, err := s.engine.Generate(r.Context(), llm.GenRequest{
+	// Join the caller's trace when a valid traceparent header arrived; a
+	// malformed or absent header gets a fresh daemon-local root instead.
+	// The finished daemon-side spans ride back on the final NDJSON line
+	// whenever the caller sent any traceparent at all — the client's
+	// Adopt discards records whose trace ID does not match its own, so
+	// echoing after a malformed header is harmless.
+	tp := r.Header.Get("Traceparent")
+	ctx := r.Context()
+	var root *telemetry.Span
+	if tid, sid, ok := telemetry.ParseTraceparent(tp); ok {
+		ctx, root = s.tracer.StartRootFrom(ctx, "modeld.handle_generate", tid, sid)
+	} else {
+		ctx, root = s.tracer.StartRoot(ctx, "modeld.handle_generate")
+	}
+	root.SetAttr("model", req.Model)
+	start := time.Now()
+
+	// The engine returns its channel immediately; decoding happens while
+	// the drain loop below runs, so the engine.generate span wraps the
+	// drain, not the call.
+	gen := root.Child("engine.generate")
+	chunks, err := s.engine.Generate(ctx, llm.GenRequest{
 		Model:     req.Model,
 		Prompt:    req.Prompt,
 		MaxTokens: req.Options.NumPredict,
 		Context:   req.Context,
 	})
 	if err != nil {
+		gen.End(err)
+		root.End(err)
+		s.log.Warn("generate failed", "model", req.Model, "trace_id", root.TraceID(), "err", err)
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -229,11 +299,19 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		s.genTok.Add(float64(last.EvalCount), req.Model)
-		writeJSON(w, http.StatusOK, GenerateResponse{
+		gen.SetAttr("tokens", strconv.Itoa(last.EvalCount))
+		gen.End(nil)
+		root.End(nil)
+		out := GenerateResponse{
 			Model: req.Model, CreatedAt: now(), Response: text,
 			Done: true, DoneReason: string(last.DoneReason),
 			Context: last.Context, EvalCount: last.EvalCount,
-		})
+		}
+		if tp != "" {
+			out.Spans = root.Records()
+		}
+		s.logGenerate(root, req.Model, last.EvalCount, start)
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 
@@ -241,6 +319,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	lines := 0
 	for c := range chunks {
 		resp := GenerateResponse{Model: req.Model, CreatedAt: now(), Response: c.Text, Done: c.Done}
 		if req.Options.StreamTokens {
@@ -251,7 +330,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			resp.Context = c.Context
 			resp.EvalCount = c.EvalCount
 			s.genTok.Add(float64(c.EvalCount), req.Model)
+			gen.SetAttr("tokens", strconv.Itoa(c.EvalCount))
+			gen.SetAttr("lines", strconv.Itoa(lines))
+			gen.End(nil)
+			root.End(nil)
+			if tp != "" {
+				resp.Spans = root.Records()
+			}
+			s.logGenerate(root, req.Model, c.EvalCount, start)
 		}
+		lines++
 		if err := enc.Encode(resp); err != nil {
 			return // client went away
 		}
@@ -259,6 +347,14 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// logGenerate emits the per-generation debug line, stamped with the
+// (possibly propagated) trace ID.
+func (s *Server) logGenerate(root *telemetry.Span, model string, tokens int, start time.Time) {
+	s.log.Debug("generate",
+		"model", model, "tokens", tokens,
+		"trace_id", root.TraceID(), "elapsed", time.Since(start))
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {

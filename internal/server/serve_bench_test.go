@@ -39,13 +39,17 @@ const perModelLatency = 2 * time.Millisecond
 // and all) with a mixed workload: hotPct percent of requests come from
 // the fixed hot set, the rest are unique. It reports p50_ms, p99_ms, and
 // qps alongside the standard ns/op.
-func benchmarkServe(b *testing.B, sv ServingOptions, hotPct int) {
+func benchmarkServe(b *testing.B, sv ServingOptions, hotPct int, mod ...func(*Options)) {
 	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
 	backend := core.NewFaultBackend(engine)
 	for _, m := range DefaultSettings().EnabledModels {
 		backend.SetLatency(m, perModelLatency)
 	}
-	s, err := NewServer(Options{Engine: engine, Backend: backend, Serving: sv})
+	opts := Options{Engine: engine, Backend: backend, Serving: sv}
+	for _, fn := range mod {
+		fn(&opts)
+	}
+	s, err := NewServer(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -118,4 +122,17 @@ func BenchmarkServeMix(b *testing.B) {
 	b.Run("uncached_repeat50", func(b *testing.B) { benchmarkServe(b, ServingOptions{}, 50) })
 	b.Run("cached_repeat50", func(b *testing.B) { benchmarkServe(b, caching, 50) })
 	b.Run("cached_repeat90", func(b *testing.B) { benchmarkServe(b, caching, 90) })
+}
+
+// BenchmarkServeTrace measures the span layer's overhead on the
+// uncached full-orchestration path (`make bench-trace`,
+// BENCH_trace.json): the same repeat-50 mix with tracing on (every
+// query builds its span tree) versus off (Options.DisableTracing, all
+// span calls hit the nil no-op path). The acceptance bound is a ≤5%
+// p50 delta between the two.
+func BenchmarkServeTrace(b *testing.B) {
+	b.Run("trace_on", func(b *testing.B) { benchmarkServe(b, ServingOptions{}, 50) })
+	b.Run("trace_off", func(b *testing.B) {
+		benchmarkServe(b, ServingOptions{}, 50, func(o *Options) { o.DisableTracing = true })
+	})
 }

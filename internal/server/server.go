@@ -25,7 +25,7 @@
 //	GET  /api/gpu              hardware telemetry
 //	GET  /api/fleet            per-replica fleet status (only with Options.Fleet)
 //	GET  /api/traces           recent completed query traces (newest first, ?limit=)
-//	GET  /api/traces/{id}      one query's span timings (rounds, chunks, scores)
+//	GET  /api/traces/{id}      one query's full trace (rounds, chunks, scores, span tree)
 //	GET  /metrics              Prometheus text-format metrics exposition
 //	GET  /healthz              liveness (always ok while the process serves)
 //	GET  /readyz               readiness with per-dependency check status
@@ -74,6 +74,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -193,7 +194,24 @@ type Options struct {
 	// non-empty). Each check gets a bounded context; a non-nil error
 	// marks the whole server unready (503).
 	ReadyChecks []ReadyCheck
+	// Logger receives structured request/query logs (log/slog). Every
+	// query-scoped line carries query_id and trace_id. Nil discards all
+	// output (the -log-level/-log-format flags on cmd/llmms build one).
+	Logger *slog.Logger
+	// DisableTracing turns off distributed span collection entirely:
+	// /api/query stops opening root spans, traces store no span trees,
+	// and no traceparent headers reach the daemons. Tracing is on by
+	// default — BENCH_trace.json documents its overhead.
+	DisableTracing bool
+	// SlowQueryThreshold is the elapsed time past which a completed
+	// query logs at warn ("slow query") with its span statistics. Zero
+	// means DefaultSlowQueryThreshold; negative disables the slow log.
+	SlowQueryThreshold time.Duration
 }
+
+// DefaultSlowQueryThreshold is the slow-query log cutoff when
+// Options.SlowQueryThreshold is zero.
+const DefaultSlowQueryThreshold = 2 * time.Second
 
 // ReadyCheck is one named readiness probe for /readyz.
 type ReadyCheck struct {
@@ -216,10 +234,13 @@ type Server struct {
 	arena       *arena.Arena
 	memory      *session.MemoryGraph
 	tel         *telemetry.Telemetry
-	cache       *qcache.Cache // nil when the answer cache is disabled
-	flights     *qcache.Group // nil when coalescing is disabled
-	gate        *qcache.Gate  // nil when admission is unbounded
-	fleet       *fleet.Pool   // nil without Options.Fleet
+	cache       *qcache.Cache     // nil when the answer cache is disabled
+	flights     *qcache.Group     // nil when coalescing is disabled
+	gate        *qcache.Gate      // nil when admission is unbounded
+	fleet       *fleet.Pool       // nil without Options.Fleet
+	tracer      *telemetry.Tracer // nil when tracing is disabled
+	logger      *slog.Logger
+	slowQuery   time.Duration
 	readyChecks []ReadyCheck
 	pprofOn     bool
 	noStreaming bool
@@ -265,10 +286,25 @@ func NewServer(opts Options) (*Server, error) {
 			backend = opts.Engine
 		}
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	var tracer *telemetry.Tracer
+	if !opts.DisableTracing {
+		tracer = telemetry.NewTracer("llmms")
+	}
+	slowQuery := opts.SlowQueryThreshold
+	if slowQuery == 0 {
+		slowQuery = DefaultSlowQueryThreshold
+	}
 	s := &Server{
 		engine:      opts.Engine,
 		backend:     backend,
 		fleet:       opts.Fleet,
+		tracer:      tracer,
+		logger:      logger,
+		slowQuery:   slowQuery,
 		sessions:    session.NewStore(opts.SessionOptions),
 		docs:        col,
 		ingestor:    rag.NewIngestor(col, rag.ChunkOptions{}),
@@ -493,7 +529,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace returns one query's full trace: per-round wall clock,
 // per-chunk generation latency with attempt counts, score trajectory,
-// prunes, and failures.
+// prunes, failures — and, when tracing is enabled, the distributed
+// span tree (trace_id + spans) covering cache lookup, gate wait,
+// orchestration rounds, fleet replica calls, and daemon-side spans
+// grafted back over the modeld wire protocol.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr, ok := s.tel.Traces.Get(id)
@@ -591,15 +630,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The query's root span opens before the serving-layer probe so the
+	// trace times cache lookup and admission wait, not just
+	// orchestration. Cache-hit and coalesced replays end the root and
+	// discard it (they store no trace today either); only the full
+	// orchestration path binds the span tree into a stored QueryTrace.
+	rctx, root := s.tracer.StartRoot(r.Context(), "query")
+	root.SetAttr("strategy", string(strategy))
+	if root != nil {
+		w.Header().Set("X-Trace-ID", root.TraceID())
+	}
+
 	// ---- Serving layer (DESIGN.md "Serving layer") ----
 	// The cache probe runs before retrieval and prompt assembly: a hit
 	// skips every per-query cost, not just generation.
 	key, servable := s.servingKey(req, strategy, models, maxTokens, st, summary)
 	if servable && s.cache != nil {
+		_, cs := telemetry.StartSpan(rctx, "cache.lookup")
 		lookupStart := time.Now()
 		v, kind := s.cache.Get(key)
 		s.tel.CacheLookupLat.Observe(time.Since(lookupStart).Seconds())
+		cs.SetAttr("tier", cacheTierLabel(kind))
+		cs.End(nil)
 		if kind != qcache.Miss {
+			root.SetAttr("cache", cacheTierLabel(kind))
+			root.End(nil)
 			s.serveCached(w, r, v.(*cachedAnswer), kind, sessID, req.Query)
 			return
 		}
@@ -611,11 +666,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		flight, role = s.flights.Join(key.ID())
 		if role == qcache.RoleFollower {
 			s.tel.Coalesced.Inc()
+			root.SetAttr("coalesce_role", "follower")
+			root.End(nil)
 			s.followFlight(w, r, flight, sessID, req.Query)
 			return
 		}
 		if role == qcache.RoleBypass {
 			flight = nil
+		}
+		if flight != nil {
+			root.SetAttr("coalesce_role", "leader")
 		}
 	}
 	// From here on this request is a leader (or uncoalesced): every exit
@@ -632,10 +692,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admission control: orchestration fans out one generation stream
 	// per candidate model, so the query weighs its model count.
 	if s.gate != nil {
+		_, gs := telemetry.StartSpan(rctx, "gate.wait")
+		gs.SetAttr("weight", strconv.Itoa(len(models)))
 		waitStart := time.Now()
 		err := s.gate.Acquire(r.Context(), len(models))
 		s.tel.QueueWait.Observe(time.Since(waitStart).Seconds())
+		gs.End(err)
 		if err != nil {
+			root.End(err)
 			if errors.Is(err, qcache.ErrOverloaded) {
 				s.tel.Rejected.Inc()
 				body := errBody("overloaded", "server at orchestration capacity; retry shortly")
@@ -661,8 +725,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Build the contextual prompt.
 	var chunks []string
 	if req.UseRAG && s.docs.Count() > 0 {
+		_, rs := telemetry.StartSpan(rctx, "retrieve")
 		results, err := rag.Retrieve(s.docs, req.Query, st.RAGTopK, req.DocID)
+		rs.SetAttr("chunks", strconv.Itoa(len(results)))
+		rs.End(err)
 		if err != nil {
+			root.End(err)
 			body := errBody("retrieval_failed", "retrieval: %v", err)
 			finishFlight(flightOutcome{status: http.StatusInternalServerError, errBody: body})
 			writeJSON(w, http.StatusInternalServerError, body)
@@ -675,6 +743,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if strings.TrimSpace(req.EphemeralContext) != "" {
 		ephemeral, err := retrieveEphemeral(req.EphemeralContext, req.Query, st.RAGTopK)
 		if err != nil {
+			root.End(err)
 			writeErr(w, http.StatusUnprocessableEntity, "ephemeral_context", "ephemeral context: %v", err)
 			return
 		}
@@ -690,9 +759,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// healthy clients must not inherit a failure because the leader hung
 	// up — so its disconnect aborts the orchestration only when nobody
 	// is drafting behind it.
-	base := r.Context()
+	// rctx (not r.Context()) so the stream context carries the root
+	// span; WithoutCancel keeps context values, so a detached leader's
+	// spans still join the trace.
+	base := rctx
 	if flight != nil {
-		base = context.WithoutCancel(r.Context())
+		base = context.WithoutCancel(rctx)
 	}
 	ctx, cancelStream := context.WithCancel(base)
 	defer cancelStream()
@@ -762,6 +834,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	obs := s.tel.StartQuery(queryID, string(strategy), req.Query)
+	octx, orch := telemetry.StartSpan(ctx, "orchestrate")
+	obs.BindSpans(root, orch)
 	cfg := core.DefaultConfig(models...)
 	cfg.MaxTokens = maxTokens
 	cfg.Alpha = st.Alpha
@@ -770,15 +844,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	cfg.DisableStreaming = s.noStreaming
 	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
 	cfg.Recorder = obs
+	if root != nil {
+		cfg.Logger = s.logger.With("query_id", queryID, "trace_id", root.TraceID())
+	} else {
+		cfg.Logger = s.logger.With("query_id", queryID)
+	}
 	oc, err := core.New(s.backend, cfg)
 	if err != nil {
-		obs.Finish(err)
+		orch.End(err)
+		root.End(err)
+		s.logQuery(obs.Finish(err))
 		writeEvent("error", errBody("invalid_config", "%v", err))
 		return
 	}
 
-	res, err := oc.Run(ctx, strategy, prompt)
-	obs.Finish(err)
+	res, err := oc.Run(octx, strategy, prompt)
+	orch.End(err)
+	root.End(err)
+	s.logQuery(obs.Finish(err))
 	if err != nil {
 		code := "query_failed"
 		if errors.Is(err, core.ErrAllModelsFailed) {
@@ -803,6 +886,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(key, &cachedAnswer{frames: recorded, result: res})
 	}
 	finishFlight(flightOutcome{result: &res})
+}
+
+// cacheTierLabel maps a lookup result to its span/log label.
+func cacheTierLabel(kind qcache.HitKind) string {
+	switch kind {
+	case qcache.Exact:
+		return "exact"
+	case qcache.Semantic:
+		return "semantic"
+	default:
+		return "miss"
+	}
+}
+
+// logQuery emits the per-query structured log line: Info for normal
+// completions, Warn for failures and for queries whose span tree
+// exceeded the slow-query threshold.
+func (s *Server) logQuery(tr telemetry.QueryTrace) {
+	attrs := []any{
+		"query_id", tr.ID,
+		"trace_id", tr.TraceID,
+		"strategy", tr.Strategy,
+		"outcome", tr.Outcome,
+		"elapsed", tr.Elapsed,
+		"winner", tr.Winner,
+		"tokens", tr.TokensUsed,
+		"spans", len(tr.Spans),
+	}
+	switch {
+	case tr.Outcome != "ok":
+		s.logger.Warn("query failed", append(attrs, "err", tr.Error)...)
+	case s.slowQuery > 0 && tr.Elapsed >= s.slowQuery:
+		s.logger.Warn("slow query", attrs...)
+	default:
+		s.logger.Info("query", attrs...)
+	}
 }
 
 // uploadRequest is the JSON /api/upload payload (the browser reads the

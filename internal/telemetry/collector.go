@@ -24,6 +24,8 @@ type QueryObserver struct {
 	start    time.Time
 	tr       QueryTrace
 	finished bool
+	root     *Span // bound by BindSpans; nil when tracing is off
+	orch     *Span // orchestration span; parent of synthesized rounds
 }
 
 // StartQuery opens an observer for one query. strategy is the requested
@@ -124,6 +126,60 @@ func retriesOf(attempts int) int {
 	return 0
 }
 
+// BindSpans ties the query's distributed trace to this observer: at
+// Finish the trace gains the root's collected span records plus
+// per-round and per-chunk spans synthesized from the orchestration
+// event stream (core stays free of telemetry imports — the events
+// already carry the timings). orch is the span wrapping the
+// orchestrator Run call; synthesized round spans parent under it (or
+// under root when nil). Nil root makes this a no-op.
+func (q *QueryObserver) BindSpans(root, orch *Span) {
+	q.mu.Lock()
+	q.root = root
+	q.orch = orch
+	q.mu.Unlock()
+}
+
+// synthesizeSpansLocked converts the sealed Rounds/Chunks into span
+// records in the bound trace: root → orchestrate → round N → chunk.
+// Chunk spans attach to their round by round number; an orphan chunk
+// parents under the orchestration span.
+func (q *QueryObserver) synthesizeSpansLocked() {
+	parentID := q.root.SpanID()
+	if q.orch != nil {
+		parentID = q.orch.SpanID()
+	}
+	roundIDs := make(map[int]string, len(q.tr.Rounds))
+	for _, r := range q.tr.Rounds {
+		id := NewSpanID()
+		roundIDs[r.Round] = id
+		attrs := map[string]string{"round": itoa(r.Round)}
+		if r.Model != "" {
+			attrs["model"] = r.Model
+		}
+		q.root.AddRecord(SpanRecord{
+			SpanID: id, ParentID: parentID, Name: "round",
+			Start: q.start.Add(r.Offset), Duration: r.Elapsed, Attrs: attrs,
+		})
+	}
+	for _, c := range q.tr.Chunks {
+		p := roundIDs[c.Round]
+		if p == "" {
+			p = parentID
+		}
+		attrs := map[string]string{
+			"round": itoa(c.Round), "model": c.Model, "tokens": itoa(c.Tokens),
+		}
+		if c.Attempts > 1 {
+			attrs["attempts"] = itoa(c.Attempts)
+		}
+		q.root.AddRecord(SpanRecord{
+			ParentID: p, Name: "chunk",
+			Start: q.start.Add(c.Offset), Duration: c.Elapsed, Attrs: attrs,
+		})
+	}
+}
+
 // closeRound seals the open round span at the given end offset.
 func (q *QueryObserver) closeRound(end time.Duration) {
 	if n := len(q.tr.Rounds); n > 0 && q.tr.Rounds[n-1].Elapsed == 0 {
@@ -151,6 +207,16 @@ func (q *QueryObserver) Finish(err error) QueryTrace {
 	q.tr.Outcome = outcomeLabel(err)
 	if err != nil {
 		q.tr.Error = err.Error()
+	}
+	if q.root != nil {
+		// Belt and braces: the server ends these before Finish, and End
+		// is idempotent, but a panic-shortened path must still seal the
+		// trace rather than lose it.
+		q.orch.End(err)
+		q.root.End(err)
+		q.tr.TraceID = q.root.TraceID()
+		q.synthesizeSpansLocked()
+		q.tr.Spans = q.root.Records()
 	}
 	q.tel.Queries.Inc(q.tr.Strategy, q.tr.Outcome)
 	q.tel.QueryLatency.Observe(q.tr.Elapsed.Seconds(), q.tr.Strategy)

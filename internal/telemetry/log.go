@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging for the platform: one slog.Logger shared by the
+// server, the orchestrator, the fleet, and the daemon, built from the
+// -log-level / -log-format flags. Every query-scoped line is stamped
+// with query_id and trace_id by the caller (logger.With), so a trace ID
+// from a log line finds its span tree in /api/traces and vice versa.
+
+// NewLogger builds a slog.Logger writing to w. level is one of
+// "debug", "info", "warn", "error" (case-insensitive); format is
+// "text" or "json". Unknown values are an error so flag typos surface
+// at startup instead of silently logging at the wrong level.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default
+// when a component is constructed without one, so logging call sites
+// never nil-check.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormatsAndLevels(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "warn", "json")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	log.Info("hidden", "k", "v")
+	log.Warn("shown", "trace_id", "abc123")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (info below warn level):\n%s", len(lines), b.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("json format produced unparseable line: %v", err)
+	}
+	if rec["msg"] != "shown" || rec["trace_id"] != "abc123" {
+		t.Errorf("line missing fields: %v", rec)
+	}
+
+	b.Reset()
+	log, err = NewLogger(&b, "", "")
+	if err != nil {
+		t.Fatalf("NewLogger defaults: %v", err)
+	}
+	log.Debug("hidden at default info")
+	log.Info("text line")
+	if got := b.String(); !strings.Contains(got, "text line") || strings.Contains(got, "hidden") {
+		t.Errorf("default text/info logger output wrong:\n%s", got)
+	}
+
+	if _, err := NewLogger(&b, "loud", "text"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(&b, "info", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	log := NopLogger()
+	log.Info("into the void", "k", "v")
+	log.With("a", "b").Warn("still nothing")
+}

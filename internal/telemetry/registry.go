@@ -55,6 +55,7 @@ type Registry struct {
 	mu        sync.RWMutex
 	families  map[string]*family
 	maxSeries int
+	onScrape  []func()
 }
 
 // NewRegistry returns an empty registry with the DefaultMaxSeries cap.
@@ -70,6 +71,17 @@ func (r *Registry) SetMaxSeries(n int) {
 	}
 	r.mu.Lock()
 	r.maxSeries = n
+	r.mu.Unlock()
+}
+
+// OnScrape registers a hook run at the start of every WriteText call,
+// before exposition. Hooks sample lazily-computed values (runtime
+// stats, queue depths) into gauges so scrapes see fresh numbers
+// without a background sampler goroutine. Hooks must not scrape the
+// registry themselves.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
 	r.mu.Unlock()
 }
 
@@ -340,11 +352,15 @@ func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()
 // render cumulative _bucket lines (le up to +Inf), _sum, and _count.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.RLock()
+	hooks := r.onScrape
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
 	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder

@@ -1,0 +1,50 @@
+package telemetry
+
+import "runtime"
+
+// Process-health instruments: goroutine count and heap/GC gauges
+// sampled lazily at scrape time (ReadMemStats is not free, so it runs
+// once per /metrics request, not on a timer), plus the build-info
+// pseudo-metric both binaries export.
+
+// RegisterRuntimeMetrics registers llmms_go_* process gauges on reg and
+// hooks their sampling into scrape. Safe to call once per registry;
+// telemetry.New does it for the platform bundle, and the daemon calls
+// it on its own registry.
+func RegisterRuntimeMetrics(reg *Registry) {
+	goroutines := reg.Gauge("llmms_go_goroutines",
+		"Goroutines currently live in the process.")
+	heapAlloc := reg.Gauge("llmms_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	heapObjects := reg.Gauge("llmms_go_heap_objects",
+		"Live heap objects (runtime.MemStats.HeapObjects).")
+	gcCycles := reg.Gauge("llmms_go_gc_cycles",
+		"Completed GC cycles since process start.")
+	gcPause := reg.Gauge("llmms_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time since process start.")
+	nextGC := reg.Gauge("llmms_go_next_gc_bytes",
+		"Heap size at which the next GC cycle triggers.")
+	reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		nextGC.Set(float64(ms.NextGC))
+	})
+}
+
+// RegisterBuildInfo registers the llmms_build_info info-gauge: constant
+// value 1 with the build's version and Go toolchain as labels, the
+// conventional shape for joining version onto any other series.
+func RegisterBuildInfo(reg *Registry, version string) {
+	reg.Gauge("llmms_build_info",
+		"Build metadata; value is always 1.", "version", "go_version").
+		Set(1, version, runtime.Version())
+}
+
+// GoVersion is the running toolchain version, re-exported so binaries
+// can print it from -version without importing runtime themselves.
+func GoVersion() string { return runtime.Version() }

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsSampledOnScrape(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"llmms_go_goroutines",
+		"llmms_go_heap_alloc_bytes",
+		"llmms_go_heap_objects",
+		"llmms_go_gc_cycles",
+		"llmms_go_gc_pause_seconds_total",
+		"llmms_go_next_gc_bytes",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// The gauges are sampled per scrape, not at registration: a live
+	// process always has at least one goroutine and a non-zero heap, so
+	// a zero value would mean the OnScrape hook never ran.
+	if strings.Contains(out, "llmms_go_goroutines 0\n") {
+		t.Error("goroutine gauge is zero; scrape hook did not sample")
+	}
+	if strings.Contains(out, "llmms_go_heap_alloc_bytes 0\n") {
+		t.Error("heap gauge is zero; scrape hook did not sample")
+	}
+}
+
+func TestBuildInfoMetric(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "9.9.9-test")
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "llmms_build_info{") {
+		t.Fatalf("exposition missing llmms_build_info:\n%s", out)
+	}
+	if !strings.Contains(out, `version="9.9.9-test"`) {
+		t.Error("build info missing version label")
+	}
+	if !strings.Contains(out, `go_version="`+runtime.Version()+`"`) {
+		t.Error("build info missing go_version label")
+	}
+}

@@ -1,0 +1,385 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// This file is the distributed-tracing layer: a dependency-free
+// Span/Tracer implementation carried through context.Context so one
+// query yields a single span tree covering HTTP handling, cache lookup,
+// admission wait, orchestration rounds, fleet replica calls, and every
+// modeld HTTP request — including daemon-side spans joined across the
+// process boundary via the W3C traceparent header.
+//
+// Design notes:
+//
+//   - Spans of one trace share a single append-only buffer owned by the
+//     root; Span.End appends the finished record, so a trace's records
+//     are in end order, and the tree is reconstructed from ParentID.
+//   - Every constructor returns a usable value even when tracing is
+//     off: a nil *Span is a valid no-op receiver for every method, so
+//     call sites never branch on "is tracing enabled".
+//   - Cross-process spans: modeld.Client injects Traceparent() into
+//     request headers; the daemon parses it with ParseTraceparent,
+//     builds its own subtree under the caller's span ID, and ships the
+//     finished records back on the NDJSON done line, where the client
+//     grafts them into the local buffer with Adopt.
+
+// MaxSpansPerTrace bounds one trace's record buffer. Past the cap,
+// finished spans are counted in SpanRecord attrs on the root
+// ("dropped_spans") instead of retained, so a runaway fan-out cannot
+// hold unbounded memory.
+const MaxSpansPerTrace = 512
+
+// SpanRecord is one finished span, JSON-shaped for /api/traces/{id} and
+// the modeld done-line extension.
+type SpanRecord struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Service  string            `json:"service,omitempty"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Status   string            `json:"status"` // ok | error
+	Error    string            `json:"error,omitempty"`
+}
+
+// Tracer mints root spans for one service ("llmms", "modeld"). A nil
+// *Tracer is valid and disables tracing: StartRoot returns a nil span
+// and the whole instrumented path degrades to no-ops.
+type Tracer struct {
+	service string
+}
+
+// NewTracer returns a tracer stamping every span with the service name.
+func NewTracer(service string) *Tracer { return &Tracer{service: service} }
+
+// spanBuf collects one trace's finished records. Shared by every span
+// of the trace and safe for concurrent End/Adopt from fan-out workers.
+type spanBuf struct {
+	mu      sync.Mutex
+	recs    []SpanRecord
+	dropped int
+}
+
+func (b *spanBuf) add(recs ...SpanRecord) {
+	b.mu.Lock()
+	for _, r := range recs {
+		if len(b.recs) >= MaxSpansPerTrace {
+			b.dropped++
+			continue
+		}
+		b.recs = append(b.recs, r)
+	}
+	b.mu.Unlock()
+}
+
+// Span is one in-flight stage of a trace. Create children with
+// StartSpan (context) or Child (explicit parent); finish with End.
+// All methods are safe on a nil receiver.
+type Span struct {
+	buf *spanBuf
+
+	mu    sync.Mutex
+	rec   SpanRecord
+	ended bool
+	root  bool
+}
+
+// StartRoot opens a new trace: fresh trace ID, no parent. The returned
+// context carries the span for StartSpan call sites downstream. On a
+// nil tracer both returns are no-ops (ctx unchanged, nil span).
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.startRoot(ctx, name, NewTraceID(), "")
+}
+
+// StartRootFrom opens this process's root span as a child of a remote
+// parent: the daemon side of traceparent propagation. traceID and
+// parentID must be the already-validated values from ParseTraceparent.
+func (t *Tracer) StartRootFrom(ctx context.Context, name, traceID, parentID string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	return t.startRoot(ctx, name, traceID, parentID)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, name, traceID, parentID string) (context.Context, *Span) {
+	s := &Span{
+		buf:  &spanBuf{},
+		root: true,
+		rec: SpanRecord{
+			TraceID:  traceID,
+			SpanID:   NewSpanID(),
+			ParentID: parentID,
+			Name:     name,
+			Service:  t.service,
+			Start:    time.Now(),
+		},
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// spanKey is the context key carrying the current span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when ctx carries
+// none (tracing off, or an un-instrumented entry point).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying the child. With no span in ctx it returns (ctx, nil):
+// the nil span no-ops, so call sites stay unconditional.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.Child(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// Child opens a child span sharing the receiver's trace and buffer.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	rec := SpanRecord{
+		TraceID:  s.rec.TraceID,
+		SpanID:   NewSpanID(),
+		ParentID: s.rec.SpanID,
+		Name:     name,
+		Service:  s.rec.Service,
+		Start:    time.Now(),
+	}
+	s.mu.Unlock()
+	return &Span{buf: s.buf, rec: rec}
+}
+
+// SetAttr attaches one key/value to the span. Values must come from
+// bounded vocabularies or be short identifiers — never query text.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]string, 4)
+		}
+		s.rec.Attrs[key] = value
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span with its terminal error (nil on success) and
+// appends the record to the trace buffer. Later calls are no-ops.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.Duration = time.Since(s.rec.Start)
+	if err != nil {
+		s.rec.Status = "error"
+		s.rec.Error = err.Error()
+	} else {
+		s.rec.Status = "ok"
+	}
+	rec := s.rec
+	if s.root {
+		s.buf.mu.Lock()
+		if d := s.buf.dropped; d > 0 {
+			if rec.Attrs == nil {
+				rec.Attrs = make(map[string]string, 1)
+			}
+			rec.Attrs["dropped_spans"] = itoa(d)
+			s.rec = rec
+		}
+		s.buf.mu.Unlock()
+	}
+	s.mu.Unlock()
+	s.buf.add(rec)
+}
+
+// itoa avoids strconv in the hot End path for the rare dropped case.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TraceID returns the span's trace ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.TraceID
+}
+
+// SpanID returns the span's own ID ("" on nil).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
+}
+
+// Records returns a copy of the trace's finished records so far.
+// Call after End on the subtree of interest; spans still in flight are
+// absent. Nil-safe (returns nil).
+func (s *Span) Records() []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.buf.mu.Lock()
+	out := make([]SpanRecord, len(s.buf.recs))
+	copy(out, s.buf.recs)
+	s.buf.mu.Unlock()
+	return out
+}
+
+// Adopt grafts remotely-finished records (a daemon's subtree) into the
+// local trace buffer. Records from a different trace are discarded —
+// a daemon echoing stale spans cannot pollute an unrelated trace.
+func (s *Span) Adopt(recs []SpanRecord) {
+	if s == nil || len(recs) == 0 {
+		return
+	}
+	kept := recs[:0:0]
+	for _, r := range recs {
+		if r.TraceID == s.rec.TraceID && r.SpanID != "" {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) > 0 {
+		s.buf.add(kept...)
+	}
+}
+
+// AddRecord appends an already-shaped record to the trace buffer,
+// filling TraceID and Service from the span. Used by the query
+// observer to synthesize round/chunk spans from orchestration events
+// without core importing telemetry.
+func (s *Span) AddRecord(rec SpanRecord) {
+	if s == nil {
+		return
+	}
+	rec.TraceID = s.rec.TraceID
+	if rec.Service == "" {
+		rec.Service = s.rec.Service
+	}
+	if rec.SpanID == "" {
+		rec.SpanID = NewSpanID()
+	}
+	if rec.Status == "" {
+		rec.Status = "ok"
+	}
+	s.buf.add(rec)
+}
+
+// --- W3C traceparent ---------------------------------------------------
+
+// Traceparent renders the span as a W3C trace-context header value
+// (version 00, sampled flag set): 00-<trace-id>-<span-id>-01.
+// Returns "" on a nil span, so callers can skip header injection.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + s.rec.TraceID + "-" + s.rec.SpanID + "-01"
+}
+
+// ParseTraceparent validates a W3C traceparent header value and returns
+// its trace and parent-span IDs. ok is false for anything malformed —
+// wrong length, unknown version, non-hex, or all-zero IDs — in which
+// case the callee should fall back to a fresh root span.
+func ParseTraceparent(h string) (traceID, spanID string, ok bool) {
+	// 00-{32 hex}-{16 hex}-{2 hex} = 55 bytes.
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	if h[0] != '0' || h[1] != '0' { // only version 00 is understood
+		return "", "", false
+	}
+	traceID, spanID = h[3:35], h[36:52]
+	if !isHex(traceID) || !isHex(spanID) || !isHex(h[53:55]) {
+		return "", "", false
+	}
+	if allZero(traceID) || allZero(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraceID returns a fresh 32-hex-character (128-bit) trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(b[8:], idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh 16-hex-character (64-bit) span ID.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano())^idCounter.Add(1)<<32)
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -112,6 +112,7 @@ type Telemetry struct {
 func New(opts Options) *Telemetry {
 	reg := NewRegistry()
 	reg.SetMaxSeries(opts.MaxSeries)
+	RegisterRuntimeMetrics(reg)
 	maxQuery := opts.MaxQueryBytes
 	if maxQuery <= 0 {
 		maxQuery = DefaultMaxQueryBytes

@@ -4,6 +4,8 @@ import (
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
+	mrand "math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +22,10 @@ type QueryTrace struct {
 	// ID is the generated query identifier (see NewQueryID), also
 	// returned to clients in the X-Query-ID header and result frame.
 	ID string `json:"id"`
+	// TraceID is the distributed trace this query belongs to (32 hex
+	// chars, shared with daemon-side spans via traceparent). Empty when
+	// tracing was disabled.
+	TraceID string `json:"trace_id,omitempty"`
 	// Strategy is the orchestration policy that served the query.
 	Strategy string `json:"strategy"`
 	// Query is the user's question, truncated to the store's limit.
@@ -48,6 +54,10 @@ type QueryTrace struct {
 	Failures []ModelFailure `json:"failures,omitempty"`
 	// Pruned lists models removed by score-based pruning.
 	Pruned []string `json:"pruned,omitempty"`
+	// Spans is the full distributed span tree: server stages, fleet
+	// calls, modeld client requests, and grafted daemon-side spans, all
+	// sharing TraceID. Reconstruct the tree from ParentID links.
+	Spans []SpanRecord `json:"spans,omitempty"`
 }
 
 // RoundSpan times one allocation round (OUA round or MAB/Hybrid pull).
@@ -124,6 +134,13 @@ func (t QueryTrace) summary() TraceSummary {
 // TraceStore retains the most recent completed query traces in a
 // fixed-capacity ring buffer keyed by query ID: the (capacity+1)-th
 // insertion evicts the oldest trace. Safe for concurrent use.
+//
+// Retention is tail-based: traces worth debugging — any non-"ok"
+// outcome, or a latency at or above the p99 of recent queries — are
+// always stored; ordinary traces are stored with probability
+// SampleRate (default 1, keep everything). Lowering the rate under
+// heavy traffic keeps the ring full of errors and slow tails instead
+// of thousands of identical fast successes.
 type TraceStore struct {
 	mu       sync.RWMutex
 	capacity int
@@ -131,37 +148,119 @@ type TraceStore struct {
 	head     int // next write position once full
 	count    int
 	byID     map[string]int
+
+	sampleRate float64
+	sampledOut uint64 // ordinary traces dropped by sampling
+	durs       [slowWindow]time.Duration
+	durHead    int
+	durCount   int
+	randf      func() float64 // test seam; nil means math/rand
 }
 
+// slowWindow is how many recent query durations feed the slow-tail
+// (p99) estimate, and slowMinSamples how many must accumulate before
+// the estimate is trusted (every trace is "slow" until then).
+const (
+	slowWindow     = 256
+	slowMinSamples = 32
+)
+
 // NewTraceStore returns an empty store retaining up to capacity traces
-// (non-positive means DefaultTraceCapacity).
+// (non-positive means DefaultTraceCapacity), keeping every trace
+// (SampleRate 1).
 func NewTraceStore(capacity int) *TraceStore {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &TraceStore{capacity: capacity, byID: make(map[string]int)}
+	return &TraceStore{capacity: capacity, byID: make(map[string]int), sampleRate: 1}
+}
+
+// SetSampleRate sets the retention probability for ordinary (ok,
+// not-slow) traces, clamped to [0, 1]. Error and slow-tail traces are
+// always retained regardless. Rate 0 keeps only the tail.
+func (s *TraceStore) SetSampleRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s.mu.Lock()
+	s.sampleRate = rate
+	s.mu.Unlock()
+}
+
+// SampledOut reports how many ordinary traces the tail policy dropped.
+func (s *TraceStore) SampledOut() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sampledOut
 }
 
 // Put stores a completed trace, evicting the oldest beyond capacity. A
 // trace with an already-stored ID replaces the stored copy in place.
-func (s *TraceStore) Put(tr QueryTrace) {
+// Returns whether the trace was retained: an "ok" trace below the
+// slow-tail threshold may be sampled out when SampleRate < 1.
+func (s *TraceStore) Put(tr QueryTrace) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	keep := true
+	if tr.Outcome == "ok" && s.sampleRate < 1 && !s.slowLocked(tr.Elapsed) {
+		keep = s.rollLocked() < s.sampleRate
+	}
+	s.recordDurLocked(tr.Elapsed)
+	if !keep {
+		s.sampledOut++
+		return false
+	}
 	if idx, ok := s.byID[tr.ID]; ok {
 		s.buf[idx] = tr
-		return
+		return true
 	}
 	if s.count < s.capacity {
 		s.buf = append(s.buf, tr)
 		s.byID[tr.ID] = s.count
 		s.count++
 		s.head = s.count % s.capacity
-		return
+		return true
 	}
 	delete(s.byID, s.buf[s.head].ID)
 	s.buf[s.head] = tr
 	s.byID[tr.ID] = s.head
 	s.head = (s.head + 1) % s.capacity
+	return true
+}
+
+// slowLocked reports whether d is at or above the p99 of the recent
+// duration window. With too few samples every trace counts as slow —
+// erring toward retention while the estimate warms up.
+func (s *TraceStore) slowLocked(d time.Duration) bool {
+	if s.durCount < slowMinSamples {
+		return true
+	}
+	sorted := make([]time.Duration, s.durCount)
+	copy(sorted, s.durs[:s.durCount])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (99*s.durCount + 99) / 100 // ceil(0.99*n)
+	if idx > s.durCount {
+		idx = s.durCount
+	}
+	return d >= sorted[idx-1]
+}
+
+func (s *TraceStore) recordDurLocked(d time.Duration) {
+	s.durs[s.durHead] = d
+	s.durHead = (s.durHead + 1) % slowWindow
+	if s.durCount < slowWindow {
+		s.durCount++
+	}
+}
+
+func (s *TraceStore) rollLocked() float64 {
+	if s.randf != nil {
+		return s.randf()
+	}
+	return mrand.Float64()
 }
 
 // Get returns the trace with the given ID, if it is still retained.

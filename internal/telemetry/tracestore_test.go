@@ -135,3 +135,70 @@ func TestNewQueryID(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// TestTraceStoreTailSampling drives the tail-based retention policy
+// with a deterministic roll: errors and slow-tail traces always stick,
+// ordinary traces obey the sample rate.
+func TestTraceStoreTailSampling(t *testing.T) {
+	s := NewTraceStore(1024)
+	s.SetSampleRate(0) // keep only the tail
+	roll := 0.5
+	s.randf = func() float64 { return roll }
+
+	// Warm the duration window past slowMinSamples with uniform fast
+	// queries; until then everything counts as slow and is retained.
+	for i := 0; i < slowMinSamples; i++ {
+		tr := QueryTrace{ID: fmt.Sprintf("warm%d", i), Outcome: "ok", Elapsed: time.Millisecond}
+		if !s.Put(tr) {
+			t.Fatalf("warmup trace %d dropped before the p99 estimate warmed up", i)
+		}
+	}
+
+	// Ordinary fast ok trace: sampled out at rate 0. Strictly faster
+	// than the window's uniform 1ms so it cannot tie the p99 (the slow
+	// test is d >= p99, so an equal duration would count as slow).
+	if s.Put(QueryTrace{ID: "fast", Outcome: "ok", Elapsed: time.Microsecond}) {
+		t.Error("ordinary trace retained at sample rate 0")
+	}
+	if s.SampledOut() != 1 {
+		t.Errorf("SampledOut = %d, want 1", s.SampledOut())
+	}
+	if _, ok := s.Get("fast"); ok {
+		t.Error("sampled-out trace is retrievable")
+	}
+
+	// Error outcome: always retained.
+	if !s.Put(QueryTrace{ID: "err", Outcome: "error", Elapsed: time.Microsecond}) {
+		t.Error("error trace dropped by sampling")
+	}
+
+	// Slow tail: at or above p99 of the (1ms-uniform) window.
+	if !s.Put(QueryTrace{ID: "slow", Outcome: "ok", Elapsed: 50 * time.Millisecond}) {
+		t.Error("slow-tail trace dropped by sampling")
+	}
+
+	// Partial rate: the deterministic roll of 0.5 keeps traces when the
+	// rate exceeds it and drops them when it does not.
+	s.SetSampleRate(0.75)
+	if !s.Put(QueryTrace{ID: "kept", Outcome: "ok", Elapsed: time.Microsecond}) {
+		t.Error("roll 0.5 < rate 0.75 should retain")
+	}
+	s.SetSampleRate(0.25)
+	if s.Put(QueryTrace{ID: "dropped", Outcome: "ok", Elapsed: time.Microsecond}) {
+		t.Error("roll 0.5 >= rate 0.25 should drop")
+	}
+}
+
+// TestTraceStoreDefaultKeepsEverything proves the default rate of 1
+// never drops, so existing behaviour is unchanged.
+func TestTraceStoreDefaultKeepsEverything(t *testing.T) {
+	s := NewTraceStore(1024)
+	for i := 0; i < 100; i++ {
+		if !s.Put(QueryTrace{ID: fmt.Sprintf("q%d", i), Outcome: "ok", Elapsed: time.Millisecond}) {
+			t.Fatalf("trace %d dropped at default sample rate", i)
+		}
+	}
+	if s.SampledOut() != 0 {
+		t.Errorf("SampledOut = %d, want 0", s.SampledOut())
+	}
+}

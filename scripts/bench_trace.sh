@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs the tracing-overhead benchmark: the uncached full-orchestration
+# serving path with span collection on vs off (Options.DisableTracing).
+# Reports p50_ms/p99_ms/qps per variant and writes machine-readable
+# JSON so the span layer's cost can be diffed across commits; the
+# acceptance bound is a p50 delta of at most 5%. The raw `go test
+# -bench` text goes to stderr.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_trace.json}"
+go test -bench='ServeTrace' -run='^$' ./internal/server/ \
+	| tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"
