@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace check
+.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace bench-batch check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ bench-fleet:
 # see DESIGN.md "Distributed tracing & logging".
 bench-trace:
 	./scripts/bench_trace.sh BENCH_trace.json
+
+# bench-batch runs the continuous-batching benchmarks (8 concurrent
+# same-model generations with the per-model batch scheduler on vs off,
+# at the engine layer and through the full HTTP stack) and writes
+# BENCH_batch.json; see DESIGN.md "Continuous batching".
+bench-batch:
+	./scripts/bench_batch.sh BENCH_batch.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

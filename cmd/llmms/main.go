@@ -5,6 +5,7 @@
 // Usage:
 //
 //	llmms [-addr :8080] [-questions 400] [-latency 0.02]
+//	      [-batch] [-max-batch-tokens 256]
 //	      [-trace-capacity 256] [-trace-sample 1.0] [-pprof]
 //	      [-cache-ttl 5m] [-cache-capacity 256] [-semantic-threshold 0.97]
 //	      [-max-inflight 0] [-fleet 0] [-hedge-p95 0]
@@ -13,7 +14,12 @@
 // -questions sizes the engine's knowledge base (the simulated models can
 // answer that many benchmark questions); -latency scales the simulated
 // per-token decode delay so streaming is visibly incremental (0 disables
-// sleeping entirely). -trace-capacity bounds the in-memory ring of
+// sleeping entirely). -batch (default on) routes generations through
+// the engine's per-model continuous batch scheduler so concurrent
+// queries on one model decode together at ~1x–2x a single stream's
+// step cost instead of time-slicing at ~Kx; -max-batch-tokens bounds
+// the scheduler's per-step token budget (see DESIGN.md "Continuous
+// batching"). -trace-capacity bounds the in-memory ring of
 // completed query traces served by /api/traces; -pprof mounts
 // net/http/pprof under /debug/pprof/ (off by default). Prometheus-style
 // metrics are always exposed on GET /metrics.
@@ -73,6 +79,8 @@ func main() {
 	semThreshold := flag.Float64("semantic-threshold", qcache.DefaultSemanticThreshold, "cosine similarity for semantic cache hits (>1 disables the tier)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent orchestration weight bound, 429 past the wait queue (0 = unlimited)")
 	streamSessions := flag.Bool("stream-sessions", true, "pipelined generation: one persistent stream per model per query, sliced per round (false = per-round chunk calls)")
+	batch := flag.Bool("batch", true, "continuous batching: one scheduler per model steps all in-flight generations together (false = goroutine per stream)")
+	maxBatchTokens := flag.Int("max-batch-tokens", llm.DefaultMaxBatchTokens, "per-step token budget of each model's batch scheduler (prefill + one decode token per sequence)")
 	fleetSize := flag.Int("fleet", 0, "replicas per model behind the fleet layer: breakers, health probes, least-loaded routing (0 = no fleet)")
 	hedgeP95 := flag.Float64("hedge-p95", 0, "hedge a chunk call on a second replica once it exceeds this multiple of the model's p95 latency (0 = no hedging; needs -fleet ≥ 2)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -96,9 +104,14 @@ func main() {
 		log.Fatalf("llmms: %v", err)
 	}
 	engine := llm.NewEngine(llm.Options{
-		Knowledge:    llm.NewKnowledge(ds),
-		LatencyScale: *latency,
+		Knowledge:       llm.NewKnowledge(ds),
+		LatencyScale:    *latency,
+		DisableBatching: !*batch,
+		MaxBatchTokens:  *maxBatchTokens,
 	})
+	// Drain the per-model batch schedulers on shutdown so in-flight
+	// generations finish before the process exits.
+	defer engine.Close()
 	tel := telemetry.New(telemetry.Options{TraceCapacity: *traceCap})
 	tel.Traces.SetSampleRate(*traceSample)
 	telemetry.RegisterBuildInfo(tel.Registry, server.Version)

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	modeld [-addr :11434] [-questions 400] [-latency 0.02]
+//	       [-batch] [-max-batch-tokens 256]
 //	       [-log-level info] [-log-format text] [-pprof] [-version]
 //
 // The daemon participates in distributed tracing: requests carrying a
@@ -16,14 +17,24 @@
 // mounts net/http/pprof under /debug/pprof/ (off by default, matching
 // cmd/llmms); -version prints the daemon version and Go runtime and
 // exits.
+//
+// -batch (default on) routes every generation through the engine's
+// per-model continuous batch scheduler: concurrent requests on one
+// model decode together at ~1x–2x a single stream's step cost instead
+// of time-slicing at ~Kx. -max-batch-tokens bounds the per-step token
+// budget. On SIGINT the daemon stops accepting requests and drains the
+// schedulers so in-flight generations finish.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"time"
 
 	"llmms/internal/llm"
 	"llmms/internal/modeld"
@@ -35,6 +46,8 @@ func main() {
 	addr := flag.String("addr", ":11434", "listen address (Ollama's default port)")
 	questions := flag.Int("questions", 400, "knowledge base size")
 	latency := flag.Float64("latency", 0.02, "simulated decode latency scale (0 = no delay)")
+	batch := flag.Bool("batch", true, "continuous batching: one scheduler per model steps all in-flight generations together (false = goroutine per stream)")
+	maxBatchTokens := flag.Int("max-batch-tokens", llm.DefaultMaxBatchTokens, "per-step token budget of each model's batch scheduler (prefill + one decode token per sequence)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -51,8 +64,10 @@ func main() {
 	}
 
 	engine := llm.NewEngine(llm.Options{
-		Knowledge:    llm.NewKnowledge(truthfulqa.Generate(*questions, 1)),
-		LatencyScale: *latency,
+		Knowledge:       llm.NewKnowledge(truthfulqa.Generate(*questions, 1)),
+		LatencyScale:    *latency,
+		DisableBatching: !*batch,
+		MaxBatchTokens:  *maxBatchTokens,
 	})
 	srv := modeld.NewServer(engine,
 		modeld.WithLogger(logger),
@@ -62,7 +77,25 @@ func main() {
 	for _, p := range engine.Profiles() {
 		fmt.Printf("  model %-12s %s %s ctx=%d\n", p.Name, p.Parameters, p.Quantization, p.ContextWindow)
 	}
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	// Graceful shutdown: stop accepting requests, then drain each
+	// model's batch scheduler so in-flight generations finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
 		log.Fatalf("modeld: %v", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("modeld: shutdown: %v", err)
+	}
+	if err := engine.Close(); err != nil {
+		log.Printf("modeld: engine close: %v", err)
 	}
 }

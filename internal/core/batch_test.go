@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"llmms/internal/llm"
+)
+
+// TestBatchingDeterminism extends the execution-strategy invariant to
+// the engine's continuous batch scheduler: for every orchestration
+// strategy, winner, answer, token accounting, and per-model responses
+// must be identical whether the engine batches decode steps or runs
+// each stream on its own goroutine — including on the pipelined
+// persistent-stream path, which routes OpenStream sessions through the
+// same scheduler.
+func TestBatchingDeterminism(t *testing.T) {
+	cfg := DefaultConfig(engineModels()...)
+	cfg.MaxTokens = 512
+	for _, strat := range []Strategy{StrategyOUA, StrategyMAB, StrategyHybrid} {
+		for _, disableStreaming := range []bool{false, true} {
+			var results [2]Result
+			for i, disableBatching := range []bool{false, true} {
+				c := cfg
+				c.DisableStreaming = disableStreaming
+				e := llm.NewEngine(llm.Options{DisableBatching: disableBatching})
+				o := mustNew(t, e, c)
+				res, err := o.Run(context.Background(), strat, enginePrompt)
+				if err != nil {
+					t.Fatalf("%s (streaming off=%v, batching off=%v): %v",
+						strat, disableStreaming, disableBatching, err)
+				}
+				if err := e.Close(); err != nil {
+					t.Fatal(err)
+				}
+				results[i] = res
+			}
+			batched, unbatched := results[0], results[1]
+			if batched.Answer != unbatched.Answer || batched.Model != unbatched.Model {
+				t.Fatalf("%s: batched winner (%s, %q) != unbatched winner (%s, %q)",
+					strat, batched.Model, batched.Answer, unbatched.Model, unbatched.Answer)
+			}
+			if batched.TokensUsed != unbatched.TokensUsed {
+				t.Fatalf("%s: batched used %d tokens, unbatched %d",
+					strat, batched.TokensUsed, unbatched.TokensUsed)
+			}
+			for _, uo := range unbatched.Outcomes {
+				bo, ok := batched.Outcome(uo.Model)
+				if !ok || bo.Response != uo.Response || bo.Tokens != uo.Tokens {
+					t.Fatalf("%s/%s: batched outcome %+v != unbatched %+v", strat, uo.Model, bo, uo)
+				}
+			}
+		}
+	}
+}

@@ -53,6 +53,10 @@ type device struct {
 	used        uint64
 	allocations map[string]uint64 // owner -> bytes
 	activeJobs  int
+	jobsByOwner map[string]int // owner -> active jobs
+	batchSeqs   map[string]int // owner -> current batch occupancy
+	batchSteps  uint64
+	batchTokens uint64
 	temperature float64
 }
 
@@ -65,6 +69,13 @@ type DeviceStat struct {
 	MemoryTotal uint64
 	Utilization float64 // 0..100
 	Temperature float64 // °C
+	// BatchSeqs is the device's current continuous-batch occupancy:
+	// sequences being decoded together across all resident models.
+	BatchSeqs int
+	// BatchSteps and BatchTokens are cumulative batch-scheduler step
+	// accounting: decode steps executed and tokens they produced.
+	BatchSteps  uint64
+	BatchTokens uint64
 	Processes   []ProcessStat
 }
 
@@ -99,6 +110,8 @@ func NewCluster(specs ...DeviceSpec) *Cluster {
 		c.devices = append(c.devices, &device{
 			spec:        s,
 			allocations: make(map[string]uint64),
+			jobsByOwner: make(map[string]int),
+			batchSeqs:   make(map[string]int),
 			temperature: c.ambient,
 		})
 	}
@@ -187,6 +200,7 @@ func (c *Cluster) BeginJob(owner string) func() {
 	for _, d := range c.devices {
 		if _, ok := d.allocations[owner]; ok {
 			d.activeJobs++
+			d.jobsByOwner[owner]++
 			d.temperature += 4
 			if d.temperature > 90 {
 				d.temperature = 90
@@ -200,11 +214,59 @@ func (c *Cluster) BeginJob(owner string) func() {
 					if dd.activeJobs > 0 {
 						dd.activeJobs--
 					}
+					if dd.jobsByOwner[owner] > 1 {
+						dd.jobsByOwner[owner]--
+					} else {
+						delete(dd.jobsByOwner, owner)
+					}
 				})
 			}
 		}
 	}
 	return func() {}
+}
+
+// ActiveJobs reports how many inference jobs owner currently has running
+// on its device. The simulated engine uses it as the shared-throughput
+// contention factor for independent (unbatched) decode streams: K
+// concurrent jobs on one model time-slice the device, so each runs at
+// ~1/K of the model's single-stream speed. CPU-resident and unknown
+// owners report zero.
+func (c *Cluster) ActiveJobs(owner string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if _, ok := d.allocations[owner]; ok {
+			return d.jobsByOwner[owner]
+		}
+	}
+	return 0
+}
+
+// RecordStep is the batch scheduler's per-step accounting hook: seqs is
+// the owner's current batch occupancy after the step (0 clears it, e.g.
+// when the batch drains idle) and decoded is how many tokens the step
+// produced. Utilization telemetry folds occupancy in, so a device
+// hosting one 8-sequence batch reads like one hosting 8 independent
+// jobs. CPU-resident and unknown owners are a no-op, matching BeginJob.
+func (c *Cluster) RecordStep(owner string, seqs, decoded int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.devices {
+		if _, ok := d.allocations[owner]; !ok {
+			continue
+		}
+		if seqs > 0 {
+			d.batchSeqs[owner] = seqs
+		} else {
+			delete(d.batchSeqs, owner)
+		}
+		if decoded > 0 {
+			d.batchSteps++
+			d.batchTokens += uint64(decoded)
+		}
+		return
+	}
 }
 
 // Tick advances the thermal model one step: idle devices cool toward
@@ -228,7 +290,17 @@ func (c *Cluster) Stats() Snapshot {
 	defer c.mu.Unlock()
 	snap := Snapshot{}
 	for i, d := range c.devices {
-		util := float64(d.activeJobs) * 45
+		// A batch scheduler holds one job per model while stepping, so
+		// occupancy beyond the first sequence per owner is extra load on
+		// top of activeJobs.
+		batchSeqs, extra := 0, 0
+		for _, n := range d.batchSeqs {
+			batchSeqs += n
+			if n > 1 {
+				extra += n - 1
+			}
+		}
+		util := float64(d.activeJobs+extra) * 45
 		if util > 100 {
 			util = 100
 		}
@@ -239,6 +311,9 @@ func (c *Cluster) Stats() Snapshot {
 			MemoryTotal: d.spec.VRAM,
 			Utilization: util,
 			Temperature: d.temperature,
+			BatchSeqs:   batchSeqs,
+			BatchSteps:  d.batchSteps,
+			BatchTokens: d.batchTokens,
 		}
 		for owner, b := range d.allocations {
 			stat.Processes = append(stat.Processes, ProcessStat{Owner: owner, Bytes: b})

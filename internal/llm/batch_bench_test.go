@@ -1,0 +1,77 @@
+package llm
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"llmms/internal/truthfulqa"
+)
+
+// benchBatchConcurrency is the same-model fan-in the batch benchmark
+// measures: the acceptance scenario is ≥8 concurrent queries hitting
+// one model.
+const benchBatchConcurrency = 8
+
+// benchmarkBatchDecode drives waves of concurrent same-model
+// generations through one engine and reports per-request decode
+// wall-clock (p50_ms) and aggregate qps. With batching on, the
+// scheduler steps all requests together at ~2x one stream's per-token
+// cost; with batching off, the independent goroutines time-slice the
+// model's throughput at ~Kx.
+func benchmarkBatchDecode(b *testing.B, disable bool) {
+	// The scale is chosen so one llama3 decode step (~0.5ms) stays well
+	// above timer granularity — smaller scales let time.Sleep overshoot
+	// flatten the on/off contrast the cost model produces.
+	e := NewEngine(Options{
+		Knowledge:       NewKnowledge(truthfulqa.Seed()),
+		LatencyScale:    0.05,
+		DisableBatching: disable,
+	})
+	defer e.Close()
+	req := GenRequest{Model: ModelLlama3, Prompt: "Are bats blind?", MaxTokens: 24}
+
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, b.N*benchBatchConcurrency)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := 0; j < benchBatchConcurrency; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				if _, _, err := e.GenerateAll(context.Background(), req); err != nil {
+					b.Error(err)
+					return
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if b.Failed() || len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 := float64(lats[len(lats)/2]) / float64(time.Millisecond)
+	b.ReportMetric(p50, "p50_ms")
+	b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "qps")
+}
+
+// BenchmarkBatchDecode is the engine-level half of `make bench-batch`
+// (BENCH_batch.json): 8 concurrent same-model generations with the
+// continuous batch scheduler on versus the goroutine-per-stream path.
+func BenchmarkBatchDecode(b *testing.B) {
+	b.Run("batch_on", func(b *testing.B) { benchmarkBatchDecode(b, false) })
+	b.Run("batch_off", func(b *testing.B) { benchmarkBatchDecode(b, true) })
+}

@@ -104,6 +104,22 @@ type ModelInfo struct {
 	Name    string       `json:"name"`
 	Size    uint64       `json:"size"`
 	Details ModelDetails `json:"details"`
+	// Batch is the model's continuous-batch scheduler snapshot, set on
+	// /api/ps replies when the engine has a scheduler for the model.
+	Batch *BatchInfo `json:"batch,omitempty"`
+}
+
+// BatchInfo surfaces one model's batch-scheduler occupancy and
+// cumulative step accounting in /api/ps.
+type BatchInfo struct {
+	// Active is the current batch occupancy (sequences decoding).
+	Active int `json:"active"`
+	// Pending is the number of sequences queued for admission.
+	Pending int `json:"pending"`
+	// Steps is the cumulative decode-step count.
+	Steps uint64 `json:"steps"`
+	// Decoded is the cumulative token count those steps produced.
+	Decoded uint64 `json:"decoded"`
 }
 
 // ModelDetails mirrors the nested details object of Ollama's tags reply.
@@ -168,7 +184,8 @@ func WithPprof(enabled bool) ServerOption {
 // NewServer wraps an engine in the daemon protocol. The daemon carries
 // its own metrics registry (modeld_requests_total{route,code},
 // modeld_request_duration_seconds{route},
-// modeld_generate_tokens_total{model}, plus llmms_go_* runtime gauges
+// modeld_generate_tokens_total{model}, the engine's llmms_batch_*
+// scheduler series, plus llmms_go_* runtime gauges
 // and llmms_build_info) exposed on GET /metrics; route labels are the
 // registration patterns and model labels the engine's model names, so
 // cardinality stays bounded.
@@ -189,6 +206,13 @@ func NewServer(engine *llm.Engine, opts ...ServerOption) *Server {
 		genTok: reg.Counter("modeld_generate_tokens_total",
 			"Tokens generated by the daemon, per model.", "model"),
 	}
+	// The engine's batch schedulers report into the daemon's registry
+	// (llmms_batch_occupancy, llmms_batch_step_seconds,
+	// llmms_batch_admission_wait_seconds, llmms_batch_steps_total).
+	bm := telemetry.RegisterBatchMetrics(reg)
+	engine.SetBatchHooks(llm.BatchHooks{
+		Step: bm.ObserveStep, Admit: bm.ObserveAdmission, Idle: bm.MarkIdle,
+	})
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -287,6 +311,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		s.log.Warn("generate failed", "model", req.Model, "trace_id", root.TraceID(), "err", err)
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
+	}
+	// Occupancy the moment this request joined the model's batch
+	// (active plus queued, including this one); absent when batching is
+	// disabled.
+	if st, ok := s.engine.BatchStats(req.Model); ok {
+		gen.SetAttr("batch_occupancy", strconv.Itoa(st.Active+st.Pending))
 	}
 
 	if !stream {
@@ -426,14 +456,21 @@ func (s *Server) handlePS(w http.ResponseWriter, _ *http.Request) {
 	var resp TagsResponse
 	for _, p := range s.engine.Profiles() {
 		if s.engine.Loaded(p.Name) {
-			resp.Models = append(resp.Models, ModelInfo{
+			info := ModelInfo{
 				Name: p.Name, Size: p.SizeBytes,
 				Details: ModelDetails{
 					Family:            p.Family,
 					ParameterSize:     p.Parameters,
 					QuantizationLevel: p.Quantization,
 				},
-			})
+			}
+			if st, ok := s.engine.BatchStats(p.Name); ok {
+				info.Batch = &BatchInfo{
+					Active: st.Active, Pending: st.Pending,
+					Steps: st.Steps, Decoded: st.Decoded,
+				}
+			}
+			resp.Models = append(resp.Models, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+// benchmarkServeBatch drives the full HTTP stack with a high-concurrency
+// single-model mix — every request targets the same model, the
+// worst-case fan-in for the decode clock — with the engine itself as the
+// backend so the continuous batch scheduler (or its absence) is what's
+// being measured. It reports p50_ms, p99_ms, and qps.
+func benchmarkServeBatch(b *testing.B, disable bool) {
+	engine := llm.NewEngine(llm.Options{
+		Knowledge:       llm.NewKnowledge(truthfulqa.Seed()),
+		LatencyScale:    0.05,
+		DisableBatching: disable,
+	})
+	defer engine.Close()
+	s, err := NewServer(Options{
+		Engine: engine,
+		Settings: Settings{
+			Strategy: "single", Model: llm.ModelLlama3, MaxTokens: 24,
+			Alpha: 0.7, Beta: 0.3,
+			EnabledModels: []string{llm.ModelLlama3},
+			RAGTopK:       1,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	post := func(q string) int {
+		req := httptest.NewRequest("POST", "/api/query",
+			strings.NewReader(fmt.Sprintf(`{"query":%q,"max_tokens":24}`, q)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := post("warmup question before measurement"); code != http.StatusOK {
+		b.Fatalf("warmup status = %d", code)
+	}
+
+	// Hold at least 8 requests in flight on the one model regardless of
+	// GOMAXPROCS, the acceptance scenario for the batch win.
+	par := (8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+	b.SetParallelism(par)
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, b.N)
+	var n int
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			n++
+			q := fmt.Sprintf("unique question number %d with no repeat value", n)
+			mu.Unlock()
+			t0 := time.Now()
+			code := post(q)
+			d := time.Since(t0)
+			if code != http.StatusOK {
+				b.Errorf("query status = %d", code)
+				return
+			}
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if b.Failed() || len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(pct(0.50), "p50_ms")
+	b.ReportMetric(pct(0.99), "p99_ms")
+	b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "qps")
+}
+
+// BenchmarkServeBatch is the serving-layer half of `make bench-batch`
+// (BENCH_batch.json): ≥8 concurrent single-model queries through the
+// whole stack with the engine's continuous batching on versus off.
+func BenchmarkServeBatch(b *testing.B) {
+	b.Run("batch_on", func(b *testing.B) { benchmarkServeBatch(b, false) })
+	b.Run("batch_off", func(b *testing.B) { benchmarkServeBatch(b, true) })
+}

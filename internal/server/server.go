@@ -278,6 +278,12 @@ func NewServer(opts Options) (*Server, error) {
 	if tel == nil {
 		tel = telemetry.New(telemetry.Options{})
 	}
+	// The in-process engine's batch schedulers report into the server's
+	// registry (llmms_batch_* series; see telemetry.RegisterBatchMetrics).
+	bm := telemetry.RegisterBatchMetrics(tel.Registry)
+	opts.Engine.SetBatchHooks(llm.BatchHooks{
+		Step: bm.ObserveStep, Admit: bm.ObserveAdmission, Idle: bm.MarkIdle,
+	})
 	backend := opts.Backend
 	if backend == nil {
 		if opts.Fleet != nil {

@@ -1,0 +1,67 @@
+package telemetry
+
+import "time"
+
+// BatchMetrics is the instrument set for the engine's per-model
+// continuous batch schedulers. Its observer methods match the
+// llm.BatchHooks function fields, so wiring is one struct literal:
+//
+//	bm := telemetry.RegisterBatchMetrics(reg)
+//	engine.SetBatchHooks(llm.BatchHooks{
+//		Step: bm.ObserveStep, Admit: bm.ObserveAdmission, Idle: bm.MarkIdle,
+//	})
+//
+// Series:
+//
+//	llmms_batch_occupancy{model}                   active sequences in the batch (gauge)
+//	llmms_batch_step_seconds{model}                scheduler step wall-clock histogram
+//	llmms_batch_admission_wait_seconds{model}      queue time until batch admission
+//	llmms_batch_steps_total{model}                 decode steps executed
+type BatchMetrics struct {
+	Occupancy     Gauge
+	StepSeconds   Histogram
+	AdmissionWait Histogram
+	Steps         Counter
+}
+
+// batchStepBuckets resolve the sub-millisecond step durations the
+// simulated cost model produces at small latency scales; the default
+// buckets start at 5ms and would lump every step into the first bucket.
+var batchStepBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1,
+}
+
+// RegisterBatchMetrics creates (or rebinds, registration being
+// idempotent) the llmms_batch_* series on reg.
+func RegisterBatchMetrics(reg *Registry) *BatchMetrics {
+	return &BatchMetrics{
+		Occupancy: reg.Gauge("llmms_batch_occupancy",
+			"Sequences currently decoding in the model's continuous batch.", "model"),
+		StepSeconds: reg.Histogram("llmms_batch_step_seconds",
+			"Batch scheduler step wall-clock in seconds.", batchStepBuckets, "model"),
+		AdmissionWait: reg.Histogram("llmms_batch_admission_wait_seconds",
+			"Time a sequence waited for admission into the batch.", batchStepBuckets, "model"),
+		Steps: reg.Counter("llmms_batch_steps_total",
+			"Decode steps executed by the model's batch scheduler.", "model"),
+	}
+}
+
+// ObserveStep records one scheduler step (llm.BatchHooks.Step).
+func (m *BatchMetrics) ObserveStep(model string, occupancy, decoded int, dur time.Duration) {
+	m.Occupancy.Set(float64(occupancy), model)
+	m.StepSeconds.Observe(dur.Seconds(), model)
+	if decoded > 0 {
+		m.Steps.Inc(model)
+	}
+}
+
+// ObserveAdmission records a sequence's queue time (llm.BatchHooks.Admit).
+func (m *BatchMetrics) ObserveAdmission(model string, waited time.Duration) {
+	m.AdmissionWait.Observe(waited.Seconds(), model)
+}
+
+// MarkIdle zeroes the model's occupancy when its batch drains
+// (llm.BatchHooks.Idle).
+func (m *BatchMetrics) MarkIdle(model string) {
+	m.Occupancy.Set(0, model)
+}

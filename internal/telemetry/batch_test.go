@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBatchMetrics(t *testing.T) {
+	r := NewRegistry()
+	bm := RegisterBatchMetrics(r)
+
+	bm.ObserveAdmission("llama3:8b", 300*time.Microsecond)
+	bm.ObserveStep("llama3:8b", 5, 5, 400*time.Microsecond)
+	bm.ObserveStep("llama3:8b", 0, 0, 100*time.Microsecond) // prefill-only step
+	bm.MarkIdle("llama3:8b")
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`llmms_batch_occupancy{model="llama3:8b"} 0`,
+		`llmms_batch_steps_total{model="llama3:8b"} 1`,
+		`llmms_batch_step_seconds_count{model="llama3:8b"} 2`,
+		`llmms_batch_admission_wait_seconds_count{model="llama3:8b"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// The fine buckets must actually resolve a 400µs step: the le=0.0005
+	// bucket has it, the le=0.00025 bucket does not.
+	if !strings.Contains(text, `llmms_batch_step_seconds_bucket{model="llama3:8b",le="0.0005"} 2`) {
+		t.Fatalf("0.5ms bucket should hold both steps:\n%s", text)
+	}
+	if !strings.Contains(text, `llmms_batch_step_seconds_bucket{model="llama3:8b",le="0.00025"} 1`) {
+		t.Fatalf("0.25ms bucket should hold only the prefill step:\n%s", text)
+	}
+
+	// Idempotent re-registration rebinds the same series.
+	bm2 := RegisterBatchMetrics(r)
+	bm2.ObserveStep("llama3:8b", 1, 1, time.Millisecond)
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `llmms_batch_steps_total{model="llama3:8b"} 2`) {
+		t.Fatalf("re-registered counter did not accumulate:\n%s", b.String())
+	}
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs the continuous-batching benchmarks: 8 concurrent same-model
+# generations at the engine layer (BenchmarkBatchDecode) and through the
+# full HTTP stack (BenchmarkServeBatch), each with the per-model batch
+# scheduler on vs off. Reports p50_ms/qps per variant and writes
+# machine-readable JSON so the batching multiple can be diffed across
+# commits. The raw `go test -bench` text goes to stderr.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_batch.json}"
+{
+	go test -bench='BatchDecode' -run='^$' ./internal/llm/
+	go test -bench='ServeBatch' -run='^$' ./internal/server/
+} | tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"
