@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace bench-batch check
+.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace bench-batch bench-memdb check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ bench-fleet:
 # see DESIGN.md "Distributed tracing & logging".
 bench-trace:
 	./scripts/bench_trace.sh BENCH_trace.json
+
+# bench-memdb runs the memory-substrate benchmarks (concurrent mixed
+# insert/query throughput sharded vs single-lock at 1/4/16 goroutines,
+# uncontended query latency, answer-cache cold-vs-warm hit rate) and
+# writes BENCH_memdb.json.
+bench-memdb:
+	./scripts/bench_memdb.sh BENCH_memdb.json
 
 # bench-batch runs the continuous-batching benchmarks (8 concurrent
 # same-model generations with the per-model batch scheduler on vs off,

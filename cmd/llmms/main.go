@@ -9,6 +9,7 @@
 //	      [-trace-capacity 256] [-trace-sample 1.0] [-pprof]
 //	      [-cache-ttl 5m] [-cache-capacity 256] [-semantic-threshold 0.97]
 //	      [-max-inflight 0] [-fleet 0] [-hedge-p95 0]
+//	      [-data-dir path] [-wal-sync batch] [-vectordb-shards 0]
 //	      [-log-level info] [-log-format text] [-slow-query 2s] [-version]
 //
 // -questions sizes the engine's knowledge base (the simulated models can
@@ -41,6 +42,14 @@
 // fleet on, /readyz gains per-model "fleet:<model>" checks and
 // GET /api/fleet reports per-replica state.
 //
+// The persistence flags (see DESIGN.md "Memory substrate"): -data-dir
+// roots the durable memory substrate — RAG chunks and sessions live in a
+// WAL-backed sharded vector database that recovers acknowledged writes
+// after a crash, and the answer cache warm-starts from its snapshot on
+// boot (empty disables persistence). -wal-sync picks the WAL durability
+// policy (batch group-commit, always, none) and -vectordb-shards the
+// lock-shard count per collection (0 = GOMAXPROCS).
+//
 // The observability flags: -log-level and -log-format control the
 // structured (log/slog) logger shared by the server, orchestrator, and
 // fleet — every line stamped with query and trace IDs; -slow-query
@@ -65,6 +74,7 @@ import (
 	"llmms/internal/server"
 	"llmms/internal/telemetry"
 	"llmms/internal/truthfulqa"
+	"llmms/internal/vectordb"
 )
 
 func main() {
@@ -87,6 +97,9 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	traceSample := flag.Float64("trace-sample", 1, "retention probability for ordinary traces; errors and slow-tail traces are always kept")
 	slowQuery := flag.Duration("slow-query", server.DefaultSlowQueryThreshold, "log a warning when a query's span tree exceeds this duration (negative disables)")
+	dataDir := flag.String("data-dir", "", "persist state under this directory: vector database with WAL crash recovery, sessions, answer-cache warm start (empty = in-memory only)")
+	walSync := flag.String("wal-sync", "batch", "WAL durability: batch (group commit), always (fsync per write), none")
+	vdbShards := flag.Int("vectordb-shards", 0, "lock shards per vector collection (0 = GOMAXPROCS)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -95,6 +108,10 @@ func main() {
 		return
 	}
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("llmms: %v", err)
+	}
+	syncPolicy, err := vectordb.ParseSyncPolicy(*walSync)
 	if err != nil {
 		log.Fatalf("llmms: %v", err)
 	}
@@ -132,6 +149,9 @@ func main() {
 		DisableStreaming:   !*streamSessions,
 		Logger:             logger,
 		SlowQueryThreshold: *slowQuery,
+		DataDir:            *dataDir,
+		WALSync:            syncPolicy,
+		VectorDBShards:     *vdbShards,
 		Serving: server.ServingOptions{
 			CacheTTL:          *cacheTTL,
 			CacheCapacity:     *cacheCap,
@@ -143,6 +163,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("llmms: %v", err)
 	}
+	// Persist sessions, the answer cache, and final vectordb snapshots on
+	// graceful shutdown (no-op without -data-dir).
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("llmms: close: %v", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -9,6 +9,7 @@
 //
 //	modeld [-addr :11434] [-questions 400] [-latency 0.02]
 //	       [-batch] [-max-batch-tokens 256]
+//	       [-data-dir path] [-wal-sync batch]
 //	       [-log-level info] [-log-format text] [-pprof] [-version]
 //
 // The daemon participates in distributed tracing: requests carrying a
@@ -17,6 +18,11 @@
 // mounts net/http/pprof under /debug/pprof/ (off by default, matching
 // cmd/llmms); -version prints the daemon version and Go runtime and
 // exits.
+//
+// -data-dir persists the daemon's embed cache in a WAL-backed vector
+// collection, so embeddings computed before a restart are served without
+// recomputation after it (empty = no cache); -wal-sync picks the WAL
+// durability policy (batch, always, none).
 //
 // -batch (default on) routes every generation through the engine's
 // per-model continuous batch scheduler: concurrent requests on one
@@ -40,6 +46,7 @@ import (
 	"llmms/internal/modeld"
 	"llmms/internal/telemetry"
 	"llmms/internal/truthfulqa"
+	"llmms/internal/vectordb"
 )
 
 func main() {
@@ -51,6 +58,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	dataDir := flag.String("data-dir", "", "persist the embed cache under this directory (empty = no cache)")
+	walSync := flag.String("wal-sync", "batch", "WAL durability: batch (group commit), always (fsync per write), none")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -69,10 +78,28 @@ func main() {
 		DisableBatching: !*batch,
 		MaxBatchTokens:  *maxBatchTokens,
 	})
-	srv := modeld.NewServer(engine,
+	opts := []modeld.ServerOption{
 		modeld.WithLogger(logger),
 		modeld.WithPprof(*enablePprof),
-	)
+	}
+	var db *vectordb.DB
+	if *dataDir != "" {
+		policy, err := vectordb.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatalf("modeld: %v", err)
+		}
+		db, err = vectordb.Open(*dataDir, vectordb.OpenOptions{Sync: policy})
+		if err != nil {
+			log.Fatalf("modeld: open embed cache: %v", err)
+		}
+		col, err := db.GetOrCreateCollection("embeds", vectordb.CollectionConfig{})
+		if err != nil {
+			log.Fatalf("modeld: open embed cache: %v", err)
+		}
+		logger.Info("embed cache opened", "dir", *dataDir, "entries", col.Count())
+		opts = append(opts, modeld.WithEmbedCache(col))
+	}
+	srv := modeld.NewServer(engine, opts...)
 	fmt.Printf("modeld listening on %s\n", *addr)
 	for _, p := range engine.Profiles() {
 		fmt.Printf("  model %-12s %s %s ctx=%d\n", p.Name, p.Parameters, p.Quantization, p.ContextWindow)
@@ -97,5 +124,10 @@ func main() {
 	}
 	if err := engine.Close(); err != nil {
 		log.Printf("modeld: engine close: %v", err)
+	}
+	if db != nil {
+		if err := db.Close(); err != nil {
+			log.Printf("modeld: embed cache close: %v", err)
+		}
 	}
 }

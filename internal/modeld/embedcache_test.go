@@ -1,0 +1,94 @@
+package modeld
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"llmms/internal/embedding"
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+	"llmms/internal/vectordb"
+)
+
+func newCachedDaemon(t *testing.T, dataDir string) *Client {
+	t.Helper()
+	db, err := vectordb.Open(dataDir, vectordb.OpenOptions{Sync: vectordb.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	col, err := db.GetOrCreateCollection("embeds", vectordb.CollectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(50, 1))})
+	srv := httptest.NewServer(NewServer(engine, WithEmbedCache(col)))
+	t.Cleanup(srv.Close)
+	return New(srv.URL, WithHTTPClient(srv.Client()))
+}
+
+// TestEmbedCacheSurvivesRestart pins the -data-dir contract on the
+// daemon: an embedding computed before a restart is served from the
+// durable cache after it, and the cached vector matches a fresh encode.
+func TestEmbedCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	c1 := newCachedDaemon(t, dir)
+	v1, err := c1.EmbedOne(ctx, embedding.ModelDefault, "the capital of france")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newCachedDaemon(t, dir)
+	v2, err := c2.EmbedOne(ctx, embedding.ModelDefault, "the capital of france")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("vector dims differ across restart: %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("cached vector differs at %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	local := embedding.Default().Encode("the capital of france")
+	if embedding.Cosine(v2, local) < 0.999 {
+		t.Fatal("cached embedding differs from local encoder")
+	}
+}
+
+// TestEmbedCacheHitCounter checks the hit/miss accounting and that a
+// repeat request is actually answered by the cache, not the engine.
+func TestEmbedCacheHitCounter(t *testing.T) {
+	db := vectordb.New()
+	col, err := db.CreateCollection("embeds", vectordb.CollectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Generate(50, 1))})
+	s := NewServer(engine, WithEmbedCache(col))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
+	ctx := context.Background()
+
+	if _, err := c.EmbedOne(ctx, embedding.ModelDefault, "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Count(); got != 1 {
+		t.Fatalf("cache holds %d entries after miss, want 1", got)
+	}
+	if _, err := c.EmbedOne(ctx, embedding.ModelDefault, "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Count(); got != 1 {
+		t.Fatalf("cache holds %d entries after hit, want 1", got)
+	}
+	// A different model key misses even for identical text.
+	if id1, id2 := embedCacheID("a", "x"), embedCacheID("b", "x"); id1 == id2 {
+		t.Fatal("cache ids collide across models")
+	}
+}

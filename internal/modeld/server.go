@@ -26,6 +26,7 @@ package modeld
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -34,6 +35,7 @@ import (
 
 	"llmms/internal/llm"
 	"llmms/internal/telemetry"
+	"llmms/internal/vectordb"
 )
 
 // Version is the protocol version the daemon reports, matching the
@@ -150,15 +152,17 @@ type errorBody struct {
 
 // Server is the HTTP daemon.
 type Server struct {
-	engine   *llm.Engine
-	mux      *http.ServeMux
-	reg      *telemetry.Registry
-	tracer   *telemetry.Tracer
-	log      *slog.Logger
-	pprof    bool
-	requests telemetry.Counter
-	latency  telemetry.Histogram
-	genTok   telemetry.Counter
+	engine     *llm.Engine
+	mux        *http.ServeMux
+	reg        *telemetry.Registry
+	tracer     *telemetry.Tracer
+	log        *slog.Logger
+	pprof      bool
+	embedCache *vectordb.Collection // nil disables the cache
+	requests   telemetry.Counter
+	latency    telemetry.Histogram
+	genTok     telemetry.Counter
+	embedHits  telemetry.Counter
 }
 
 // ServerOption configures the daemon at construction; see NewServer.
@@ -179,6 +183,26 @@ func WithLogger(log *slog.Logger) ServerOption {
 // mux — the same flag-gated profiling surface the platform server has.
 func WithPprof(enabled bool) ServerOption {
 	return func(s *Server) { s.pprof = enabled }
+}
+
+// WithEmbedCache memoizes /api/embed through col, keyed on
+// hash(model, input) with the vector stored as the document embedding.
+// Backed by a durable collection (the -data-dir flag on cmd/modeld),
+// embeddings computed before a restart are served without recomputation
+// after it. Nil disables the cache.
+func WithEmbedCache(col *vectordb.Collection) ServerOption {
+	return func(s *Server) { s.embedCache = col }
+}
+
+// embedCacheID keys one (model, input) pair. FNV-1a over both parts
+// with a NUL separator; collisions would need identical 64-bit hashes
+// across the daemon's model set, acceptable for a cache.
+func embedCacheID(model, input string) string {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(input))
+	return strconv.FormatUint(h.Sum64(), 16)
 }
 
 // NewServer wraps an engine in the daemon protocol. The daemon carries
@@ -205,6 +229,8 @@ func NewServer(engine *llm.Engine, opts ...ServerOption) *Server {
 			"Daemon HTTP request latency by route pattern.", nil, "route"),
 		genTok: reg.Counter("modeld_generate_tokens_total",
 			"Tokens generated by the daemon, per model.", "model"),
+		embedHits: reg.Counter("modeld_embed_cache_total",
+			"Embed requests served from or missed in the embed cache.", "result"),
 	}
 	// The engine's batch schedulers report into the daemon's registry
 	// (llmms_batch_occupancy, llmms_batch_step_seconds,
@@ -403,14 +429,50 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := EmbedResponse{Model: req.Model}
 	for _, in := range inputs {
+		if v, ok := s.cachedEmbedding(req.Model, in); ok {
+			resp.Embeddings = append(resp.Embeddings, v)
+			continue
+		}
 		v, err := s.engine.Embed(req.Model, in)
 		if err != nil {
 			writeErr(w, http.StatusNotFound, "%v", err)
 			return
 		}
+		s.storeEmbedding(req.Model, in, v)
 		resp.Embeddings = append(resp.Embeddings, v)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cachedEmbedding probes the embed cache. Hash collisions are guarded by
+// comparing the stored text, so a false hit can't hand back another
+// input's vector.
+func (s *Server) cachedEmbedding(model, input string) ([]float32, bool) {
+	if s.embedCache == nil {
+		return nil, false
+	}
+	docs := s.embedCache.Get(embedCacheID(model, input))
+	if len(docs) == 1 && docs[0].Text == input {
+		s.embedHits.Inc("hit")
+		return docs[0].Embedding, true
+	}
+	s.embedHits.Inc("miss")
+	return nil, false
+}
+
+func (s *Server) storeEmbedding(model, input string, v []float32) {
+	if s.embedCache == nil {
+		return
+	}
+	err := s.embedCache.Upsert(vectordb.Document{
+		ID:        embedCacheID(model, input),
+		Text:      input,
+		Embedding: v,
+		Metadata:  map[string]any{"model": model},
+	})
+	if err != nil {
+		s.log.Warn("embed cache store failed", "err", err)
+	}
 }
 
 func (s *Server) handleTags(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,54 @@
+package qcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkWarmStartHitRate measures what warm-starting buys on the
+// first pass of repeated queries after a reboot: a cold cache misses all
+// of them (every answer re-orchestrated), a warmed cache answers from
+// the snapshot. hit_rate is first-pass exact hits / queries; ns/op
+// includes the WarmStart decode cost, so the pair also bounds what the
+// warm boot itself costs.
+func BenchmarkWarmStartHitRate(b *testing.B) {
+	const entries = 64
+	encode := func(v any) ([]byte, error) { return json.Marshal(v) }
+	decode := func(raw []byte) (any, error) {
+		var s string
+		err := json.Unmarshal(raw, &s)
+		return s, err
+	}
+
+	donor := New(Options{Capacity: entries, TTL: time.Hour})
+	keys := make([]Key, entries)
+	for i := range keys {
+		keys[i] = Key{Query: fmt.Sprintf("what is fact number %d?", i), Scope: "bench"}
+		donor.Put(keys[i], fmt.Sprintf("answer %d", i))
+	}
+	st := donor.Snapshot("fp", encode)
+
+	run := func(b *testing.B, warm bool) {
+		var hits, total int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := New(Options{Capacity: entries, TTL: time.Hour})
+			if warm {
+				if n := c.WarmStart(st, "fp", decode); n != entries {
+					b.Fatalf("warmed %d entries, want %d", n, entries)
+				}
+			}
+			for _, k := range keys {
+				if _, kind := c.Get(k); kind == Exact {
+					hits++
+				}
+				total++
+			}
+		}
+		b.ReportMetric(float64(hits)/float64(total), "hit_rate")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+}

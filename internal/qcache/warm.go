@@ -1,0 +1,162 @@
+package qcache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+	"time"
+
+	"llmms/internal/vectordb"
+)
+
+// Warm start: the answer cache is the first thing a restarted server
+// could serve from, and the cheapest — so it persists. Snapshot captures
+// both tiers (the semantic tier's vector documents are derived from the
+// entries, so only entries are stored and the vectors are re-embedded on
+// load), and WarmStart reloads them with original expiry times intact.
+//
+// A snapshot carries the caller's settings fingerprint. WarmStart
+// refuses a snapshot whose fingerprint differs from the current one —
+// the same invalidation rule the live cache applies by flushing on
+// settings changes: an answer produced under a different strategy,
+// model set, or RAG corpus must not be served.
+
+// WarmEntry is one persisted cache entry.
+type WarmEntry struct {
+	// Query is the normalized query (the exact-tier key's query part).
+	Query string `json:"query"`
+	// Scope is the entry's opaque scope string.
+	Scope string `json:"scope"`
+	// Expires is the entry's original deadline; WarmStart keeps it, so a
+	// restart never extends an answer's life.
+	Expires time.Time `json:"expires"`
+	// Value is the codec-encoded answer.
+	Value json.RawMessage `json:"value"`
+}
+
+// WarmState is a point-in-time snapshot of the cache.
+type WarmState struct {
+	// Fingerprint identifies the serving settings the answers were
+	// produced under. WarmStart ignores the snapshot when it differs.
+	Fingerprint string `json:"fingerprint"`
+	// Entries in LRU order, most recently used first.
+	Entries []WarmEntry `json:"entries"`
+}
+
+// Snapshot captures every live entry. The cache stores values as `any`,
+// so the caller supplies the encoder (the server encodes its recorded
+// SSE frames + result); entries whose value doesn't encode are skipped.
+func (c *Cache) Snapshot(fingerprint string, encode func(any) ([]byte, error)) *WarmState {
+	st := &WarmState{Fingerprint: fingerprint}
+	if c == nil {
+		return st
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if !now.Before(e.expires) {
+			continue
+		}
+		raw, err := encode(e.value)
+		if err != nil {
+			continue
+		}
+		query, _, ok := strings.Cut(e.id, keySep)
+		if !ok {
+			continue
+		}
+		st.Entries = append(st.Entries, WarmEntry{
+			Query:   query,
+			Scope:   e.scope,
+			Expires: e.expires,
+			Value:   raw,
+		})
+	}
+	return st
+}
+
+// WarmStart loads a snapshot into the cache: both tiers are rebuilt
+// (semantic documents re-embedded through the collection encoder) and
+// LRU order is preserved. Entries that have expired, fail to decode, or
+// would exceed capacity are dropped. A fingerprint mismatch loads
+// nothing — the snapshot was cut under different serving settings. It
+// returns how many entries were restored.
+func (c *Cache) WarmStart(st *WarmState, fingerprint string, decode func([]byte) (any, error)) int {
+	if c == nil || st == nil || st.Fingerprint != fingerprint {
+		return 0
+	}
+	now := c.clock()
+	restored := 0
+	// Back to front so the most recently used entry is pushed last and
+	// lands at the LRU front, as it was.
+	for i := len(st.Entries) - 1; i >= 0; i-- {
+		we := st.Entries[i]
+		if !now.Before(we.Expires) {
+			continue
+		}
+		value, err := decode(we.Value)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		id := we.Query + keySep + we.Scope
+		if e, ok := c.entries[id]; ok {
+			// Live entry wins: it is newer than the snapshot.
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			continue
+		}
+		for len(c.entries) >= c.capacity {
+			c.removeLocked(c.lru.Back().Value.(*entry))
+		}
+		e := &entry{id: id, scope: we.Scope, value: value, expires: we.Expires}
+		e.elem = c.lru.PushFront(e)
+		c.entries[id] = e
+		_ = c.vectors.Upsert(vectordb.Document{
+			ID:       id,
+			Text:     we.Query,
+			Metadata: vectordb.Metadata{"scope": we.Scope},
+		})
+		c.mu.Unlock()
+		restored++
+	}
+	return restored
+}
+
+// WriteFile persists the snapshot atomically (temp + rename).
+func (st *WarmState) WriteFile(path string) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("qcache: encode warm state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("qcache: write warm state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("qcache: write warm state: %w", err)
+	}
+	return nil
+}
+
+// ReadWarmState loads a snapshot written by WriteFile. A missing file
+// returns an empty state (nothing to warm from), not an error.
+func ReadWarmState(path string) (*WarmState, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &WarmState{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("qcache: read warm state: %w", err)
+	}
+	var st WarmState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("qcache: parse warm state: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,189 @@
+package qcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func jsonCodec() (func(any) ([]byte, error), func([]byte) (any, error)) {
+	enc := func(v any) ([]byte, error) { return json.Marshal(v) }
+	dec := func(raw []byte) (any, error) {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return enc, dec
+}
+
+func TestWarmStartRoundTrip(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := New(Options{Clock: clock})
+	keys := []Key{
+		{Query: "What is the visa process?", Scope: "s1"},
+		{Query: "how do goldfish remember", Scope: "s1"},
+		{Query: "what is the visa process?", Scope: "s2"}, // same query, other scope
+	}
+	for i, k := range keys {
+		c.Put(k, fmt.Sprintf("answer-%d", i))
+	}
+	enc, dec := jsonCodec()
+	st := c.Snapshot("fp-v1", enc)
+	if len(st.Entries) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(st.Entries))
+	}
+	path := filepath.Join(t.TempDir(), "qcache.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadWarmState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(Options{Clock: clock})
+	if got := fresh.WarmStart(st2, "fp-v1", dec); got != 3 {
+		t.Fatalf("restored %d entries, want 3", got)
+	}
+	for i, k := range keys {
+		v, kind := fresh.Get(k)
+		if kind != Exact {
+			t.Fatalf("key %d: kind %v after warm start, want Exact", i, kind)
+		}
+		if v != fmt.Sprintf("answer-%d", i) {
+			t.Fatalf("key %d: value %v", i, v)
+		}
+	}
+	// The semantic tier came back too: a rephrasing hits in-scope.
+	if _, kind := fresh.Get(Key{Query: "  WHAT is THE visa Process?  ", Scope: "s1"}); kind != Exact {
+		t.Fatalf("normalized rephrasing: kind %v", kind)
+	}
+}
+
+func TestWarmStartFingerprintMismatch(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := New(Options{Clock: clock})
+	c.Put(Key{Query: "q", Scope: "s"}, "a")
+	enc, dec := jsonCodec()
+	st := c.Snapshot("fp-old", enc)
+
+	fresh := New(Options{Clock: clock})
+	if got := fresh.WarmStart(st, "fp-new", dec); got != 0 {
+		t.Fatalf("restored %d entries across a settings change, want 0", got)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("cache holds %d entries after rejected warm start", fresh.Len())
+	}
+}
+
+func TestWarmStartKeepsOriginalExpiry(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := New(Options{TTL: time.Minute, Clock: clock})
+	c.Put(Key{Query: "q", Scope: "s"}, "a")
+	enc, dec := jsonCodec()
+	st := c.Snapshot("fp", enc)
+
+	// Restart 59s later: still servable...
+	later := now.Add(59 * time.Second)
+	fresh := New(Options{TTL: time.Minute, Clock: func() time.Time { return later }})
+	if got := fresh.WarmStart(st, "fp", dec); got != 1 {
+		t.Fatalf("restored %d, want 1", got)
+	}
+	if _, kind := fresh.Get(Key{Query: "q", Scope: "s"}); kind != Exact {
+		t.Fatalf("kind %v within original TTL", kind)
+	}
+	// ...but a restart never extends an answer's life past its deadline.
+	after := now.Add(61 * time.Second)
+	stale := New(Options{TTL: time.Minute, Clock: func() time.Time { return after }})
+	if got := stale.WarmStart(st, "fp", dec); got != 0 {
+		t.Fatalf("restored %d expired entries, want 0", got)
+	}
+}
+
+func TestWarmStartPreservesLRUOrder(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := New(Options{Clock: clock})
+	for i := 0; i < 4; i++ {
+		c.Put(Key{Query: fmt.Sprintf("query number %d", i), Scope: "s"}, i)
+	}
+	enc := func(v any) ([]byte, error) { return json.Marshal(v) }
+	dec := func(raw []byte) (any, error) {
+		var n int
+		err := json.Unmarshal(raw, &n)
+		return n, err
+	}
+	st := c.Snapshot("fp", enc)
+
+	// Capacity 2: only the two most recently used entries survive the
+	// restore, which proves order round-tripped.
+	fresh := New(Options{Capacity: 2, Clock: clock})
+	if got := fresh.WarmStart(st, "fp", dec); got != 4 {
+		t.Fatalf("restored %d, want 4 (older ones evicted on the way)", got)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("len %d, want 2", fresh.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, kind := fresh.Get(Key{Query: fmt.Sprintf("query number %d", i), Scope: "s"}); kind != Miss {
+			t.Fatalf("old entry %d survived", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, kind := fresh.Get(Key{Query: fmt.Sprintf("query number %d", i), Scope: "s"}); kind != Exact {
+			t.Fatalf("recent entry %d lost", i)
+		}
+	}
+	// Both tiers stay in lockstep through warm-start evictions.
+	if vc := fresh.vectors.Count(); vc != fresh.Len() {
+		t.Fatalf("vector tier holds %d docs, entries %d", vc, fresh.Len())
+	}
+}
+
+// TestVectorTierTracksEvictions pins the two tiers to the same size:
+// every path that drops an exact-tier entry (LRU eviction, expiry,
+// flush) must delete the matching semantic-tier document, or the vector
+// collection grows without bound.
+func TestVectorTierTracksEvictions(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := New(Options{Capacity: 8, TTL: time.Minute, Clock: clock})
+	for i := 0; i < 50; i++ {
+		c.Put(Key{Query: fmt.Sprintf("distinct question %d", i), Scope: "s"}, i)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len %d, want capacity 8", c.Len())
+	}
+	if vc := c.vectors.Count(); vc != 8 {
+		t.Fatalf("vector tier holds %d docs after LRU eviction, want 8", vc)
+	}
+	// Expiry path: entries are dropped from both tiers on contact.
+	now = now.Add(2 * time.Minute)
+	for i := 42; i < 50; i++ {
+		if _, kind := c.Get(Key{Query: fmt.Sprintf("distinct question %d", i), Scope: "s"}); kind != Miss {
+			t.Fatalf("expired entry %d served (kind %v)", i, kind)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len %d after expiry sweep, want 0", c.Len())
+	}
+	if vc := c.vectors.Count(); vc != 0 {
+		t.Fatalf("vector tier holds %d docs after expiry, want 0", vc)
+	}
+	// Flush path.
+	now = now.Add(-2 * time.Minute)
+	for i := 0; i < 8; i++ {
+		c.Put(Key{Query: fmt.Sprintf("distinct question %d", i), Scope: "s"}, i)
+	}
+	c.Flush()
+	if vc := c.vectors.Count(); vc != 0 {
+		t.Fatalf("vector tier holds %d docs after Flush, want 0", vc)
+	}
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"llmms/internal/core"
+	"llmms/internal/embedding"
+	"llmms/internal/qcache"
+	"llmms/internal/session"
+	"llmms/internal/telemetry"
+	"llmms/internal/vectordb"
+)
+
+// Server-side persistence over the memory substrate. With Options.DataDir
+// set, the server's state survives restarts:
+//
+//	<data-dir>/vectordb/     durable vector database (documents, sessions)
+//	<data-dir>/qcache.json   answer-cache warm-start snapshot
+//	<data-dir>/state.json    small scalar state (the RAG revision counter)
+//
+// The RAG chunk collection is recovered by the database itself (snapshot
+// + WAL replay); the upload registry is rebuilt from chunk metadata.
+// Sessions snapshot into a document of the durable "sessions" collection
+// at Close. The answer cache reloads both tiers at boot, gated on a
+// settings fingerprint so answers produced under different settings —
+// or a different document set — are never served.
+
+// Data directory layout.
+const (
+	vectordbSubdir = "vectordb"
+	qcacheFile     = "qcache.json"
+	stateFile      = "state.json"
+)
+
+// sessionStateDoc is the id of the "sessions" collection document
+// holding the session.State snapshot. The zero-vector explicit embedding
+// skips text encoding — the collection is a durable key-value slot here,
+// never queried by similarity.
+const sessionStateDoc = "state"
+
+// serverState is the scalar state state.json carries across restarts.
+type serverState struct {
+	// RagRev keeps cached-answer scopes ("rag:<rev>:...") comparable
+	// across restarts: without it a restarted server would reset the
+	// revision counter and collide fresh keys with pre-upload answers.
+	RagRev int `json:"rag_rev"`
+}
+
+// openSubstrate builds the server's vector database: durable under
+// Options.DataDir (recovered inside a vectordb.recover span), in-memory
+// otherwise. Either way the llmms_vectordb_* series observe it.
+func openSubstrate(opts Options, tel *telemetry.Telemetry, tracer *telemetry.Tracer, logger *slog.Logger) (*vectordb.DB, *vectordb.Collection, error) {
+	vm := telemetry.RegisterVectorDBMetrics(tel.Registry)
+	hooks := vectordb.Hooks{
+		ObserveQuery:    vm.ObserveQuery,
+		ObserveInsert:   vm.ObserveInsert,
+		AddWALBytes:     vm.AddWALBytes,
+		IncCompaction:   vm.IncCompaction,
+		SetShardDocs:    vm.SetShardDocs,
+		ObserveRecovery: vm.ObserveRecovery,
+	}
+	docsCfg := vectordb.CollectionConfig{Shards: opts.VectorDBShards}
+	if opts.DataDir == "" {
+		db := vectordb.New()
+		db.SetHooks(hooks)
+		col, err := db.CreateCollection("documents", docsCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, col, nil
+	}
+
+	dir := filepath.Join(opts.DataDir, vectordbSubdir)
+	start := time.Now()
+	_, span := tracer.StartRoot(context.Background(), "vectordb.recover")
+	span.SetAttr("dir", dir)
+	db, err := vectordb.Open(dir, vectordb.OpenOptions{
+		Sync:          opts.WALSync,
+		DefaultShards: opts.VectorDBShards,
+		Hooks:         hooks,
+	})
+	span.End(err)
+	if err != nil {
+		return nil, nil, err
+	}
+	col, err := db.GetOrCreateCollection("documents", docsCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	elapsed := time.Since(start)
+	logger.Info("memory substrate recovered",
+		"dir", dir,
+		"collections", len(db.ListCollections()),
+		"documents", col.Count(),
+		"elapsed", elapsed)
+	if span != nil {
+		// A synthetic boot trace makes recovery inspectable at
+		// /api/traces alongside query traces.
+		tel.Traces.Put(telemetry.QueryTrace{
+			ID:       telemetry.NewQueryID(),
+			TraceID:  span.TraceID(),
+			Strategy: "boot",
+			Query:    "vectordb.recover",
+			Start:    start,
+			Elapsed:  elapsed,
+			Outcome:  "ok",
+			Spans:    span.Records(),
+		})
+	}
+	return db, col, nil
+}
+
+// restoreState rebuilds the server's in-memory registries from the data
+// directory during construction (before any request is served, so no
+// locking is needed beyond what the substrate does itself).
+func (s *Server) restoreState() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dataDir, stateFile))
+	if err == nil {
+		var st serverState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return fmt.Errorf("server: parse %s: %w", stateFile, err)
+		}
+		s.ragRev = st.RagRev
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("server: read %s: %w", stateFile, err)
+	}
+
+	// The upload registry is derived state: every recovered chunk names
+	// its document and source file in metadata.
+	for _, d := range s.docs.All() {
+		docID, _ := d.Metadata["doc_id"].(string)
+		if docID == "" {
+			continue
+		}
+		info := s.docIDs[docID]
+		if src, ok := d.Metadata["source"].(string); ok && info.Name == "" {
+			info.Name = src
+		}
+		info.Chunks++
+		s.docIDs[docID] = info
+	}
+
+	sessCol, err := s.db.GetOrCreateCollection("sessions", vectordb.CollectionConfig{Shards: 1})
+	if err != nil {
+		return err
+	}
+	s.sessCol = sessCol
+	if docs := sessCol.Get(sessionStateDoc); len(docs) == 1 {
+		var st session.State
+		if err := json.Unmarshal([]byte(docs[0].Text), &st); err != nil {
+			return fmt.Errorf("server: parse session state: %w", err)
+		}
+		n := s.sessions.Restore(st)
+		s.logger.Info("sessions restored", "count", n)
+	}
+
+	if s.cache != nil {
+		ws, err := qcache.ReadWarmState(filepath.Join(s.dataDir, qcacheFile))
+		if err != nil {
+			return err
+		}
+		n := s.cache.WarmStart(ws, s.cacheFingerprint(), decodeCachedAnswer)
+		s.logger.Info("answer cache warmed", "entries", n, "snapshot_entries", len(ws.Entries))
+	}
+	return nil
+}
+
+// Close persists the server's state and releases the substrate: the
+// session store snapshots into its durable collection, the answer cache
+// writes its warm-start file, and the database cuts final snapshots and
+// closes its WALs. Without a data directory it is a no-op. The server
+// must not serve requests afterwards.
+func (s *Server) Close() error {
+	if s.dataDir == "" {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.sessCol != nil {
+		data, err := json.Marshal(s.sessions.Snapshot())
+		if err == nil {
+			err = s.sessCol.Upsert(vectordb.Document{
+				ID:        sessionStateDoc,
+				Text:      string(data),
+				Embedding: embedding.Vector{0},
+			})
+		}
+		keep(err)
+	}
+	if s.cache != nil {
+		ws := s.cache.Snapshot(s.cacheFingerprint(), encodeCachedAnswer)
+		keep(ws.WriteFile(filepath.Join(s.dataDir, qcacheFile)))
+	}
+	data, err := json.Marshal(serverState{RagRev: s.ragRevision()})
+	keep(err)
+	if err == nil {
+		keep(os.WriteFile(filepath.Join(s.dataDir, stateFile), data, 0o644))
+	}
+	keep(s.db.Close())
+	return firstErr
+}
+
+// cacheFingerprint identifies the serving settings cached answers were
+// produced under. A warm-start snapshot whose fingerprint differs —
+// other strategy, model set, budget, weights, RAG parameters, or
+// document-set revision — is discarded at boot, the restart analogue of
+// the flush-on-settings-change rule.
+func (s *Server) cacheFingerprint() string {
+	s.mu.Lock()
+	st := s.settings
+	rev := s.ragRev
+	s.mu.Unlock()
+	return fmt.Sprintf("v1|%s|%s|%d|%g|%g|%d|rag%d",
+		st.Strategy, strings.Join(st.EnabledModels, ","), st.MaxTokens,
+		st.Alpha, st.Beta, st.RAGTopK, rev)
+}
+
+// cachedAnswerJSON is the persisted form of a cachedAnswer. Frames and
+// core.Result are plain data, so the round trip is lossless.
+type cachedAnswerJSON struct {
+	Frames []qcache.Frame `json:"frames"`
+	Result core.Result    `json:"result"`
+}
+
+func encodeCachedAnswer(v any) ([]byte, error) {
+	ca, ok := v.(*cachedAnswer)
+	if !ok {
+		return nil, fmt.Errorf("server: unexpected cache value %T", v)
+	}
+	return json.Marshal(cachedAnswerJSON{Frames: ca.frames, Result: ca.result})
+}
+
+func decodeCachedAnswer(raw []byte) (any, error) {
+	var cj cachedAnswerJSON
+	if err := json.Unmarshal(raw, &cj); err != nil {
+		return nil, err
+	}
+	return &cachedAnswer{frames: cj.Frames, result: cj.Result}, nil
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"llmms/internal/llm"
+	"llmms/internal/truthfulqa"
+)
+
+// newDurableServer builds a server rooted at dataDir. Closing the
+// returned httptest server does NOT call Server.Close — tests decide
+// whether the shutdown is clean (Close) or a crash (nothing).
+func newDurableServer(t *testing.T, dataDir string) (*Server, *httptest.Server) {
+	t.Helper()
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	s, err := NewServer(Options{
+		Engine:  engine,
+		Serving: ServingOptions{CacheTTL: time.Minute},
+		DataDir: dataDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestRestartRecoversStateAndServesWarmHit is the acceptance-criteria
+// integration test: a restart with -data-dir set recovers every
+// acknowledged document, restores sessions, and serves a qcache HIT on
+// the first repeated query after boot.
+func TestRestartRecoversStateAndServesWarmHit(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, ts1 := newDurableServer(t, dataDir)
+
+	var up struct {
+		DocID  string `json:"doc_id"`
+		Chunks int    `json:"chunks"`
+	}
+	resp := doJSON(t, "POST", ts1.URL+"/api/upload", map[string]any{
+		"filename": "facts.txt",
+		"content":  "The capital of France is Paris. Goldfish have months-long memories.",
+	}, &up)
+	if resp.StatusCode != 201 || up.Chunks == 0 {
+		t.Fatalf("upload: status %d, %+v", resp.StatusCode, up)
+	}
+
+	q := map[string]any{"query": "What is the capital of France?"}
+	if r, _ := postQuery(t, ts1.URL, q); r.Header.Get("X-Cache") != "MISS" {
+		t.Fatalf("first query X-Cache = %q, want MISS", r.Header.Get("X-Cache"))
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, "POST", ts1.URL+"/api/sessions", map[string]any{"title": "durable session"}, &sess)
+	if sess.ID == "" {
+		t.Fatal("no session id")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newDurableServer(t, dataDir)
+	defer s2.Close()
+	// First repeated query after boot: served from the warmed cache.
+	r, body := postQuery(t, ts2.URL, q)
+	if got := r.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("first repeat after restart X-Cache = %q, want HIT (body %s)", got, body)
+	}
+	// Every acknowledged RAG chunk is back and the registry rebuilt.
+	if got := s2.docs.Count(); got != up.Chunks {
+		t.Fatalf("recovered %d chunks, want %d", got, up.Chunks)
+	}
+	var docs []struct {
+		ID     string `json:"id"`
+		Name   string `json:"name"`
+		Chunks int    `json:"chunks"`
+	}
+	doJSON(t, "GET", ts2.URL+"/api/documents", nil, &docs)
+	if len(docs) != 1 || docs[0].ID != up.DocID || docs[0].Name != "facts.txt" || docs[0].Chunks != up.Chunks {
+		t.Fatalf("document registry after restart: %+v", docs)
+	}
+	// Sessions survive too.
+	if _, err := s2.sessions.Get(sess.ID); err != nil {
+		t.Fatalf("session %s lost across restart: %v", sess.ID, err)
+	}
+	// A RAG-grounded query still works against recovered chunks.
+	rr, body := postQuery(t, ts2.URL, map[string]any{
+		"query": "Which city is the capital of France?", "use_rag": true,
+	})
+	if rr.StatusCode != 200 {
+		t.Fatalf("RAG query after restart: %d %s", rr.StatusCode, body)
+	}
+}
+
+// TestWarmStartRejectedAcrossSettingsChange pins the invalidation rule:
+// a cache snapshot saved under one model set must not serve after a
+// reboot with different settings.
+func TestWarmStartRejectedAcrossSettingsChange(t *testing.T) {
+	dataDir := t.TempDir()
+	s1, ts1 := newDurableServer(t, dataDir)
+	q := map[string]any{"query": "What is the capital of France?"}
+	postQuery(t, ts1.URL, q)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	engine := llm.NewEngine(llm.Options{Knowledge: llm.NewKnowledge(truthfulqa.Seed())})
+	st := DefaultSettings()
+	st.EnabledModels = st.EnabledModels[:2] // the fleet shrank across the restart
+	s2, err := NewServer(Options{
+		Engine:   engine,
+		Serving:  ServingOptions{CacheTTL: time.Minute},
+		Settings: st,
+		DataDir:  dataDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.cache.Len(); got != 0 {
+		t.Fatalf("cache warmed %d entries across a settings change, want 0", got)
+	}
+}
+
+// TestCrashRestartKeepsAcknowledgedUploads simulates an unclean exit:
+// no Close, so recovery runs purely from the WAL.
+func TestCrashRestartKeepsAcknowledgedUploads(t *testing.T) {
+	dataDir := t.TempDir()
+	_, ts1 := newDurableServer(t, dataDir)
+	var up struct {
+		Chunks int `json:"chunks"`
+	}
+	doJSON(t, "POST", ts1.URL+"/api/upload", map[string]any{
+		"filename": "notes.txt",
+		"content":  "Lightning can strike the same place twice. Rayleigh scattering makes the sky blue.",
+	}, &up)
+	if up.Chunks == 0 {
+		t.Fatal("upload produced no chunks")
+	}
+	// No Close: the first server just stops serving.
+	s2, _ := newDurableServer(t, dataDir)
+	defer s2.Close()
+	if got := s2.docs.Count(); got != up.Chunks {
+		t.Fatalf("recovered %d chunks after crash, want %d", got, up.Chunks)
+	}
+}

@@ -207,6 +207,21 @@ type Options struct {
 	// query logs at warn ("slow query") with its span statistics. Zero
 	// means DefaultSlowQueryThreshold; negative disables the slow log.
 	SlowQueryThreshold time.Duration
+	// DataDir, when set, makes the memory substrate durable: the vector
+	// database (RAG chunks, sessions) lives under <DataDir>/vectordb with
+	// write-ahead logging and crash recovery, and the answer cache warm-
+	// starts from <DataDir>/qcache.json. Call Close on shutdown to cut
+	// final snapshots. Empty keeps everything in memory (the -data-dir
+	// flag on cmd/llmms).
+	DataDir string
+	// WALSync is the WAL durability policy under DataDir: "batch"
+	// (group-committed fsync, default), "always", or "none" (the
+	// -wal-sync flag on cmd/llmms).
+	WALSync vectordb.SyncPolicy
+	// VectorDBShards overrides the per-collection shard count
+	// (non-positive means one shard per CPU; the -vectordb-shards flag
+	// on cmd/llmms).
+	VectorDBShards int
 }
 
 // DefaultSlowQueryThreshold is the slow-query log cutoff when
@@ -246,6 +261,11 @@ type Server struct {
 	noStreaming bool
 	mux         *http.ServeMux
 
+	// Persistence (see persistence.go); dataDir empty means in-memory.
+	db      *vectordb.DB
+	dataDir string
+	sessCol *vectordb.Collection // durable session-state slot, nil in memory
+
 	mu       sync.Mutex
 	settings Settings
 	docIDs   map[string]docInfo
@@ -268,11 +288,6 @@ func NewServer(opts Options) (*Server, error) {
 	}
 	if err := st.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
-	}
-	db := vectordb.New()
-	col, err := db.CreateCollection("documents", vectordb.CollectionConfig{})
-	if err != nil {
-		return nil, err
 	}
 	tel := opts.Telemetry
 	if tel == nil {
@@ -304,6 +319,10 @@ func NewServer(opts Options) (*Server, error) {
 	if slowQuery == 0 {
 		slowQuery = DefaultSlowQueryThreshold
 	}
+	db, col, err := openSubstrate(opts, tel, tracer, logger)
+	if err != nil {
+		return nil, fmt.Errorf("server: open memory substrate: %w", err)
+	}
 	s := &Server{
 		engine:      opts.Engine,
 		backend:     backend,
@@ -323,6 +342,8 @@ func NewServer(opts Options) (*Server, error) {
 		settings:    st,
 		docIDs:      make(map[string]docInfo),
 		mux:         http.NewServeMux(),
+		db:          db,
+		dataDir:     opts.DataDir,
 	}
 	if sv := opts.Serving; sv.CacheTTL > 0 {
 		s.cache = qcache.New(qcache.Options{
@@ -360,6 +381,9 @@ func NewServer(opts Options) (*Server, error) {
 				Check: func(context.Context) error { return s.fleet.Ready(m) },
 			})
 		}
+	}
+	if err := s.restoreState(); err != nil {
+		return nil, err
 	}
 	s.routes()
 	return s, nil

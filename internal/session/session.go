@@ -288,6 +288,55 @@ func (s *Store) Context(id string, maxTokens int) (summary string, recent []Mess
 	return summary, recent[keepFrom:], nil
 }
 
+// State is the store's persistable form: every session plus the id
+// counter, so restored stores never reissue a live id.
+type State struct {
+	Sessions []Session `json:"sessions"`
+	NextID   int       `json:"next_id"`
+}
+
+// Snapshot captures the whole store for persistence. The paper's
+// privacy posture keeps sessions in memory by default; the server only
+// persists them when the operator opts into a data directory.
+func (s *Store) Snapshot() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{NextID: s.nextID}
+	for _, sess := range s.sessions {
+		st.Sessions = append(st.Sessions, snapshot(sess))
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}
+
+// Restore loads a snapshot into the store, replacing nothing: sessions
+// already present (by id) win, and the id counter only moves forward.
+func (s *Store) Restore(st State) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.NextID > s.nextID {
+		s.nextID = st.NextID
+	}
+	restored := 0
+	for i := range st.Sessions {
+		sess := st.Sessions[i]
+		if sess.ID == "" {
+			continue
+		}
+		if _, exists := s.sessions[sess.ID]; exists {
+			continue
+		}
+		if len(s.sessions) >= s.opts.MaxSessions {
+			break
+		}
+		cp := sess
+		cp.Messages = append([]Message(nil), sess.Messages...)
+		s.sessions[cp.ID] = &cp
+		restored++
+	}
+	return restored
+}
+
 func snapshot(sess *Session) Session {
 	cp := *sess
 	cp.Messages = append([]Message(nil), sess.Messages...)

@@ -1,0 +1,87 @@
+package telemetry
+
+import "time"
+
+// VectorDBMetrics is the instrument set for the sharded persistent
+// memory substrate. Its observer methods match the vectordb.Hooks
+// function fields, so wiring is one struct literal:
+//
+//	vm := telemetry.RegisterVectorDBMetrics(reg)
+//	db.SetHooks(vectordb.Hooks{
+//		ObserveQuery: vm.ObserveQuery, ObserveInsert: vm.ObserveInsert,
+//		AddWALBytes: vm.AddWALBytes, IncCompaction: vm.IncCompaction,
+//		SetShardDocs: vm.SetShardDocs, ObserveRecovery: vm.ObserveRecovery,
+//	})
+//
+// Series:
+//
+//	llmms_vectordb_shard_docs{collection,shard}        live documents per shard (gauge)
+//	llmms_vectordb_query_seconds{collection}           query latency histogram
+//	llmms_vectordb_insert_seconds{collection}          insert latency histogram, durability wait included
+//	llmms_vectordb_wal_bytes_total{collection}         bytes appended to the write-ahead log
+//	llmms_vectordb_compactions_total{collection}       snapshot+truncate compactions completed
+//	llmms_vectordb_recovery_seconds                    time the last Open spent recovering (gauge)
+type VectorDBMetrics struct {
+	ShardDocs       Gauge
+	QuerySeconds    Histogram
+	InsertSeconds   Histogram
+	WALBytes        Counter
+	Compactions     Counter
+	RecoverySeconds Gauge
+}
+
+// vectordbBuckets resolve in-memory index operations: hash-embedding
+// queries over session-sized collections run in microseconds, while the
+// durable insert path stretches to the group-commit interval.
+var vectordbBuckets = []float64{
+	1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, .25, 1,
+}
+
+// RegisterVectorDBMetrics creates (or rebinds, registration being
+// idempotent) the llmms_vectordb_* series on reg.
+func RegisterVectorDBMetrics(reg *Registry) *VectorDBMetrics {
+	return &VectorDBMetrics{
+		ShardDocs: reg.Gauge("llmms_vectordb_shard_docs",
+			"Live documents stored in one shard of a collection.", "collection", "shard"),
+		QuerySeconds: reg.Histogram("llmms_vectordb_query_seconds",
+			"Vector query latency in seconds, fan-out and merge included.", vectordbBuckets, "collection"),
+		InsertSeconds: reg.Histogram("llmms_vectordb_insert_seconds",
+			"Insert latency in seconds, WAL durability wait included.", vectordbBuckets, "collection"),
+		WALBytes: reg.Counter("llmms_vectordb_wal_bytes_total",
+			"Bytes appended to the collection's write-ahead log.", "collection"),
+		Compactions: reg.Counter("llmms_vectordb_compactions_total",
+			"Snapshot+truncate WAL compactions completed.", "collection"),
+		RecoverySeconds: reg.Gauge("llmms_vectordb_recovery_seconds",
+			"Wall-clock the last database open spent on crash recovery."),
+	}
+}
+
+// ObserveQuery records one query (vectordb.Hooks.ObserveQuery).
+func (m *VectorDBMetrics) ObserveQuery(collection string, d time.Duration) {
+	m.QuerySeconds.Observe(d.Seconds(), collection)
+}
+
+// ObserveInsert records one Add/Upsert call (vectordb.Hooks.ObserveInsert).
+func (m *VectorDBMetrics) ObserveInsert(collection string, d time.Duration) {
+	m.InsertSeconds.Observe(d.Seconds(), collection)
+}
+
+// AddWALBytes counts appended log bytes (vectordb.Hooks.AddWALBytes).
+func (m *VectorDBMetrics) AddWALBytes(collection string, n int) {
+	m.WALBytes.Add(float64(n), collection)
+}
+
+// IncCompaction counts a finished compaction (vectordb.Hooks.IncCompaction).
+func (m *VectorDBMetrics) IncCompaction(collection string) {
+	m.Compactions.Inc(collection)
+}
+
+// SetShardDocs reports a shard's depth (vectordb.Hooks.SetShardDocs).
+func (m *VectorDBMetrics) SetShardDocs(collection, shard string, docs int) {
+	m.ShardDocs.Set(float64(docs), collection, shard)
+}
+
+// ObserveRecovery reports recovery duration (vectordb.Hooks.ObserveRecovery).
+func (m *VectorDBMetrics) ObserveRecovery(d time.Duration) {
+	m.RecoverySeconds.Set(d.Seconds())
+}

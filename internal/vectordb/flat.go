@@ -10,38 +10,121 @@ import (
 // vector. It is the reference implementation HNSW recall is measured
 // against, and the default for the small collections LLM-MS sessions
 // produce (per-session document chunks).
+//
+// Entries live in parallel slices (with swap-delete removal and an
+// id→position map) rather than a map, so the scan iterates contiguous
+// memory; selection goes through a bounded max-heap, so a query does
+// O(n log k) work and O(k) allocation instead of materializing and
+// sorting every candidate. Iteration order does not affect results
+// because ties are broken on id.
 type flatIndex struct {
 	dist distFunc
-	// entries maps id to vector. Iteration order does not affect results
-	// because ties are broken on id during sorting.
-	entries map[string]embedding.Vector
+	ids  []string
+	vecs []embedding.Vector
+	pos  map[string]int
 }
 
 func newFlat(metric Distance) *flatIndex {
-	return &flatIndex{dist: metric.distance, entries: make(map[string]embedding.Vector)}
+	return &flatIndex{dist: metric.distance, pos: make(map[string]int)}
 }
 
-func (f *flatIndex) add(id string, v embedding.Vector) { f.entries[id] = v }
-func (f *flatIndex) remove(id string)                  { delete(f.entries, id) }
-func (f *flatIndex) len() int                          { return len(f.entries) }
-func (f *flatIndex) setDist(d distFunc)                { f.dist = d }
+func (f *flatIndex) add(id string, v embedding.Vector) {
+	if i, ok := f.pos[id]; ok {
+		f.vecs[i] = v
+		return
+	}
+	f.pos[id] = len(f.ids)
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, v)
+}
+
+func (f *flatIndex) remove(id string) {
+	i, ok := f.pos[id]
+	if !ok {
+		return
+	}
+	last := len(f.ids) - 1
+	f.ids[i], f.vecs[i] = f.ids[last], f.vecs[last]
+	f.pos[f.ids[i]] = i
+	f.ids = f.ids[:last]
+	f.vecs = f.vecs[:last]
+	delete(f.pos, id)
+}
+
+func (f *flatIndex) len() int           { return len(f.ids) }
+func (f *flatIndex) setDist(d distFunc) { f.dist = d }
 
 func (f *flatIndex) search(q embedding.Vector, k int, allow func(string) bool) []candidate {
-	cands := make([]candidate, 0, len(f.entries))
-	for id, v := range f.entries {
+	t := topK{k: k}
+	for i, id := range f.ids {
 		if allow != nil && !allow(id) {
 			continue
 		}
-		cands = append(cands, candidate{id: id, dist: f.dist(q, v)})
+		t.offer(candidate{id: id, dist: f.dist(q, f.vecs[i])})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
+	return t.sorted()
+}
+
+// candWorse orders candidates for the selection heap: a is worse than b
+// when it is farther, with the id as tie-break so results are
+// deterministic regardless of scan order.
+func candWorse(a, b candidate) bool {
+	if a.dist != b.dist {
+		return a.dist > b.dist
+	}
+	return a.id > b.id
+}
+
+// topK keeps the k best candidates seen so far in a max-heap (worst on
+// top), hand-rolled to avoid container/heap's interface dispatch on the
+// hottest loop in the database.
+type topK struct {
+	k int
+	h []candidate
+}
+
+func (t *topK) offer(c candidate) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		i := len(t.h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !candWorse(t.h[i], t.h[p]) {
+				break
+			}
+			t.h[i], t.h[p] = t.h[p], t.h[i]
+			i = p
 		}
-		return cands[i].id < cands[j].id
-	})
-	if len(cands) > k {
-		cands = cands[:k]
+		return
 	}
-	return cands
+	if !candWorse(t.h[0], c) {
+		return // not better than the worst kept candidate
+	}
+	t.h[0] = c
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(t.h) && candWorse(t.h[l], t.h[worst]) {
+			worst = l
+		}
+		if r < len(t.h) && candWorse(t.h[r], t.h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}
+
+// sorted returns the kept candidates by ascending (distance, id).
+func (t *topK) sorted() []candidate {
+	out := t.h
+	sort.Slice(out, func(i, j int) bool { return candWorse(out[j], out[i]) })
+	return out
 }

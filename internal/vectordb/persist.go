@@ -18,6 +18,10 @@ const manifestName = "manifest.json"
 type manifest struct {
 	Version     int                `json:"version"`
 	Collections []collectionHeader `json:"collections"`
+	// NextFile numbers the next col_<i>.json/wal_<i>.log pair on durable
+	// databases (version 2), keeping file ids stable across collection
+	// deletes. Save's plain version-1 snapshots renumber instead.
+	NextFile int `json:"next_file,omitempty"`
 }
 
 type collectionHeader struct {
@@ -27,6 +31,9 @@ type collectionHeader struct {
 	Index   string     `json:"index"`
 	Encoder string     `json:"encoder"`
 	HNSW    HNSWConfig `json:"hnsw"`
+	// WAL and Shards are set on durable (version 2) databases only.
+	WAL    string `json:"wal,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // Save writes the whole database under dir, creating it if needed. The
@@ -75,8 +82,11 @@ func (db *DB) Save(dir string) error {
 	return nil
 }
 
-// Load reads a database previously written by Save. Encoders are resolved
-// by name from the embedding registry.
+// Load reads a database previously written by Save into memory. If dir
+// holds a durable database (version-2 manifest with WALs), the log
+// tails are replayed too — read-only, nothing on disk changes; use Open
+// to resume writing. Encoders are resolved by name from the embedding
+// registry.
 func Load(dir string) (*DB, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
@@ -97,6 +107,7 @@ func Load(dir string) (*DB, error) {
 			Encoder: enc,
 			Index:   h.Index,
 			HNSW:    h.HNSW,
+			Shards:  h.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -109,8 +120,26 @@ func Load(dir string) (*DB, error) {
 		if err := json.Unmarshal(docRaw, &docs); err != nil {
 			return nil, fmt.Errorf("vectordb: parse collection %q: %w", h.Name, err)
 		}
-		if err := c.Add(docs...); err != nil {
+		if err := c.bulkLoad(docs); err != nil {
 			return nil, fmt.Errorf("vectordb: rebuild collection %q: %w", h.Name, err)
+		}
+		if h.WAL != "" {
+			var applyErr error
+			apply := func(rec walRecord) {
+				if applyErr == nil {
+					applyErr = c.applyWAL(rec)
+				}
+			}
+			walPath := filepath.Join(dir, h.WAL)
+			if _, err := scanWAL(walPath+".old", apply); err != nil {
+				return nil, fmt.Errorf("vectordb: replay %q: %w", h.Name, err)
+			}
+			if _, err := scanWAL(walPath, apply); err != nil {
+				return nil, fmt.Errorf("vectordb: replay %q: %w", h.Name, err)
+			}
+			if applyErr != nil {
+				return nil, fmt.Errorf("vectordb: replay %q: %w", h.Name, applyErr)
+			}
 		}
 	}
 	return db, nil

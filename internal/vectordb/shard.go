@@ -1,0 +1,132 @@
+package vectordb
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DefaultShards is the shard count for collections that don't set
+// CollectionConfig.Shards: one shard per schedulable CPU, so writers on
+// different shards never convoy on one lock.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// shard is one hash partition of a collection: its own document map,
+// its own index, its own lock. A shard never sees another shard's keys,
+// so the unit-cosine fast-path invariant is tracked — and, when an
+// explicit non-unit embedding lands, downgraded — per shard.
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*Document
+	// unitCosine reports that the shard is on the cosine fast path: the
+	// metric is Cosine and every stored embedding is unit or zero —
+	// guaranteed by the encoder for embedded text, verified on insert
+	// for explicit embeddings. One non-unit explicit embedding
+	// downgrades the shard (permanently) to the norm-recomputing metric.
+	unitCosine bool
+	index      index
+}
+
+// newShard builds shard i of a collection. HNSW shards decorrelate their
+// level-assignment RNG by shard index so the partitions don't build
+// structurally identical graphs.
+func newShard(cfg CollectionConfig, i int) *shard {
+	var idx index
+	if cfg.Index == "hnsw" {
+		hc := cfg.HNSW
+		hc.Seed += int64(i)
+		idx = newHNSW(cfg.Metric, hc)
+	} else {
+		idx = newFlat(cfg.Metric)
+	}
+	sh := &shard{docs: make(map[string]*Document), index: idx}
+	if cfg.Metric == Cosine {
+		sh.unitCosine = true
+		sh.index.setDist(unitCosineDistance)
+	}
+	return sh
+}
+
+// insertLocked applies one prepared document to the shard, replacing any
+// existing document with the same id. The shard's write lock is held.
+func (sh *shard) insertLocked(p prepared, metric Distance) {
+	if _, ok := sh.docs[p.doc.ID]; ok {
+		sh.index.remove(p.doc.ID)
+		delete(sh.docs, p.doc.ID)
+	}
+	if p.breaksUnit && sh.unitCosine {
+		sh.unitCosine = false
+		sh.index.setDist(metric.distance)
+	}
+	stored := p.doc
+	sh.docs[stored.ID] = &stored
+	sh.index.add(stored.ID, stored.Embedding)
+}
+
+// shardIndex maps a document id to its shard with FNV-1a. The hash is
+// inlined (not hash/fnv) to keep the hot insert/delete/get paths free of
+// allocation and interface calls.
+func (c *Collection) shardIndex(id string) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(c.shards)))
+}
+
+// shardSet returns the sorted, deduplicated shard indices a prepared
+// batch touches.
+func shardSet(pp []prepared) []int {
+	seen := make(map[int]struct{}, len(pp))
+	for i := range pp {
+		seen[pp[i].shard] = struct{}{}
+	}
+	return sortedKeys(seen)
+}
+
+// shardSetIDs is shardSet for a plain id list.
+func shardSetIDs(c *Collection, ids []string) []int {
+	seen := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		seen[c.shardIndex(id)] = struct{}{}
+	}
+	return sortedKeys(seen)
+}
+
+// allShards returns [0, n).
+func allShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// lockShards write-locks the given shards. idxs must be sorted
+// ascending: taking every multi-shard lock in one global order is what
+// makes concurrent multi-shard writes deadlock-free.
+func (c *Collection) lockShards(idxs []int) {
+	for _, i := range idxs {
+		c.shards[i].mu.Lock()
+	}
+}
+
+// unlockShards releases locks taken by lockShards.
+func (c *Collection) unlockShards(idxs []int) {
+	for _, i := range idxs {
+		c.shards[i].mu.Unlock()
+	}
+}

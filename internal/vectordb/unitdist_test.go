@@ -23,10 +23,10 @@ func TestUnitCosineFastPathMatchesGeneral(t *testing.T) {
 	enc := embedding.Default()
 	for _, idx := range []string{"flat", "hnsw"} {
 		t.Run(idx, func(t *testing.T) {
-			fast := newCollection("fast", CollectionConfig{Metric: Cosine, Index: idx})
-			slow := newCollection("slow", CollectionConfig{Metric: Cosine, Index: idx})
-			slow.unitCosine = false
-			slow.index.setDist(Cosine.distance)
+			fast := newCollection("fast", CollectionConfig{Metric: Cosine, Index: idx, Shards: 1})
+			slow := newCollection("slow", CollectionConfig{Metric: Cosine, Index: idx, Shards: 1})
+			slow.shards[0].unitCosine = false
+			slow.shards[0].index.setDist(Cosine.distance)
 			for i, txt := range texts {
 				doc := Document{ID: fmt.Sprintf("d%d", i), Text: txt}
 				if err := fast.Add(doc); err != nil {
@@ -36,7 +36,7 @@ func TestUnitCosineFastPathMatchesGeneral(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			if !fast.unitCosine {
+			if !fast.shards[0].unitCosine {
 				t.Fatal("encoder-only collection left the fast path")
 			}
 			// Unnormalized explicit query vector: the fast path must
@@ -77,11 +77,11 @@ func TestUnitCosineFastPathMatchesGeneral(t *testing.T) {
 // explicit non-unit embedding drops the collection off the fast path,
 // and queries stay correct (the general cosine handles mixed norms).
 func TestUnitCosineDowngrade(t *testing.T) {
-	c := newCollection("mixed", CollectionConfig{Metric: Cosine})
+	c := newCollection("mixed", CollectionConfig{Metric: Cosine, Shards: 1})
 	if err := c.Add(Document{ID: "unit", Text: "the sky is blue"}); err != nil {
 		t.Fatal(err)
 	}
-	if !c.unitCosine {
+	if !c.shards[0].unitCosine {
 		t.Fatal("collection should start on the fast path")
 	}
 	// An explicit unit embedding keeps the fast path.
@@ -89,7 +89,7 @@ func TestUnitCosineDowngrade(t *testing.T) {
 	if err := c.Add(Document{ID: "explicit-unit", Text: "grass is green in spring", Embedding: unit}); err != nil {
 		t.Fatal(err)
 	}
-	if !c.unitCosine {
+	if !c.shards[0].unitCosine {
 		t.Fatal("unit explicit embedding must not downgrade")
 	}
 	// A scaled embedding must downgrade — and still rank correctly,
@@ -101,7 +101,7 @@ func TestUnitCosineDowngrade(t *testing.T) {
 	if err := c.Add(Document{ID: "scaled", Embedding: scaled, Text: "grass is green in spring"}); err != nil {
 		t.Fatal(err)
 	}
-	if c.unitCosine {
+	if c.shards[0].unitCosine {
 		t.Fatal("non-unit explicit embedding must downgrade the collection")
 	}
 	res, err := c.Query(QueryRequest{Text: "what color is grass", TopK: 3})
@@ -118,5 +118,72 @@ func TestUnitCosineDowngrade(t *testing.T) {
 	}
 	if res[2].ID != "unit" {
 		t.Fatalf("off-topic document ranked %v", res)
+	}
+}
+
+// TestUnitCosineDowngradeIsPerShard pins the sharded refinement of the
+// invariant: one non-unit embedding downgrades only the shard it hashes
+// to, the other shards keep the fast path, and cross-shard merged
+// results stay exact (both paths compute true cosine distance for a
+// normalized query, so distances remain comparable).
+func TestUnitCosineDowngradeIsPerShard(t *testing.T) {
+	c := newCollection("sharded", CollectionConfig{Metric: Cosine, Shards: 4})
+	enc := embedding.Default()
+	texts := []string{
+		"the sky appears blue because of rayleigh scattering",
+		"grass is green in spring",
+		"lightning can strike the same place twice",
+		"goldfish have memories lasting months",
+		"the great wall is not visible from space",
+		"astronauts orbit the earth every ninety minutes",
+	}
+	for i, txt := range texts {
+		if err := c.Add(Document{ID: fmt.Sprintf("d%d", i), Text: txt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scaled := enc.Encode("a scaled vector lands in exactly one shard")
+	for i := range scaled {
+		scaled[i] *= 7
+	}
+	if err := c.Add(Document{ID: "scaled", Text: "a scaled vector lands in exactly one shard", Embedding: scaled}); err != nil {
+		t.Fatal(err)
+	}
+	hit := c.shardIndex("scaled")
+	for i, sh := range c.shards {
+		if i == hit && sh.unitCosine {
+			t.Fatalf("shard %d holds the non-unit doc but kept the fast path", i)
+		}
+		if i != hit && !sh.unitCosine {
+			t.Fatalf("shard %d downgraded without holding a non-unit doc", i)
+		}
+	}
+	// Merged results must match a single-shard (fully downgraded-capable)
+	// collection holding the same documents.
+	ref := newCollection("ref", CollectionConfig{Metric: Cosine, Shards: 1})
+	for _, d := range c.All() {
+		if err := ref.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := QueryRequest{Text: "which vector was scaled", TopK: len(texts) + 1}
+	got, err := c.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("rank %d: %s != %s", i, got[i].ID, want[i].ID)
+		}
+		if d := math.Abs(got[i].Distance - want[i].Distance); d > 1e-6 {
+			t.Fatalf("rank %d distance off by %g", i, d)
+		}
 	}
 }

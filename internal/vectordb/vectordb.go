@@ -11,8 +11,19 @@
 // Two index implementations back the search: an exact flat index and an
 // HNSW (hierarchical navigable small world) graph, matching the index
 // family the paper's deployment uses ("cosine similarity with an HNSW
-// index", §7.1). Collections persist to and load from JSON files; the
-// index is rebuilt on load.
+// index", §7.1).
+//
+// Every collection is split by document-id hash into independently locked
+// shards (see shard.go), so concurrent upserts and queries contend on
+// 1/N of the key space instead of one collection-wide lock. Queries fan
+// out across shards and k-way merge by distance after every read lock is
+// released.
+//
+// Two persistence layers exist: Save/Load write point-in-time JSON
+// snapshots (persist.go), and Open arms a durable database where every
+// write is CRC-framed into a per-collection write-ahead log before it is
+// acknowledged, with snapshot+truncate compaction and crash recovery
+// (wal.go, durable.go).
 package vectordb
 
 import (
@@ -20,6 +31,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"llmms/internal/embedding"
 )
@@ -45,7 +58,7 @@ type distFunc func(a, b embedding.Vector) float64
 
 // unitCosineDistance is cosine distance specialized to unit-or-zero
 // vectors: one dot product, no norm recomputation. Numerically equal to
-// Distance(Cosine).distance on such vectors; collections install it only
+// Distance(Cosine).distance on such vectors; shards install it only
 // while every stored embedding (and the query) upholds the invariant.
 func unitCosineDistance(a, b embedding.Vector) float64 {
 	return 1 - embedding.CosineUnit(a, b)
@@ -136,28 +149,52 @@ type CollectionConfig struct {
 	Index string
 	// HNSW tunes the graph index when Index == "hnsw".
 	HNSW HNSWConfig
+	// Shards is how many independently locked partitions the collection
+	// is split into by document-id hash. Non-positive means DefaultShards
+	// (or the owning database's OpenOptions.DefaultShards).
+	Shards int
 }
 
-// Collection is a named set of documents with a search index. All methods
-// are safe for concurrent use.
-type Collection struct {
-	name string
-	cfg  CollectionConfig
+// Hooks lets an observer (the telemetry layer) watch substrate activity
+// without vectordb importing it. Every field is optional; the zero value
+// observes nothing. telemetry.RegisterVectorDBMetrics returns a struct
+// whose methods match these fields one-for-one.
+type Hooks struct {
+	// ObserveQuery times one Query call end to end.
+	ObserveQuery func(collection string, d time.Duration)
+	// ObserveInsert times one Add/Upsert call, durability wait included.
+	ObserveInsert func(collection string, d time.Duration)
+	// AddWALBytes counts bytes appended to a collection's WAL.
+	AddWALBytes func(collection string, n int)
+	// IncCompaction counts completed snapshot+truncate compactions.
+	IncCompaction func(collection string)
+	// SetShardDocs reports a shard's live document count after a write.
+	SetShardDocs func(collection, shard string, docs int)
+	// ObserveRecovery reports how long Open spent rebuilding state from
+	// snapshots and WAL tails.
+	ObserveRecovery func(d time.Duration)
+}
 
-	mu    sync.RWMutex
-	docs  map[string]*Document
-	index index
-	// unitCosine reports that the collection is on the cosine fast path:
-	// the metric is Cosine and every stored embedding is unit or zero —
-	// guaranteed by the encoder for embedded text, verified on insert for
-	// explicit embeddings. One non-unit explicit embedding downgrades the
-	// collection (permanently) to the norm-recomputing metric.
-	unitCosine bool
+// Collection is a named set of documents sharded by document-id hash,
+// each shard with its own search index and RWMutex. All methods are safe
+// for concurrent use.
+type Collection struct {
+	name       string
+	cfg        CollectionConfig
+	shards     []*shard
+	shardNames []string // per-shard metric label values, precomputed
+	hooks      Hooks
+
+	// Durability; all nil/zero for in-memory collections.
+	wal          *wal
+	snapFile     string // snapshot path, absolute
+	compactBytes int64
+	compacting   atomic.Bool
 }
 
 // index is the internal ANN interface implemented by flatIndex and
-// hnswIndex. Implementations are NOT thread-safe; Collection serializes
-// access.
+// hnswIndex. Implementations are NOT thread-safe; the owning shard
+// serializes access.
 type index interface {
 	add(id string, v embedding.Vector)
 	remove(id string)
@@ -178,13 +215,6 @@ type candidate struct {
 	dist float64
 }
 
-func newIndex(cfg CollectionConfig) index {
-	if cfg.Index == "hnsw" {
-		return newHNSW(cfg.Metric, cfg.HNSW)
-	}
-	return newFlat(cfg.Metric)
-}
-
 // newCollection builds an empty collection, normalizing config defaults.
 func newCollection(name string, cfg CollectionConfig) *Collection {
 	if cfg.Metric == "" {
@@ -197,15 +227,18 @@ func newCollection(name string, cfg CollectionConfig) *Collection {
 		cfg.Index = "flat"
 	}
 	cfg.HNSW = cfg.HNSW.withDefaults()
-	c := &Collection{
-		name:  name,
-		cfg:   cfg,
-		docs:  make(map[string]*Document),
-		index: newIndex(cfg),
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards()
 	}
-	if cfg.Metric == Cosine {
-		c.unitCosine = true
-		c.index.setDist(unitCosineDistance)
+	c := &Collection{
+		name:       name,
+		cfg:        cfg,
+		shards:     make([]*shard, cfg.Shards),
+		shardNames: make([]string, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i] = newShard(cfg, i)
+		c.shardNames[i] = fmt.Sprintf("%d", i)
 	}
 	return c
 }
@@ -216,141 +249,237 @@ func (c *Collection) Name() string { return c.name }
 // Metric returns the collection's distance metric.
 func (c *Collection) Metric() Distance { return c.cfg.Metric }
 
+// Shards returns the number of shards the collection is split into.
+func (c *Collection) Shards() int { return len(c.shards) }
+
 // Count returns the number of stored documents.
 func (c *Collection) Count() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Add inserts documents. Documents without an embedding are embedded from
 // their text with the collection encoder. Adding an existing id fails;
 // use Upsert to replace.
 func (c *Collection) Add(docs ...Document) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, d := range docs {
-		if d.ID == "" {
-			return fmt.Errorf("vectordb: document with empty id")
-		}
-		if _, exists := c.docs[d.ID]; exists {
-			return fmt.Errorf("vectordb: duplicate id %q in collection %q", d.ID, c.name)
-		}
-	}
-	for _, d := range docs {
-		c.insertLocked(d)
-	}
-	return nil
+	return c.write(docs, false, true)
 }
 
 // Upsert inserts documents, replacing any existing documents with the
 // same ids.
 func (c *Collection) Upsert(docs ...Document) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, d := range docs {
-		if d.ID == "" {
-			return fmt.Errorf("vectordb: document with empty id")
-		}
-		if _, exists := c.docs[d.ID]; exists {
-			c.index.remove(d.ID)
-			delete(c.docs, d.ID)
-		}
-		c.insertLocked(d)
+	return c.write(docs, true, true)
+}
+
+// write is the shared insert path. Embeddings are resolved outside any
+// lock; the involved shards are then locked in ascending index order
+// (the global order that keeps multi-shard writes deadlock-free), the
+// documents applied, and — for durable collections — the WAL record
+// enqueued before the locks drop, so log order always matches apply
+// order for any given document. The caller then waits for the group
+// commit to make the write durable before it is acknowledged.
+func (c *Collection) write(docs []Document, replace, logWAL bool) error {
+	if len(docs) == 0 {
+		return nil
 	}
+	var start time.Time
+	if c.hooks.ObserveInsert != nil {
+		start = time.Now()
+	}
+	pp, err := c.prepare(docs)
+	if err != nil {
+		return err
+	}
+	idxs := shardSet(pp)
+	c.lockShards(idxs)
+	if !replace {
+		for i := range pp {
+			if _, exists := c.shards[pp[i].shard].docs[pp[i].doc.ID]; exists {
+				c.unlockShards(idxs)
+				return fmt.Errorf("vectordb: duplicate id %q in collection %q", pp[i].doc.ID, c.name)
+			}
+		}
+	}
+	for i := range pp {
+		c.shards[pp[i].shard].insertLocked(pp[i], c.cfg.Metric)
+	}
+	var ack *walAck
+	if logWAL && c.wal != nil {
+		ack = c.wal.append(walRecord{Op: walOpUpsert, Docs: docs})
+	}
+	c.unlockShards(idxs)
+	c.observeShardDocs(idxs)
+	if ack != nil {
+		err = ack.wait()
+	}
+	if c.hooks.ObserveInsert != nil {
+		c.hooks.ObserveInsert(c.name, time.Since(start))
+	}
+	if err != nil {
+		return fmt.Errorf("vectordb: wal append in %q: %w", c.name, err)
+	}
+	c.maybeCompact()
 	return nil
 }
 
-func (c *Collection) insertLocked(d Document) {
-	if len(d.Embedding) == 0 {
-		// Encoder output is unit (or zero) by contract — no check needed.
-		d.Embedding = c.cfg.Encoder.Encode(d.Text)
-	} else if c.unitCosine {
-		if n := embedding.Norm(d.Embedding); n != 0 && math.Abs(n-1) > 1e-4 {
-			// An explicit non-unit embedding breaks the fast path's
-			// invariant for the whole collection: fall back to the
-			// norm-recomputing cosine for every comparison from here on.
-			c.unitCosine = false
-			c.index.setDist(c.cfg.Metric.distance)
+// prepared is a document ready for insertion: embedding resolved and
+// cloned, fast-path impact precomputed, target shard chosen.
+type prepared struct {
+	doc        Document
+	shard      int
+	breaksUnit bool
+}
+
+// prepare resolves embeddings and shard targets for a batch, outside any
+// lock — text encoding is the expensive part of an insert and must not
+// serialize readers.
+func (c *Collection) prepare(docs []Document) ([]prepared, error) {
+	pp := make([]prepared, len(docs))
+	for i, d := range docs {
+		if d.ID == "" {
+			return nil, fmt.Errorf("vectordb: document with empty id")
 		}
+		breaksUnit := false
+		if len(d.Embedding) == 0 {
+			// Encoder output is unit (or zero) by contract — no check needed.
+			d.Embedding = c.cfg.Encoder.Encode(d.Text)
+		} else {
+			d.Embedding = embedding.Clone(d.Embedding)
+			if c.cfg.Metric == Cosine {
+				if n := embedding.Norm(d.Embedding); n != 0 && math.Abs(n-1) > 1e-4 {
+					// An explicit non-unit embedding breaks the fast path's
+					// invariant for its shard: that shard falls back to the
+					// norm-recomputing cosine for every comparison from here on.
+					breaksUnit = true
+				}
+			}
+		}
+		pp[i] = prepared{doc: d, shard: c.shardIndex(d.ID), breaksUnit: breaksUnit}
 	}
-	stored := d
-	stored.Embedding = embedding.Clone(d.Embedding)
-	c.docs[d.ID] = &stored
-	c.index.add(d.ID, stored.Embedding)
+	return pp, nil
 }
 
 // Delete removes the given ids; missing ids are ignored. It returns the
 // number of documents actually removed.
 func (c *Collection) Delete(ids ...string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	removed := 0
+	if len(ids) == 0 {
+		return 0
+	}
+	idxs := shardSetIDs(c, ids)
+	c.lockShards(idxs)
+	var removed []string
 	for _, id := range ids {
-		if _, ok := c.docs[id]; ok {
-			delete(c.docs, id)
-			c.index.remove(id)
-			removed++
+		sh := c.shards[c.shardIndex(id)]
+		if _, ok := sh.docs[id]; ok {
+			delete(sh.docs, id)
+			sh.index.remove(id)
+			removed = append(removed, id)
 		}
 	}
-	return removed
+	var ack *walAck
+	if c.wal != nil && len(removed) > 0 {
+		ack = c.wal.append(walRecord{Op: walOpDelete, IDs: removed})
+	}
+	c.unlockShards(idxs)
+	c.observeShardDocs(idxs)
+	if ack != nil {
+		// Delete's signature predates durability; a sync failure cannot
+		// be reported here, but waiting still orders the acknowledgement
+		// after the group commit.
+		_ = ack.wait()
+		c.maybeCompact()
+	}
+	return len(removed)
 }
 
 // DeleteWhere removes every document whose metadata matches the filter
 // (the ChromaDB delete-with-where operation). It returns how many
-// documents were removed; an invalid filter is an error.
+// documents were removed; an invalid filter is an error. Unlike Query,
+// it locks every shard at once so the scan is a consistent point-in-time
+// cut of the collection.
 func (c *Collection) DeleteWhere(where Metadata) (int, error) {
 	match, err := compileFilter(where)
 	if err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	idxs := allShards(len(c.shards))
+	c.lockShards(idxs)
 	var doomed []string
-	for id, d := range c.docs {
-		if match(d.Metadata) {
-			doomed = append(doomed, id)
+	for _, sh := range c.shards {
+		for id, d := range sh.docs {
+			if match(d.Metadata) {
+				doomed = append(doomed, id)
+			}
 		}
 	}
 	for _, id := range doomed {
-		delete(c.docs, id)
-		c.index.remove(id)
+		sh := c.shards[c.shardIndex(id)]
+		delete(sh.docs, id)
+		sh.index.remove(id)
+	}
+	var ack *walAck
+	if c.wal != nil && len(doomed) > 0 {
+		ack = c.wal.append(walRecord{Op: walOpDelete, IDs: doomed})
+	}
+	c.unlockShards(idxs)
+	c.observeShardDocs(idxs)
+	if ack != nil {
+		if err := ack.wait(); err != nil {
+			return len(doomed), fmt.Errorf("vectordb: wal append in %q: %w", c.name, err)
+		}
+		c.maybeCompact()
 	}
 	return len(doomed), nil
 }
 
 // Get returns the documents with the given ids, omitting missing ones.
 func (c *Collection) Get(ids ...string) []Document {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	out := make([]Document, 0, len(ids))
 	for _, id := range ids {
-		if d, ok := c.docs[id]; ok {
+		sh := c.shards[c.shardIndex(id)]
+		sh.mu.RLock()
+		if d, ok := sh.docs[id]; ok {
 			cp := *d
 			cp.Embedding = embedding.Clone(d.Embedding)
 			out = append(out, cp)
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // All returns every document, ordered by id. Intended for persistence
-// and small collections.
+// and small collections. Shards are read one at a time, so concurrent
+// writes to other shards may or may not be included.
 func (c *Collection) All() []Document {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]Document, 0, len(c.docs))
-	for _, d := range c.docs {
-		cp := *d
-		cp.Embedding = embedding.Clone(d.Embedding)
-		out = append(out, cp)
+	var out []Document
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, d := range sh.docs {
+			cp := *d
+			cp.Embedding = embedding.Clone(d.Embedding)
+			out = append(out, cp)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Query runs a top-k nearest-neighbor search.
+// Query runs a top-k nearest-neighbor search. Each shard is searched —
+// and its hits materialized — under that shard's read lock alone; every
+// lock is released before the cross-shard merge, so writers never wait
+// behind merge or sort work.
 func (c *Collection) Query(req QueryRequest) ([]Result, error) {
+	var start time.Time
+	if c.hooks.ObserveQuery != nil {
+		start = time.Now()
+	}
 	if req.TopK <= 0 {
 		req.TopK = 10
 	}
@@ -363,10 +492,10 @@ func (c *Collection) Query(req QueryRequest) ([]Result, error) {
 	} else if c.cfg.Metric == Cosine {
 		// The fast path needs a unit query too. Normalizing a copy is
 		// exact, not approximate: cosine similarity is invariant under
-		// query scaling. Checked outside the lock against the config
-		// metric; whether the collection is still on the fast path is
-		// re-read under the lock below, and a normalized query is equally
-		// correct on the slow path.
+		// query scaling. Checked outside the locks against the config
+		// metric; whether a shard is still on the fast path is its own
+		// business, and a normalized query is equally correct on the
+		// slow path.
 		q = embedding.Clone(q)
 		embedding.NormalizeInPlace(q)
 	}
@@ -388,48 +517,98 @@ func (c *Collection) Query(req QueryRequest) ([]Result, error) {
 		docFilter = f
 	}
 
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-
-	allow := func(id string) bool {
-		d, ok := c.docs[id]
-		if !ok {
-			return false
+	results := make([]Result, 0, req.TopK)
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		var allow func(string) bool
+		if metaFilter != nil || docFilter != nil {
+			docs := sh.docs
+			allow = func(id string) bool {
+				d, ok := docs[id]
+				if !ok {
+					return false
+				}
+				if metaFilter != nil && !metaFilter(d.Metadata) {
+					return false
+				}
+				if docFilter != nil && !docFilter(d.Text) {
+					return false
+				}
+				return true
+			}
 		}
-		if metaFilter != nil && !metaFilter(d.Metadata) {
-			return false
+		cands := sh.index.search(q, req.TopK, allow)
+		for _, cand := range cands {
+			d := sh.docs[cand.id]
+			results = append(results, Result{
+				ID:         d.ID,
+				Text:       d.Text,
+				Metadata:   d.Metadata,
+				Distance:   cand.dist,
+				Similarity: c.cfg.Metric.similarity(cand.dist),
+			})
 		}
-		if docFilter != nil && !docFilter(d.Text) {
-			return false
-		}
-		return true
+		sh.mu.RUnlock()
 	}
-
-	cands := c.index.search(q, req.TopK, allow)
-	results := make([]Result, 0, len(cands))
-	for _, cand := range cands {
-		d := c.docs[cand.id]
-		results = append(results, Result{
-			ID:         d.ID,
-			Text:       d.Text,
-			Metadata:   d.Metadata,
-			Distance:   cand.dist,
-			Similarity: c.cfg.Metric.similarity(cand.dist),
-		})
+	// Merge: each shard's hits are already its local top-k; a global
+	// sort of at most k·shards rows picks the collection-wide top-k with
+	// the same (distance, id) order a single-shard scan would produce.
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Distance != results[j].Distance {
+			return results[i].Distance < results[j].Distance
+		}
+		return results[i].ID < results[j].ID
+	})
+	if len(results) > req.TopK {
+		results = results[:req.TopK]
+	}
+	if c.hooks.ObserveQuery != nil {
+		c.hooks.ObserveQuery(c.name, time.Since(start))
 	}
 	return results, nil
 }
 
+// observeShardDocs reports the affected shards' live document counts to
+// the telemetry hook after a write.
+func (c *Collection) observeShardDocs(idxs []int) {
+	if c.hooks.SetShardDocs == nil {
+		return
+	}
+	for _, i := range idxs {
+		sh := c.shards[i]
+		sh.mu.RLock()
+		n := len(sh.docs)
+		sh.mu.RUnlock()
+		c.hooks.SetShardDocs(c.name, c.shardNames[i], n)
+	}
+}
+
 // DB is a set of named collections, the top-level handle mirroring a
-// ChromaDB client. All methods are safe for concurrent use.
+// ChromaDB client. All methods are safe for concurrent use. New builds
+// an in-memory database; Open (durable.go) builds one whose collections
+// write ahead to disk and survive crashes.
 type DB struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
+	hooks       Hooks
+
+	// Durability; zero for in-memory databases.
+	dir  string
+	opts OpenOptions
+	man  manifest
 }
 
 // New returns an empty in-memory database.
 func New() *DB {
 	return &DB{collections: make(map[string]*Collection)}
+}
+
+// SetHooks installs observer hooks on the database. Hooks apply to
+// collections created afterwards; call it before CreateCollection.
+func (db *DB) SetHooks(h Hooks) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.hooks = h
 }
 
 // CreateCollection creates a new collection. It fails if the name exists.
@@ -442,9 +621,7 @@ func (db *DB) CreateCollection(name string, cfg CollectionConfig) (*Collection, 
 	if _, exists := db.collections[name]; exists {
 		return nil, fmt.Errorf("vectordb: collection %q already exists", name)
 	}
-	c := newCollection(name, cfg)
-	db.collections[name] = c
-	return c, nil
+	return db.createLocked(name, cfg)
 }
 
 // GetOrCreateCollection returns the named collection, creating it with
@@ -458,7 +635,22 @@ func (db *DB) GetOrCreateCollection(name string, cfg CollectionConfig) (*Collect
 	if name == "" {
 		return nil, fmt.Errorf("vectordb: empty collection name")
 	}
+	return db.createLocked(name, cfg)
+}
+
+// createLocked builds a collection and, on a durable database, arms its
+// WAL and registers it in the on-disk manifest. Caller holds db.mu.
+func (db *DB) createLocked(name string, cfg CollectionConfig) (*Collection, error) {
+	if cfg.Shards <= 0 && db.opts.DefaultShards > 0 {
+		cfg.Shards = db.opts.DefaultShards
+	}
 	c := newCollection(name, cfg)
+	c.hooks = db.hooks
+	if db.dir != "" {
+		if err := db.armLocked(c); err != nil {
+			return nil, err
+		}
+	}
 	db.collections[name] = c
 	return c, nil
 }
@@ -474,12 +666,19 @@ func (db *DB) Collection(name string) (*Collection, error) {
 	return c, nil
 }
 
-// DeleteCollection removes the named collection and all its documents.
+// DeleteCollection removes the named collection and all its documents,
+// including its on-disk state on durable databases.
 func (db *DB) DeleteCollection(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.collections[name]; !ok {
+	c, ok := db.collections[name]
+	if !ok {
 		return fmt.Errorf("vectordb: no collection %q", name)
+	}
+	if db.dir != "" {
+		if err := db.disarmLocked(c); err != nil {
+			return err
+		}
 	}
 	delete(db.collections, name)
 	return nil

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Runs the memory-substrate benchmarks: concurrent mixed insert/query
+# throughput of the sharded collection vs a replica of the pre-shard
+# single-lock design at 1/4/16 goroutines (the headline number is the
+# ops/sec multiple at g=16), the single-goroutine query-latency pair
+# (sharding must stay within 10% on the uncontended path), and the
+# answer-cache cold-vs-warm first-pass hit rate. Writes machine-readable
+# JSON so the multiples can be diffed across commits; the raw
+# `go test -bench` text goes to stderr.
+#
+# -benchtime=6x runs six 250ms mixed windows per variant: each reported
+# ops/sec number is a 1.5s average, which flattens the scheduler noise a
+# single window shows on small machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_memdb.json}"
+{
+	go test -run='^$' -bench='MemDBMixed|MemDBQueryLatency' -benchtime=6x ./internal/vectordb/
+	go test -run='^$' -bench='WarmStartHitRate' ./internal/qcache/
+} | tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"

@@ -31,5 +31,62 @@ go test -run='^$' -bench='ScoreAll|EncodeIncremental|InterSim|FanoutPipelined' -
 go test -run='^$' -bench='ServeMix|ServeTrace|ServeBatch' -benchtime=1x ./internal/server/ >/dev/null
 go test -run='^$' -bench='Fleet' -benchtime=1x ./internal/fleet/ >/dev/null
 go test -run='^$' -bench='BatchDecode' -benchtime=1x ./internal/llm/ >/dev/null
+go test -run='^$' -bench='MemDB|WarmStartHitRate' -benchtime=1x \
+	./internal/vectordb/ ./internal/qcache/ >/dev/null
+
+# End-to-end crash-recovery smoke: boot with -data-dir, ingest a
+# document and answer a query, restart the process, and require that
+# the repeated query is a warm-cache HIT and the document survived.
+echo "== memdb recovery smoke"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"; [ -n "${smokepid:-}" ] && kill "$smokepid" 2>/dev/null || true' EXIT
+go build -o "$smokedir/llmms" ./cmd/llmms
+addr=127.0.0.1:8093
+
+start_llmms() {
+	"$smokedir/llmms" -addr "$addr" -questions 50 -latency 0 \
+		-data-dir "$smokedir/data" >>"$smokedir/smoke.log" 2>&1 &
+	smokepid=$!
+	for _ in $(seq 1 100); do
+		if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	echo "memdb smoke: server did not become healthy" >&2
+	cat "$smokedir/smoke.log" >&2
+	exit 1
+}
+
+stop_llmms() {
+	kill -INT "$smokepid"
+	wait "$smokepid" 2>/dev/null || true
+	smokepid=""
+}
+
+start_llmms
+curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d '{"filename":"facts.txt","content":"The capital of France is Paris."}' \
+	"http://$addr/api/upload" >/dev/null
+curl -fsS -X POST -H 'Content-Type: application/json' \
+	-d '{"query":"What is the capital of France?"}' \
+	"http://$addr/api/query" >/dev/null
+stop_llmms
+
+start_llmms
+cache=$(curl -fsS -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
+	-d '{"query":"What is the capital of France?"}' \
+	"http://$addr/api/query" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-cache"{print $2}')
+if [ "$cache" != "HIT" ]; then
+	echo "memdb smoke: first repeated query after restart got X-Cache '$cache', want HIT" >&2
+	cat "$smokedir/smoke.log" >&2
+	exit 1
+fi
+if ! curl -fsS "http://$addr/api/documents" | grep -q 'facts.txt'; then
+	echo "memdb smoke: uploaded document lost across restart" >&2
+	exit 1
+fi
+stop_llmms
+echo "   recovery smoke ok: X-Cache HIT after restart, document recovered"
 
 echo "== ok"
