@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace bench-batch bench-memdb check
+.PHONY: build test bench bench-score bench-serve bench-fanout bench-fleet bench-trace bench-batch bench-memdb bench-route check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-memdb:
 # BENCH_batch.json; see DESIGN.md "Continuous batching".
 bench-batch:
 	./scripts/bench_batch.sh BENCH_batch.json
+
+# bench-route runs the predictive-routing benchmark (family-clustered
+# traffic with routing off vs on: fan-out width, throughput, and answer
+# quality) and writes BENCH_route.json; see DESIGN.md "Predictive
+# routing".
+bench-route:
+	./scripts/bench_route.sh BENCH_route.json
 
 # check is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the fan-out orchestration is concurrent, so

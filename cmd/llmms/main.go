@@ -9,6 +9,8 @@
 //	      [-trace-capacity 256] [-trace-sample 1.0] [-pprof]
 //	      [-cache-ttl 5m] [-cache-capacity 256] [-semantic-threshold 0.97]
 //	      [-max-inflight 0] [-fleet 0] [-hedge-p95 0]
+//	      [-router-topk 0] [-router-min-obs 3] [-router-min-sim 0.5]
+//	      [-router-epsilon 0.1]
 //	      [-data-dir path] [-wal-sync batch] [-vectordb-shards 0]
 //	      [-log-level info] [-log-format text] [-slow-query 2s] [-version]
 //
@@ -41,6 +43,17 @@
 // F × the model's observed p95 latency (0 disables hedging). With the
 // fleet on, /readyz gains per-model "fleet:<model>" checks and
 // GET /api/fleet reports per-replica state.
+//
+// The routing flags enable query-aware predictive routing (see
+// DESIGN.md "Predictive routing"): -router-topk K learns per-cluster
+// model rewards from completed queries and user feedback, and narrows
+// confidently clustered multi-model queries to the predicted top K
+// models — the narrowed width is what admission control charges, so
+// -max-inflight capacity stretches further (0 keeps the full fan-out).
+// -router-min-obs, -router-min-sim, and -router-epsilon tune the
+// confidence gates and the exploration probe cadence; GET /api/router
+// reports the live cluster index. With -data-dir the cluster index is
+// durable.
 //
 // The persistence flags (see DESIGN.md "Memory substrate"): -data-dir
 // roots the durable memory substrate — RAG chunks and sessions live in a
@@ -97,7 +110,11 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	traceSample := flag.Float64("trace-sample", 1, "retention probability for ordinary traces; errors and slow-tail traces are always kept")
 	slowQuery := flag.Duration("slow-query", server.DefaultSlowQueryThreshold, "log a warning when a query's span tree exceeds this duration (negative disables)")
-	dataDir := flag.String("data-dir", "", "persist state under this directory: vector database with WAL crash recovery, sessions, answer-cache warm start (empty = in-memory only)")
+	routerTopK := flag.Int("router-topk", 0, "predictive routing: fan confidently clustered queries out to only the top-k models (0 = full fan-out always)")
+	routerMinObs := flag.Int("router-min-obs", 0, "queries a routing cluster needs before it may narrow the fan-out (0 = default 3)")
+	routerMinSim := flag.Float64("router-min-sim", 0, "centroid cosine similarity below which a query falls back to the full pool (0 = default 0.5)")
+	routerEpsilon := flag.Float64("router-epsilon", 0, "ε-probe cadence: every ⌈1/ε⌉-th routed decision per cluster re-tries one excluded model (0 = default 0.1, negative disables)")
+	dataDir := flag.String("data-dir", "", "persist state under this directory: vector database with WAL crash recovery, sessions, answer-cache warm start, routing clusters (empty = in-memory only)")
 	walSync := flag.String("wal-sync", "batch", "WAL durability: batch (group commit), always (fsync per write), none")
 	vdbShards := flag.Int("vectordb-shards", 0, "lock shards per vector collection (0 = GOMAXPROCS)")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -158,6 +175,12 @@ func main() {
 			SemanticThreshold: *semThreshold,
 			Coalesce:          *cacheTTL > 0,
 			MaxInflight:       *maxInflight,
+		},
+		Routing: server.RoutingOptions{
+			TopK:            *routerTopK,
+			MinObservations: *routerMinObs,
+			MinSimilarity:   *routerMinSim,
+			Epsilon:         *routerEpsilon,
 		},
 	})
 	if err != nil {

@@ -118,6 +118,19 @@ type Config struct {
 	// "Self-Improving Orchestration") to its combined score, so models
 	// the user has rated well attract budget sooner.
 	Feedback *FeedbackStore
+	// Priors, when non-empty, warm-start the bandit strategies' per-arm
+	// reward estimates (predictive routing; DESIGN.md "Predictive
+	// routing"): Priors[model] is the expected per-pull reward on the
+	// score scale, counted as PriorWeight pseudo-pulls, so a routed arm
+	// starts from its cluster's historical mean instead of from zero
+	// history. Models absent from the map start cold. OUA ignores
+	// priors — its allocation is round-robin, not mean-driven — and the
+	// final winner is always chosen on actual final scores, so priors
+	// steer budget, never the selection.
+	Priors map[string]float64
+	// PriorWeight is the pseudo-pull mass behind each entry of Priors.
+	// Non-positive takes the default 2.
+	PriorWeight float64
 	// Retry is the per-chunk fault-tolerance budget: every GenerateChunk
 	// call is retried with exponential backoff under a per-attempt
 	// timeout before its model is declared failed. The zero value takes
@@ -187,6 +200,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Gamma0 <= 0 {
 		c.Gamma0 = 0.3
+	}
+	if c.PriorWeight <= 0 {
+		c.PriorWeight = 2
 	}
 	if c.Encoder == nil {
 		c.Encoder = embedding.Default()
@@ -448,13 +464,28 @@ type candidate struct {
 	// OUA budget
 	remaining int
 
-	// MAB state
-	rewardSum float64
+	// MAB state. priorSum/priorPulls carry the warm-start pseudo-pulls
+	// from Config.Priors; both stay zero without priors, which keeps
+	// every bandit formula identical to the prior-free code path.
+	rewardSum  float64
+	priorSum   float64
+	priorPulls float64
 
 	// sess is the candidate's persistent generation session (stream.go),
 	// attached when the backend supports streaming; nil keeps the plain
 	// per-round GenerateChunk path.
 	sess *genSession
+}
+
+// newCandidate builds the in-flight state for one model, seeding the
+// bandit warm-start pseudo-pulls when the config carries a prior for it.
+func (o *Orchestrator) newCandidate(model string) *candidate {
+	c := &candidate{model: model}
+	if prior, ok := o.cfg.Priors[model]; ok {
+		c.priorSum = prior * o.cfg.PriorWeight
+		c.priorPulls = o.cfg.PriorWeight
+	}
+	return c
 }
 
 func (c *candidate) outcome() ModelOutcome {

@@ -88,6 +88,50 @@ func (f *FeedbackStore) Prior(model string) float64 {
 	return st.score / st.weight * maxBonus
 }
 
+// FeedbackState is the serializable snapshot of a FeedbackStore —
+// what the server persists in its durable "feedback" collection so
+// learned priors survive restarts.
+type FeedbackState struct {
+	Ratings map[string]RatingSnapshot `json:"ratings"`
+}
+
+// RatingSnapshot is one model's persisted rating state.
+type RatingSnapshot struct {
+	// Score is the decayed sum of ratings.
+	Score float64 `json:"score"`
+	// Weight is the decayed observation mass.
+	Weight float64 `json:"weight"`
+	// Count is the raw number of ratings.
+	Count int `json:"count"`
+}
+
+// Snapshot captures the store's current state.
+func (f *FeedbackStore) Snapshot() FeedbackState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FeedbackState{Ratings: make(map[string]RatingSnapshot, len(f.ratings))}
+	for m, r := range f.ratings {
+		st.Ratings[m] = RatingSnapshot{Score: r.score, Weight: r.weight, Count: r.count}
+	}
+	return st
+}
+
+// Restore replaces the store's state with a snapshot, returning how
+// many models were restored. Entries without observation mass are
+// skipped.
+func (f *FeedbackStore) Restore(st FeedbackState) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ratings = make(map[string]*ratingState, len(st.Ratings))
+	for m, r := range st.Ratings {
+		if m == "" || r.Weight <= 0 {
+			continue
+		}
+		f.ratings[m] = &ratingState{score: r.Score, weight: r.Weight, count: r.Count}
+	}
+	return len(f.ratings)
+}
+
 // Ratings returns (count, decayed mean) per rated model.
 func (f *FeedbackStore) Ratings() map[string][2]float64 {
 	f.mu.Lock()

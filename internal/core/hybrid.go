@@ -34,7 +34,7 @@ func (o *Orchestrator) Hybrid(ctx context.Context, prompt string) (Result, error
 	n := len(cfg.Models)
 	cands := make([]*candidate, n)
 	for i, m := range cfg.Models {
-		cands[i] = &candidate{model: m}
+		cands[i] = o.newCandidate(m)
 	}
 	qv := cfg.Encoder.Encode(prompt)
 	sc := o.newScorer(qv)

@@ -36,7 +36,7 @@ func (o *Orchestrator) MAB(ctx context.Context, prompt string) (Result, error) {
 	cfg := o.cfg
 	cands := make([]*candidate, len(cfg.Models))
 	for i, m := range cfg.Models {
-		cands[i] = &candidate{model: m}
+		cands[i] = o.newCandidate(m)
 	}
 	qv := cfg.Encoder.Encode(prompt)
 	sc := o.newScorer(qv)
@@ -219,24 +219,30 @@ func (o *Orchestrator) selectArm(cands []*candidate, gamma float64, totalPulls i
 	return best
 }
 
-// ucb1 computes the arm's index (Algorithm 2 line 4). Unpulled arms get
-// +Inf so they are explored first.
+// ucb1 computes the arm's index (Algorithm 2 line 4). Arms without any
+// history — real or prior — get +Inf so they are explored first. A
+// warm-start prior (Config.Priors) enters as priorPulls pseudo-pulls at
+// the prior mean: the arm's effective mean starts at its historical
+// value and washes out under real observations, and the shrunken
+// exploration bonus reflects that the arm is not actually unknown.
 func ucb1(c *candidate, gamma float64, totalPulls int) float64 {
-	if c.pulls == 0 {
+	eff := float64(c.pulls) + c.priorPulls
+	if eff == 0 {
 		return math.Inf(1)
 	}
-	mean := c.rewardSum / float64(c.pulls)
+	mean := (c.rewardSum + c.priorSum) / eff
 	if totalPulls < 1 {
 		totalPulls = 1
 	}
-	return mean + gamma*math.Sqrt(2*math.Log(float64(totalPulls))/float64(c.pulls))
+	return mean + gamma*math.Sqrt(2*math.Log(float64(totalPulls))/eff)
 }
 
 func meanReward(c *candidate) float64 {
-	if c.pulls == 0 {
+	eff := float64(c.pulls) + c.priorPulls
+	if eff == 0 {
 		return 0
 	}
-	return c.rewardSum / float64(c.pulls)
+	return (c.rewardSum + c.priorSum) / eff
 }
 
 // allDone reports whether every arm has settled — finished its answer or

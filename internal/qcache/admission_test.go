@@ -204,3 +204,50 @@ func TestNilGate(t *testing.T) {
 		t.Fatal("NewGate(0) should return the nil unlimited gate")
 	}
 }
+
+func TestGateWidthScalesAdmission(t *testing.T) {
+	// The predictive-routing capacity argument in one invariant: a gate
+	// sized for two full-width queries admits capacity/k narrowed ones,
+	// so halving the average fan-out width doubles admitted concurrency.
+	g := NewGate(6, 1, nil)
+
+	// mustQueue asserts one more Acquire of the given weight cannot be
+	// admitted now: it parks in the queue, and canceling it unparks it.
+	mustQueue := func(weight int) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		queued := make(chan error, 1)
+		go func() { queued <- g.Acquire(ctx, weight) }()
+		for g.QueueDepth() != 1 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		if err := <-queued; !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued Acquire(%d) = %v, want context.Canceled", weight, err)
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := g.Acquire(context.Background(), 3); err != nil {
+			t.Fatalf("full-width Acquire %d: %v", i, err)
+		}
+	}
+	// Capacity holds exactly two full-width queries.
+	mustQueue(3)
+	g.Release(3)
+	g.Release(3)
+
+	// Narrowed to width 1, the same gate runs six queries at once.
+	for i := 0; i < 6; i++ {
+		if err := g.Acquire(context.Background(), 1); err != nil {
+			t.Fatalf("narrowed Acquire %d: %v", i, err)
+		}
+	}
+	if got := g.InUse(); got != 6 {
+		t.Fatalf("InUse = %d, want 6", got)
+	}
+	mustQueue(1)
+	for i := 0; i < 6; i++ {
+		g.Release(1)
+	}
+}

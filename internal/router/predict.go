@@ -1,0 +1,602 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"llmms/internal/core"
+	"llmms/internal/embedding"
+	"llmms/internal/vectordb"
+)
+
+// Query-aware predictive routing (DESIGN.md "Predictive routing").
+//
+// The lexical TaskIndex above shortcuts only queries whose intent a
+// keyword grammar recognizes. The Predictor generalizes it into
+// embedding space, the way SelectLLM routes with a query-aware
+// classifier and ORI routes across a heterogeneous fleet by vector
+// similarity: every completed query is embedded and assigned to an
+// online cluster (leader-style online k-means: nearest centroid if the
+// cosine similarity clears a threshold, a fresh cluster otherwise), and
+// each cluster accumulates decayed per-model reward statistics from
+// orchestration outcomes and end-user feedback ratings.
+//
+// At query time Predict probes the cluster index and — when the cluster
+// is confident — narrows the fan-out to the cluster's top-k models,
+// handing back their historical means as warm-start priors for the
+// bandit strategies. Confidence requires all of: a matching cluster
+// (else fallback_cold), similarity above MinSimilarity (fallback_far),
+// enough assignments and at least one observation per pool model
+// (fallback_few_obs), and the worst included model separated from the
+// best excluded one by more than their combined standard errors
+// (fallback_variance). Any failed gate routes the full pool, whose
+// outcomes keep training the index.
+//
+// A deterministic ε-probe keeps the index honest: every ⌈1/ε⌉-th routed
+// decision of a cluster widens the subset by one excluded model, cycling
+// through the exclusions round-robin, so a model that improved keeps
+// getting fresh observations and can win its way back in (the
+// cluster-drift property test pins this).
+
+// Routing outcome labels, used for Prediction.Outcome and the
+// llmms_route_decisions_total{outcome} counter.
+const (
+	// OutcomeTopK is a confident narrowed fan-out.
+	OutcomeTopK = "topk"
+	// OutcomeProbe is a narrowed fan-out widened by one ε-probe model.
+	OutcomeProbe = "probe"
+	// OutcomeFull means routing was a no-op: k covers the whole pool.
+	OutcomeFull = "full"
+	// OutcomeFallbackCold: no cluster matched the query at all.
+	OutcomeFallbackCold = "fallback_cold"
+	// OutcomeFallbackFar: the nearest centroid is below MinSimilarity.
+	OutcomeFallbackFar = "fallback_far"
+	// OutcomeFallbackFewObs: the cluster or a pool model lacks history.
+	OutcomeFallbackFewObs = "fallback_few_obs"
+	// OutcomeFallbackVariance: the top-k boundary is inside the noise.
+	OutcomeFallbackVariance = "fallback_variance"
+)
+
+// PredictorOptions tunes a Predictor. The zero value of every field
+// takes the documented default.
+type PredictorOptions struct {
+	// TopK is how many models a confidently routed query fans out to.
+	// Default 2.
+	TopK int
+	// MinObservations is how many queries a cluster must have absorbed
+	// before it may narrow the fan-out. Default 3.
+	MinObservations int
+	// MinSimilarity is the cosine similarity a query needs to its
+	// nearest centroid — below it the query is treated as outside the
+	// cluster (assignment creates a new cluster; prediction falls back).
+	// The default 0.5 sits between measured same-template families
+	// (≥ 0.6) and cross-family pairs (≤ 0.35) of the default encoder.
+	MinSimilarity float64
+	// Epsilon sets the probe cadence: every ⌈1/ε⌉-th routed decision of
+	// a cluster includes one excluded model. Default 0.1; negative
+	// disables probing.
+	Epsilon float64
+	// MaxClusters caps the index size; once full, queries that match no
+	// existing cluster stop creating new ones (they still fall back to
+	// the full pool). Default 512.
+	MaxClusters int
+	// PriorWeight is the pseudo-pull mass each warm-start prior carries
+	// into the bandit (core.Config.PriorWeight). Default 2.
+	PriorWeight float64
+	// Decay exponentially ages the per-(cluster, model) reward stats on
+	// every new observation, bounding the history a drifted model must
+	// outrun. Default 0.98 (an effective window of ~50 observations).
+	Decay float64
+	// Encoder embeds queries. Nil means embedding.Default().
+	Encoder embedding.Encoder
+}
+
+func (o PredictorOptions) withDefaults() PredictorOptions {
+	if o.TopK <= 0 {
+		o.TopK = 2
+	}
+	if o.MinObservations <= 0 {
+		o.MinObservations = 3
+	}
+	if o.MinSimilarity <= 0 {
+		o.MinSimilarity = 0.5
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.MaxClusters <= 0 {
+		o.MaxClusters = 512
+	}
+	if o.PriorWeight <= 0 {
+		o.PriorWeight = 2
+	}
+	if o.Decay <= 0 || o.Decay > 1 {
+		o.Decay = 0.98
+	}
+	if o.Encoder == nil {
+		o.Encoder = embedding.Default()
+	}
+	return o
+}
+
+// winnerBonus is added to the winning model's reward observation: the
+// orchestrator's selection is a judgment the raw score does not carry.
+const winnerBonus = 0.05
+
+// modelStats holds exponentially decayed sufficient statistics of one
+// model's rewards within one cluster: weight (effective observation
+// count), sum, and sum of squares.
+type modelStats struct {
+	W     float64 `json:"w"`
+	Sum   float64 `json:"sum"`
+	SumSq float64 `json:"sumsq"`
+}
+
+func (s *modelStats) add(r, decay float64) {
+	s.W = s.W*decay + 1
+	s.Sum = s.Sum*decay + r
+	s.SumSq = s.SumSq*decay + r*r
+}
+
+func (s *modelStats) mean() float64 {
+	if s == nil || s.W == 0 {
+		return 0
+	}
+	return s.Sum / s.W
+}
+
+// stderr is the standard error of the decayed mean: sqrt(var/W). It is
+// what the variance confidence gate compares across the top-k boundary.
+func (s *modelStats) stderr() float64 {
+	if s == nil || s.W == 0 {
+		return math.Inf(1)
+	}
+	mean := s.Sum / s.W
+	variance := s.SumSq/s.W - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance / s.W)
+}
+
+// cluster is one online centroid with its reward history.
+type cluster struct {
+	id       int
+	n        int       // queries assigned (raw count)
+	sum      []float64 // unnormalized centroid accumulator
+	centroid embedding.Vector
+	stats    map[string]*modelStats
+	routed   int // routed decisions served (drives the ε cadence)
+	probeIdx int // round-robin cursor over the excluded models
+}
+
+// clusterRecord is the persisted form of a cluster (vectordb document
+// text; the document embedding carries the normalized centroid).
+type clusterRecord struct {
+	N        int                    `json:"n"`
+	Sum      []float64              `json:"sum"`
+	Routed   int                    `json:"routed"`
+	ProbeIdx int                    `json:"probe_idx"`
+	Stats    map[string]*modelStats `json:"stats"`
+}
+
+// Prediction is one routing decision.
+type Prediction struct {
+	// Cluster is the matched cluster id, -1 when none matched.
+	Cluster int `json:"cluster"`
+	// Similarity is the cosine similarity to the matched centroid.
+	Similarity float64 `json:"similarity"`
+	// Outcome is the decision label (topk, probe, full, fallback_*).
+	Outcome string `json:"outcome"`
+	// Routed reports whether the model set was actually narrowed; when
+	// false, Models is the caller's pool unchanged and Priors is nil.
+	Routed bool `json:"routed"`
+	// Models is the fan-out set to orchestrate over.
+	Models []string `json:"models"`
+	// Probe names the ε-probe model appended to Models, if any.
+	Probe string `json:"probe,omitempty"`
+	// Priors maps each predicted top-k model to its cluster-historical
+	// mean reward (the warm start for core.Config.Priors). The probe
+	// model gets no prior: its stale mean is exactly what the probe is
+	// re-measuring.
+	Priors map[string]float64 `json:"priors,omitempty"`
+	// PriorWeight is the pseudo-pull mass for core.Config.PriorWeight.
+	PriorWeight float64 `json:"prior_weight,omitempty"`
+}
+
+// Predictor is the query-embedding cluster index. Safe for concurrent
+// use; persistence through a vectordb collection is optional.
+type Predictor struct {
+	opts PredictorOptions
+
+	mu        sync.Mutex
+	clusters  []*cluster
+	nextID    int
+	decisions map[string]uint64 // outcome label → count
+
+	col   *vectordb.Collection // nil keeps the index in memory only
+	onErr func(error)
+}
+
+// NewPredictor builds an empty index.
+func NewPredictor(opts PredictorOptions) *Predictor {
+	return &Predictor{opts: opts.withDefaults(), decisions: make(map[string]uint64)}
+}
+
+// Options returns the effective (defaulted) options.
+func (p *Predictor) Options() PredictorOptions { return p.opts }
+
+// SetPersistence attaches a durable collection: every cluster mutation
+// is upserted as one document, and Load rebuilds the index from it.
+// onErr, when non-nil, receives persistence failures (the index itself
+// stays consistent in memory).
+func (p *Predictor) SetPersistence(col *vectordb.Collection, onErr func(error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.col = col
+	p.onErr = onErr
+}
+
+// Load rebuilds the index from the attached collection, returning the
+// number of clusters restored.
+func (p *Predictor) Load() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.col == nil {
+		return 0, nil
+	}
+	p.clusters = nil
+	p.nextID = 0
+	for _, doc := range p.col.All() {
+		id, err := strconv.Atoi(strings.TrimPrefix(doc.ID, "c"))
+		if err != nil {
+			return 0, fmt.Errorf("router: bad cluster doc id %q", doc.ID)
+		}
+		var rec clusterRecord
+		if err := json.Unmarshal([]byte(doc.Text), &rec); err != nil {
+			return 0, fmt.Errorf("router: parse cluster %q: %w", doc.ID, err)
+		}
+		c := &cluster{
+			id: id, n: rec.N, sum: rec.Sum,
+			centroid: normalize(rec.Sum),
+			stats:    rec.Stats,
+			routed:   rec.Routed, probeIdx: rec.ProbeIdx,
+		}
+		if c.stats == nil {
+			c.stats = make(map[string]*modelStats)
+		}
+		p.clusters = append(p.clusters, c)
+		if id >= p.nextID {
+			p.nextID = id + 1
+		}
+	}
+	sort.Slice(p.clusters, func(i, j int) bool { return p.clusters[i].id < p.clusters[j].id })
+	return len(p.clusters), nil
+}
+
+// persistLocked upserts one cluster's document. Callers hold p.mu.
+func (p *Predictor) persistLocked(c *cluster) {
+	if p.col == nil {
+		return
+	}
+	rec := clusterRecord{N: c.n, Sum: c.sum, Routed: c.routed, ProbeIdx: c.probeIdx, Stats: c.stats}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		err = p.col.Upsert(vectordb.Document{
+			ID:        "c" + strconv.Itoa(c.id),
+			Text:      string(data),
+			Embedding: append(embedding.Vector(nil), c.centroid...),
+		})
+	}
+	if err != nil && p.onErr != nil {
+		p.onErr(fmt.Errorf("router: persist cluster %d: %w", c.id, err))
+	}
+}
+
+// nearestLocked returns the cluster whose centroid is most similar to
+// qv (ties break on lower id), or nil when the index is empty.
+func (p *Predictor) nearestLocked(qv embedding.Vector) (*cluster, float64) {
+	var best *cluster
+	bestSim := math.Inf(-1)
+	for _, c := range p.clusters {
+		if sim := embedding.Dot(c.centroid, qv); sim > bestSim {
+			best, bestSim = c, sim
+		}
+	}
+	return best, bestSim
+}
+
+// Predict decides the fan-out subset for a query over the given pool.
+// It never errors: every uncertain case degrades to the full pool. The
+// decision is counted (Status) but only routed decisions advance the
+// cluster's ε cadence.
+func (p *Predictor) Predict(query string, pool []string) Prediction {
+	pred := Prediction{Cluster: -1, Outcome: OutcomeFull, Models: pool}
+	k := p.opts.TopK
+	if k >= len(pool) {
+		// Routing is a no-op: full orchestration, no priors, so the
+		// k = len(models) path stays byte-identical to an unrouted run.
+		p.count(OutcomeFull)
+		return pred
+	}
+	qv := p.opts.Encoder.Encode(query)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, sim := p.nearestLocked(qv)
+	if c == nil || isZero(qv) {
+		pred.Outcome = OutcomeFallbackCold
+		p.countLocked(OutcomeFallbackCold)
+		return pred
+	}
+	pred.Cluster = c.id
+	pred.Similarity = sim
+	if sim < p.opts.MinSimilarity {
+		pred.Outcome = OutcomeFallbackFar
+		p.countLocked(OutcomeFallbackFar)
+		return pred
+	}
+	if c.n < p.opts.MinObservations {
+		pred.Outcome = OutcomeFallbackFewObs
+		p.countLocked(OutcomeFallbackFewObs)
+		return pred
+	}
+	type ranked struct {
+		model string
+		stats *modelStats
+	}
+	rs := make([]ranked, 0, len(pool))
+	for _, m := range pool {
+		st := c.stats[m]
+		if st == nil || st.W < 1 {
+			// An unobserved pool model means the ranking is blind to it:
+			// run the full pool so it gets measured.
+			pred.Outcome = OutcomeFallbackFewObs
+			p.countLocked(OutcomeFallbackFewObs)
+			return pred
+		}
+		rs = append(rs, ranked{model: m, stats: st})
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		mi, mj := rs[i].stats.mean(), rs[j].stats.mean()
+		if mi != mj {
+			return mi > mj
+		}
+		return rs[i].model < rs[j].model
+	})
+	// Variance gate: the boundary between the worst included and the
+	// best excluded model must be wider than their combined standard
+	// errors, or the cut is noise and the full pool should decide.
+	worstIn, bestOut := rs[k-1], rs[k]
+	gap := worstIn.stats.mean() - bestOut.stats.mean()
+	if gap < worstIn.stats.stderr()+bestOut.stats.stderr() {
+		pred.Outcome = OutcomeFallbackVariance
+		p.countLocked(OutcomeFallbackVariance)
+		return pred
+	}
+
+	included := make(map[string]bool, k)
+	pred.Priors = make(map[string]float64, k)
+	for _, r := range rs[:k] {
+		included[r.model] = true
+		pred.Priors[r.model] = r.stats.mean()
+	}
+	// Keep the caller's pool order for the narrowed set: deterministic,
+	// and stable against rank churn among the included models.
+	models := make([]string, 0, k+1)
+	for _, m := range pool {
+		if included[m] {
+			models = append(models, m)
+		}
+	}
+	pred.Routed = true
+	pred.Outcome = OutcomeTopK
+	pred.PriorWeight = p.opts.PriorWeight
+
+	// Deterministic ε-probe: every ⌈1/ε⌉-th routed decision widens the
+	// subset by the next excluded model (name-sorted round-robin), so
+	// the index keeps measuring what it excluded.
+	c.routed++
+	if p.opts.Epsilon > 0 {
+		cadence := int(math.Ceil(1 / p.opts.Epsilon))
+		if cadence > 0 && c.routed%cadence == 0 {
+			excluded := make([]string, 0, len(rs)-k)
+			for _, r := range rs[k:] {
+				excluded = append(excluded, r.model)
+			}
+			sort.Strings(excluded)
+			probe := excluded[c.probeIdx%len(excluded)]
+			c.probeIdx++
+			models = append(models, probe)
+			pred.Probe = probe
+			pred.Outcome = OutcomeProbe
+		}
+	}
+	pred.Models = models
+	p.countLocked(pred.Outcome)
+	return pred
+}
+
+// Observe feeds one completed orchestration back into the index: the
+// query is assigned to its cluster (creating one when nothing is close
+// enough and the cap allows), and every model that produced output
+// contributes its final score — plus a winner bonus for the selected
+// model — as a reward observation.
+func (p *Predictor) Observe(query string, res core.Result) {
+	qv := p.opts.Encoder.Encode(query)
+	if isZero(qv) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, sim := p.nearestLocked(qv)
+	if c == nil || sim < p.opts.MinSimilarity {
+		if len(p.clusters) >= p.opts.MaxClusters {
+			return
+		}
+		c = &cluster{id: p.nextID, n: 1, sum: toFloat64(qv),
+			centroid: append(embedding.Vector(nil), qv...),
+			stats:    make(map[string]*modelStats)}
+		p.nextID++
+		p.clusters = append(p.clusters, c)
+	} else {
+		c.n++
+		for i, v := range qv {
+			c.sum[i] += float64(v)
+		}
+		c.centroid = normalize(c.sum)
+	}
+	for _, out := range res.Outcomes {
+		if out.Failed || out.Tokens == 0 {
+			continue
+		}
+		r := out.Score
+		if out.Model == res.Model {
+			r += winnerBonus
+		}
+		st := c.stats[out.Model]
+		if st == nil {
+			st = &modelStats{}
+			c.stats[out.Model] = st
+		}
+		st.add(r, p.opts.Decay)
+	}
+	p.persistLocked(c)
+}
+
+// Rate feeds one end-user feedback rating (clamped to [-1, 1]) into the
+// rated model's stats on the cluster of the query it answered. The
+// rating maps onto the score scale as 0.5 + 0.35·rating, so a thumbs-up
+// lands near a strong score and a thumbs-down near a weak one. The
+// query must match an existing cluster — feedback never creates or
+// moves centroids. Reports whether a cluster absorbed the rating.
+func (p *Predictor) Rate(query, model string, rating float64) bool {
+	if model == "" {
+		return false
+	}
+	rating = math.Max(-1, math.Min(1, rating))
+	qv := p.opts.Encoder.Encode(query)
+	if isZero(qv) {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, sim := p.nearestLocked(qv)
+	if c == nil || sim < p.opts.MinSimilarity {
+		return false
+	}
+	st := c.stats[model]
+	if st == nil {
+		st = &modelStats{}
+		c.stats[model] = st
+	}
+	st.add(0.5+0.35*rating, p.opts.Decay)
+	p.persistLocked(c)
+	return true
+}
+
+// ClusterModelStatus is one model's standing within one cluster.
+type ClusterModelStatus struct {
+	Model        string  `json:"model"`
+	Observations float64 `json:"observations"` // decayed effective count
+	Mean         float64 `json:"mean"`
+	StdErr       float64 `json:"stderr"`
+}
+
+// ClusterStatus is the transparent view of one cluster.
+type ClusterStatus struct {
+	ID      int                  `json:"id"`
+	Queries int                  `json:"queries"`
+	Routed  int                  `json:"routed"`
+	Models  []ClusterModelStatus `json:"models"`
+}
+
+// Status is the GET /api/router payload.
+type Status struct {
+	TopK            int               `json:"top_k"`
+	MinObservations int               `json:"min_observations"`
+	MinSimilarity   float64           `json:"min_similarity"`
+	Epsilon         float64           `json:"epsilon"`
+	Clusters        int               `json:"clusters"`
+	Decisions       map[string]uint64 `json:"decisions"`
+	Index           []ClusterStatus   `json:"index"`
+}
+
+// Status snapshots the index for the status endpoint.
+func (p *Predictor) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Status{
+		TopK:            p.opts.TopK,
+		MinObservations: p.opts.MinObservations,
+		MinSimilarity:   p.opts.MinSimilarity,
+		Epsilon:         p.opts.Epsilon,
+		Clusters:        len(p.clusters),
+		Decisions:       make(map[string]uint64, len(p.decisions)),
+		Index:           make([]ClusterStatus, 0, len(p.clusters)),
+	}
+	for k, v := range p.decisions {
+		st.Decisions[k] = v
+	}
+	for _, c := range p.clusters {
+		cs := ClusterStatus{ID: c.id, Queries: c.n, Routed: c.routed}
+		for m, ms := range c.stats {
+			cs.Models = append(cs.Models, ClusterModelStatus{
+				Model: m, Observations: ms.W, Mean: ms.mean(), StdErr: ms.stderr(),
+			})
+		}
+		sort.Slice(cs.Models, func(i, j int) bool {
+			if cs.Models[i].Mean != cs.Models[j].Mean {
+				return cs.Models[i].Mean > cs.Models[j].Mean
+			}
+			return cs.Models[i].Model < cs.Models[j].Model
+		})
+		st.Index = append(st.Index, cs)
+	}
+	return st
+}
+
+func (p *Predictor) count(outcome string) {
+	p.mu.Lock()
+	p.countLocked(outcome)
+	p.mu.Unlock()
+}
+
+func (p *Predictor) countLocked(outcome string) { p.decisions[outcome]++ }
+
+func toFloat64(v embedding.Vector) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func normalize(sum []float64) embedding.Vector {
+	var norm float64
+	for _, x := range sum {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	out := make(embedding.Vector, len(sum))
+	if norm == 0 {
+		return out
+	}
+	for i, x := range sum {
+		out[i] = float32(x / norm)
+	}
+	return out
+}
+
+func isZero(v embedding.Vector) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package router
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"llmms/internal/core"
+	"llmms/internal/vectordb"
+)
+
+// Query families from the TruthfulQA templates: same-family pairs embed
+// well above the default MinSimilarity, cross-family pairs well below,
+// so each family trains exactly one cluster.
+var (
+	geoQueries = []string{
+		"What is the capital of France?",
+		"What is the capital of Japan?",
+		"What is the capital of Brazil?",
+		"What is the capital of Egypt?",
+		"What is the capital of Canada?",
+		"What is the capital of Kenya?",
+	}
+	chemQueries = []string{
+		"What is the chemical symbol for gold?",
+		"What is the chemical symbol for iron?",
+		"What is the chemical symbol for oxygen?",
+		"What is the chemical symbol for helium?",
+	}
+)
+
+var testPool = []string{"llama3", "mistral", "qwen2"}
+
+// scoredResult builds a completed orchestration where every pool model
+// produced output with the given score. An empty winner avoids the
+// winner bonus so cluster means equal the raw scores exactly.
+func scoredResult(winner string, scores map[string]float64) core.Result {
+	res := core.Result{Model: winner}
+	for _, m := range testPool {
+		res.Outcomes = append(res.Outcomes, core.ModelOutcome{
+			Model: m, Response: "answer", Tokens: 5, Score: scores[m],
+		})
+	}
+	return res
+}
+
+// train feeds n copies of the same per-model scores through each query
+// of a family, building one well-observed cluster.
+func train(p *Predictor, queries []string, scores map[string]float64) {
+	for _, q := range queries {
+		p.Observe(q, scoredResult("", scores))
+	}
+}
+
+func TestPredictorClustersByFamily(t *testing.T) {
+	p := NewPredictor(PredictorOptions{})
+	train(p, geoQueries, map[string]float64{"llama3": 0.8, "mistral": 0.6, "qwen2": 0.5})
+	train(p, chemQueries, map[string]float64{"llama3": 0.4, "mistral": 0.6, "qwen2": 0.9})
+	st := p.Status()
+	if st.Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2 (one per query family): %+v", st.Clusters, st.Index)
+	}
+	if st.Index[0].Queries != len(geoQueries) || st.Index[1].Queries != len(chemQueries) {
+		t.Fatalf("cluster sizes = %d, %d, want %d, %d",
+			st.Index[0].Queries, st.Index[1].Queries, len(geoQueries), len(chemQueries))
+	}
+}
+
+func TestPredictFullPoolNoOp(t *testing.T) {
+	p := NewPredictor(PredictorOptions{TopK: len(testPool)})
+	train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.3, "qwen2": 0.3})
+	pred := p.Predict(geoQueries[0], testPool)
+	if pred.Outcome != OutcomeFull || pred.Routed {
+		t.Fatalf("outcome = %q routed=%v, want full no-op", pred.Outcome, pred.Routed)
+	}
+	if !reflect.DeepEqual(pred.Models, testPool) || pred.Priors != nil {
+		t.Fatalf("full outcome must pass the pool through untouched: %+v", pred)
+	}
+}
+
+func TestPredictFallbacks(t *testing.T) {
+	t.Run("cold", func(t *testing.T) {
+		p := NewPredictor(PredictorOptions{})
+		pred := p.Predict(geoQueries[0], testPool)
+		if pred.Outcome != OutcomeFallbackCold || pred.Routed || pred.Cluster != -1 {
+			t.Fatalf("empty index: %+v, want fallback_cold", pred)
+		}
+	})
+	t.Run("far", func(t *testing.T) {
+		p := NewPredictor(PredictorOptions{})
+		train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.5, "qwen2": 0.3})
+		pred := p.Predict(chemQueries[0], testPool)
+		if pred.Outcome != OutcomeFallbackFar || pred.Routed {
+			t.Fatalf("cross-family query: %+v, want fallback_far", pred)
+		}
+	})
+	t.Run("few_obs_cluster", func(t *testing.T) {
+		p := NewPredictor(PredictorOptions{MinObservations: 10})
+		train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.5, "qwen2": 0.3})
+		pred := p.Predict(geoQueries[0], testPool)
+		if pred.Outcome != OutcomeFallbackFewObs || pred.Routed {
+			t.Fatalf("under-observed cluster: %+v, want fallback_few_obs", pred)
+		}
+	})
+	t.Run("few_obs_model", func(t *testing.T) {
+		p := NewPredictor(PredictorOptions{})
+		train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.5, "qwen2": 0.3})
+		// A pool model the cluster has never measured blinds the ranking.
+		pred := p.Predict(geoQueries[0], append([]string{"phi3"}, testPool...))
+		if pred.Outcome != OutcomeFallbackFewObs || pred.Routed {
+			t.Fatalf("unobserved pool model: %+v, want fallback_few_obs", pred)
+		}
+	})
+	t.Run("variance", func(t *testing.T) {
+		p := NewPredictor(PredictorOptions{TopK: 2, Epsilon: -1})
+		// mistral and qwen2 straddle the top-k boundary with overlapping
+		// noise: alternating rewards give them equal means and wide
+		// standard errors, so the cut is statistically meaningless.
+		for i, q := range geoQueries {
+			lo, hi := 0.3, 0.9
+			if i%2 == 1 {
+				lo, hi = hi, lo
+			}
+			p.Observe(q, scoredResult("", map[string]float64{
+				"llama3": 0.95, "mistral": lo, "qwen2": hi,
+			}))
+		}
+		pred := p.Predict(geoQueries[0], testPool)
+		if pred.Outcome != OutcomeFallbackVariance || pred.Routed {
+			t.Fatalf("noisy boundary: %+v, want fallback_variance", pred)
+		}
+	})
+}
+
+func TestPredictTopKWithPriors(t *testing.T) {
+	p := NewPredictor(PredictorOptions{TopK: 2, Epsilon: -1})
+	scores := map[string]float64{"llama3": 0.9, "mistral": 0.3, "qwen2": 0.7}
+	train(p, geoQueries, scores)
+	pred := p.Predict(geoQueries[0], testPool)
+	if pred.Outcome != OutcomeTopK || !pred.Routed {
+		t.Fatalf("trained cluster: %+v, want topk", pred)
+	}
+	// Narrowed set keeps the caller's pool order.
+	if want := []string{"llama3", "qwen2"}; !reflect.DeepEqual(pred.Models, want) {
+		t.Fatalf("models = %v, want %v", pred.Models, want)
+	}
+	if pred.PriorWeight != p.Options().PriorWeight {
+		t.Fatalf("prior weight = %v, want %v", pred.PriorWeight, p.Options().PriorWeight)
+	}
+	for _, m := range pred.Models {
+		if math.Abs(pred.Priors[m]-scores[m]) > 1e-9 {
+			t.Fatalf("prior[%s] = %v, want historical mean %v", m, pred.Priors[m], scores[m])
+		}
+	}
+	if _, ok := pred.Priors["mistral"]; ok {
+		t.Fatalf("excluded model must not get a prior: %v", pred.Priors)
+	}
+}
+
+func TestProbeCadence(t *testing.T) {
+	p := NewPredictor(PredictorOptions{TopK: 1, Epsilon: 0.5}) // probe every 2nd routed decision
+	train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.3, "qwen2": 0.5})
+	var probes []string
+	for i := 0; i < 6; i++ {
+		pred := p.Predict(geoQueries[0], testPool)
+		if !pred.Routed {
+			t.Fatalf("decision %d not routed: %+v", i, pred)
+		}
+		probe := i%2 == 1
+		if (pred.Outcome == OutcomeProbe) != probe {
+			t.Fatalf("decision %d outcome = %q, want probe=%v", i, pred.Outcome, probe)
+		}
+		if probe {
+			if n := len(pred.Models); n != 2 {
+				t.Fatalf("probe decision width = %d, want 2", n)
+			}
+			probes = append(probes, pred.Probe)
+		} else if len(pred.Models) != 1 {
+			t.Fatalf("decision %d width = %d, want 1", i, len(pred.Models))
+		}
+	}
+	// Probes cycle through the excluded models round-robin, name-sorted.
+	if want := []string{"mistral", "qwen2", "mistral"}; !reflect.DeepEqual(probes, want) {
+		t.Fatalf("probe cycle = %v, want %v", probes, want)
+	}
+}
+
+func TestClusterDriftFlipsRouting(t *testing.T) {
+	// Fast decay bounds the history a drifted model must outrun.
+	p := NewPredictor(PredictorOptions{TopK: 1, Epsilon: -1, Decay: 0.8})
+	train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.6, "qwen2": 0.3})
+	if pred := p.Predict(geoQueries[0], testPool); !reflect.DeepEqual(pred.Models, []string{"llama3"}) {
+		t.Fatalf("pre-drift models = %v, want [llama3]", pred.Models)
+	}
+	// The world changes: qwen2 now dominates and llama3 degrades. The
+	// ε-probe (exercised above) is what feeds these observations in a
+	// live system; here we inject them directly.
+	for i := 0; i < 5; i++ {
+		train(p, geoQueries, map[string]float64{"llama3": 0.3, "mistral": 0.6, "qwen2": 0.9})
+	}
+	pred := p.Predict(geoQueries[0], testPool)
+	if !reflect.DeepEqual(pred.Models, []string{"qwen2"}) {
+		t.Fatalf("post-drift models = %v (outcome %q), want [qwen2]", pred.Models, pred.Outcome)
+	}
+}
+
+func TestObserveSkipsFailedAndEmptyOutcomes(t *testing.T) {
+	p := NewPredictor(PredictorOptions{})
+	res := core.Result{Model: "llama3", Outcomes: []core.ModelOutcome{
+		{Model: "llama3", Response: "x", Tokens: 5, Score: 0.9},
+		{Model: "mistral", Failed: true, Score: 0.7},
+		{Model: "qwen2", Tokens: 0, Score: 0.6},
+	}}
+	for _, q := range geoQueries {
+		p.Observe(q, res)
+	}
+	st := p.Status()
+	if st.Clusters != 1 || len(st.Index[0].Models) != 1 || st.Index[0].Models[0].Model != "llama3" {
+		t.Fatalf("failed and token-less outcomes must not train: %+v", st.Index)
+	}
+	// The winner bonus rides on the winning model's score.
+	if mean := st.Index[0].Models[0].Mean; math.Abs(mean-0.95) > 1e-9 {
+		t.Fatalf("winner mean = %v, want score+bonus 0.95", mean)
+	}
+}
+
+func TestObserveRespectsMaxClusters(t *testing.T) {
+	p := NewPredictor(PredictorOptions{MaxClusters: 1})
+	train(p, geoQueries, map[string]float64{"llama3": 0.9})
+	train(p, chemQueries, map[string]float64{"qwen2": 0.9})
+	st := p.Status()
+	if st.Clusters != 1 || st.Index[0].Queries != len(geoQueries) {
+		t.Fatalf("capped index absorbed off-cluster queries: %+v", st.Index)
+	}
+}
+
+func TestRateShiftsClusterStats(t *testing.T) {
+	p := NewPredictor(PredictorOptions{TopK: 2, Epsilon: -1})
+	train(p, geoQueries, map[string]float64{"llama3": 0.62, "mistral": 0.6, "qwen2": 0.3})
+	if pred := p.Predict(geoQueries[0], testPool); pred.Outcome != OutcomeTopK {
+		t.Fatalf("pre-feedback outcome = %q, want topk", pred.Outcome)
+	}
+	// Repeated thumbs-down on llama3 (reward 0.15 per rating) drags its
+	// mean below qwen2's; thumbs-up on qwen2 (0.85) lifts it.
+	for i := 0; i < 40; i++ {
+		if !p.Rate(geoQueries[0], "llama3", -1) {
+			t.Fatal("rating on a clustered query must land")
+		}
+		p.Rate(geoQueries[0], "qwen2", 1)
+	}
+	pred := p.Predict(geoQueries[0], testPool)
+	if pred.Outcome != OutcomeTopK || !reflect.DeepEqual(pred.Models, []string{"mistral", "qwen2"}) {
+		t.Fatalf("post-feedback prediction = %+v, want topk [mistral qwen2]", pred)
+	}
+	// Ratings on queries matching no cluster are dropped, not misfiled.
+	if p.Rate("completely unrelated nonsense zzz", "llama3", 1) {
+		t.Fatal("rating on an unclustered query must not land")
+	}
+}
+
+func TestPredictorPersistenceRoundTrip(t *testing.T) {
+	db := vectordb.New()
+	col, err := db.CreateCollection("route_clusters", vectordb.CollectionConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(PredictorOptions{TopK: 2, Epsilon: -1})
+	p.SetPersistence(col, func(err error) { t.Errorf("persist: %v", err) })
+	train(p, geoQueries, map[string]float64{"llama3": 0.9, "mistral": 0.3, "qwen2": 0.7})
+	train(p, chemQueries, map[string]float64{"llama3": 0.4, "mistral": 0.3, "qwen2": 0.9})
+	want := p.Predict(geoQueries[0], testPool)
+
+	restored := NewPredictor(PredictorOptions{TopK: 2, Epsilon: -1})
+	restored.SetPersistence(col, func(err error) { t.Errorf("persist: %v", err) })
+	n, err := restored.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d clusters, want 2", n)
+	}
+	got := restored.Predict(geoQueries[0], testPool)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored prediction = %+v, want %+v", got, want)
+	}
+	if chem := restored.Predict(chemQueries[0], testPool); !reflect.DeepEqual(chem.Models, []string{"llama3", "qwen2"}) {
+		t.Fatalf("restored chem models = %v, want [llama3 qwen2]", chem.Models)
+	}
+}

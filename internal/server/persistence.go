@@ -47,6 +47,16 @@ const (
 // never queried by similarity.
 const sessionStateDoc = "state"
 
+// feedbackStateDoc is the id of the "feedback" collection document
+// holding the core.FeedbackState snapshot (same key-value-slot pattern
+// as sessions), so learned answer-rating priors survive restarts.
+const feedbackStateDoc = "state"
+
+// routeClustersCollection is the durable collection behind the
+// predictive-routing cluster index: one document per cluster, centroid
+// as the embedding, reward stats in the JSON text.
+const routeClustersCollection = "route_clusters"
+
 // serverState is the scalar state state.json carries across restarts.
 type serverState struct {
 	// RagRev keeps cached-answer scopes ("rag:<rev>:...") comparable
@@ -166,6 +176,35 @@ func (s *Server) restoreState() error {
 		s.logger.Info("sessions restored", "count", n)
 	}
 
+	fbCol, err := s.db.GetOrCreateCollection("feedback", vectordb.CollectionConfig{Shards: 1})
+	if err != nil {
+		return err
+	}
+	s.fbCol = fbCol
+	if docs := fbCol.Get(feedbackStateDoc); len(docs) == 1 {
+		var st core.FeedbackState
+		if err := json.Unmarshal([]byte(docs[0].Text), &st); err != nil {
+			return fmt.Errorf("server: parse feedback state: %w", err)
+		}
+		n := s.feedback.Restore(st)
+		s.logger.Info("feedback priors restored", "models", n)
+	}
+
+	if s.predictor != nil {
+		col, err := s.db.GetOrCreateCollection(routeClustersCollection, vectordb.CollectionConfig{Shards: 1})
+		if err != nil {
+			return err
+		}
+		s.predictor.SetPersistence(col, func(err error) {
+			s.logger.Warn("route cluster persist failed", "err", err)
+		})
+		n, err := s.predictor.Load()
+		if err != nil {
+			return fmt.Errorf("server: restore route clusters: %w", err)
+		}
+		s.logger.Info("route clusters restored", "clusters", n)
+	}
+
 	if s.cache != nil {
 		ws, err := qcache.ReadWarmState(filepath.Join(s.dataDir, qcacheFile))
 		if err != nil {
@@ -175,6 +214,27 @@ func (s *Server) restoreState() error {
 		s.logger.Info("answer cache warmed", "entries", n, "snapshot_entries", len(ws.Entries))
 	}
 	return nil
+}
+
+// persistFeedback snapshots the feedback store into its durable slot.
+// Ratings arrive at human cadence, so one synchronous upsert per rating
+// is cheap and keeps the snapshot always current (Close needs no extra
+// pass). No-op in memory-only mode.
+func (s *Server) persistFeedback() {
+	if s.fbCol == nil {
+		return
+	}
+	data, err := json.Marshal(s.feedback.Snapshot())
+	if err == nil {
+		err = s.fbCol.Upsert(vectordb.Document{
+			ID:        feedbackStateDoc,
+			Text:      string(data),
+			Embedding: embedding.Vector{0},
+		})
+	}
+	if err != nil {
+		s.logger.Warn("feedback persist failed", "err", err)
+	}
 }
 
 // Close persists the server's state and releases the substrate: the

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"llmms/internal/core"
+	"llmms/internal/router"
+	"llmms/internal/session"
+	"llmms/internal/telemetry"
+)
+
+// Predictive routing (DESIGN.md "Predictive routing"): with
+// Options.Routing.TopK set, the server keeps a router.Predictor — an
+// online query-embedding cluster index with per-(cluster, model) reward
+// history — and consults it on every multi-model query before admission.
+// A confident prediction narrows the fan-out to the top-k models (plus
+// the occasional ε-probe), and the narrowed width is what the Gate
+// acquires, so admission capacity gains are actually realized. Every
+// completed orchestration and every user feedback rating trains the
+// index; with Options.DataDir the cluster collection is durable.
+
+// RoutingOptions configures query-aware predictive routing. The zero
+// value disables the layer entirely.
+type RoutingOptions struct {
+	// TopK enables routing when positive: confidently clustered queries
+	// fan out to only the predicted top-k models (the -router-topk flag
+	// on cmd/llmms). Zero disables predictive routing.
+	TopK int
+	// MinObservations is how many queries a cluster needs before it may
+	// narrow the fan-out (non-positive takes the predictor default, 3).
+	MinObservations int
+	// MinSimilarity is the centroid cosine similarity below which a
+	// query falls back to the full pool (non-positive takes the
+	// predictor default, 0.5).
+	MinSimilarity float64
+	// Epsilon sets the ε-probe cadence: every ⌈1/ε⌉-th routed decision
+	// of a cluster includes one excluded model (zero takes the
+	// predictor default 0.1; negative disables probing).
+	Epsilon float64
+	// MaxClusters caps the cluster index size (non-positive takes the
+	// predictor default, 512).
+	MaxClusters int
+}
+
+// newPredictor builds the routing predictor from options, or nil when
+// routing is disabled.
+func newPredictor(opts Options) *router.Predictor {
+	if opts.Routing.TopK <= 0 {
+		return nil
+	}
+	return router.NewPredictor(router.PredictorOptions{
+		TopK:            opts.Routing.TopK,
+		MinObservations: opts.Routing.MinObservations,
+		MinSimilarity:   opts.Routing.MinSimilarity,
+		Epsilon:         opts.Routing.Epsilon,
+		MaxClusters:     opts.Routing.MaxClusters,
+	})
+}
+
+// Router exposes the routing predictor (nil when routing is disabled);
+// tests and embedding apps use it to inspect or pre-train the index.
+func (s *Server) Router() *router.Predictor { return s.predictor }
+
+// predictRoute consults the cluster index for a query's fan-out subset.
+// It returns nil when routing is off or the query is single-model (the
+// pool is already one model — nothing to narrow). The decision is
+// traced (route.predict span), counted
+// (llmms_route_decisions_total{outcome}, llmms_route_width,
+// llmms_route_probes_total{model}), and echoed in the X-Route response
+// header as "<outcome>:<width>".
+func (s *Server) predictRoute(ctx context.Context, query string, strategy core.Strategy, pool []string) *router.Prediction {
+	if s.predictor == nil || strategy == core.StrategySingle {
+		return nil
+	}
+	_, span := telemetry.StartSpan(ctx, "route.predict")
+	pred := s.predictor.Predict(query, pool)
+	span.SetAttr("outcome", pred.Outcome)
+	span.SetAttr("cluster", fmt.Sprintf("%d", pred.Cluster))
+	span.SetAttr("similarity", fmt.Sprintf("%.3f", pred.Similarity))
+	span.SetAttr("models", strings.Join(pred.Models, ","))
+	span.End(nil)
+	s.tel.RouteDecisions.Inc(pred.Outcome)
+	s.tel.RouteWidth.Observe(float64(len(pred.Models)))
+	if pred.Probe != "" {
+		s.tel.RouteProbes.Inc(pred.Probe)
+	}
+	return &pred
+}
+
+// observeRoute feeds a completed orchestration back into the cluster
+// index (no-op when routing is off).
+func (s *Server) observeRoute(query string, res core.Result) {
+	if s.predictor != nil {
+		s.predictor.Observe(query, res)
+	}
+}
+
+// rateRoute forwards a user feedback rating to the cluster of the
+// session's last question, so feedback sharpens the routing index as
+// well as the global FeedbackStore. Feedback never creates clusters.
+func (s *Server) rateRoute(sessionID, model string, rating float64) {
+	if s.predictor == nil || sessionID == "" {
+		return
+	}
+	sess, err := s.sessions.Get(sessionID)
+	if err != nil {
+		return
+	}
+	for i := len(sess.Messages) - 1; i >= 0; i-- {
+		if sess.Messages[i].Role == session.RoleUser {
+			s.predictor.Rate(sess.Messages[i].Content, model, rating)
+			return
+		}
+	}
+}
+
+// handleRouter reports the routing index: options, per-outcome decision
+// counts, and the transparent per-cluster model standings.
+func (s *Server) handleRouter(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.predictor.Status())
+}

@@ -24,6 +24,7 @@
 //	GET  /api/recall           contextual memory-graph recall (§9.5)
 //	GET  /api/gpu              hardware telemetry
 //	GET  /api/fleet            per-replica fleet status (only with Options.Fleet)
+//	GET  /api/router           predictive-routing index status (only with Options.Routing)
 //	GET  /api/traces           recent completed query traces (newest first, ?limit=)
 //	GET  /api/traces/{id}      one query's full trace (rounds, chunks, scores, span tree)
 //	GET  /metrics              Prometheus text-format metrics exposition
@@ -172,6 +173,10 @@ type Options struct {
 	// in-flight coalescing, admission control). The zero value disables
 	// all three.
 	Serving ServingOptions
+	// Routing configures query-aware predictive routing (see
+	// RoutingOptions and DESIGN.md "Predictive routing"). The zero
+	// value disables it.
+	Routing RoutingOptions
 	// Settings overrides DefaultSettings (zero value keeps the default).
 	Settings Settings
 	// SessionOptions tunes the session store.
@@ -253,6 +258,7 @@ type Server struct {
 	flights     *qcache.Group     // nil when coalescing is disabled
 	gate        *qcache.Gate      // nil when admission is unbounded
 	fleet       *fleet.Pool       // nil without Options.Fleet
+	predictor   *router.Predictor // nil when predictive routing is disabled
 	tracer      *telemetry.Tracer // nil when tracing is disabled
 	logger      *slog.Logger
 	slowQuery   time.Duration
@@ -265,6 +271,7 @@ type Server struct {
 	db      *vectordb.DB
 	dataDir string
 	sessCol *vectordb.Collection // durable session-state slot, nil in memory
+	fbCol   *vectordb.Collection // durable feedback-ratings slot, nil in memory
 
 	mu       sync.Mutex
 	settings Settings
@@ -327,6 +334,7 @@ func NewServer(opts Options) (*Server, error) {
 		engine:      opts.Engine,
 		backend:     backend,
 		fleet:       opts.Fleet,
+		predictor:   newPredictor(opts),
 		tracer:      tracer,
 		logger:      logger,
 		slowQuery:   slowQuery,
@@ -415,6 +423,9 @@ func (s *Server) routes() {
 	s.handle("GET /api/gpu", s.handleGPU)
 	if s.fleet != nil {
 		s.handle("GET /api/fleet", s.handleFleet)
+	}
+	if s.predictor != nil {
+		s.handle("GET /api/router", s.handleRouter)
 	}
 	s.handle("GET /api/traces", s.handleTraces)
 	s.handle("GET /api/traces/{id}", s.handleTrace)
@@ -719,13 +730,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer finishFlight(flightOutcome{})
 
+	// Predictive routing: a confident cluster match narrows the fan-out
+	// to the predicted top-k models before admission, so the Gate
+	// acquires the narrowed width — the capacity the query actually
+	// uses — not the configured full width. Unconfident predictions
+	// fall back to the full pool (X-Route reports the outcome either
+	// way). The serving-layer key above is deliberately computed on the
+	// configured pool: cache keys must stay stable while routing state
+	// evolves.
+	routed := models
+	pred := s.predictRoute(rctx, req.Query, strategy, models)
+	if pred != nil {
+		w.Header().Set("X-Route", fmt.Sprintf("%s:%d", pred.Outcome, len(pred.Models)))
+		if pred.Routed {
+			routed = pred.Models
+		}
+	}
+
 	// Admission control: orchestration fans out one generation stream
 	// per candidate model, so the query weighs its model count.
 	if s.gate != nil {
 		_, gs := telemetry.StartSpan(rctx, "gate.wait")
-		gs.SetAttr("weight", strconv.Itoa(len(models)))
+		gs.SetAttr("weight", strconv.Itoa(len(routed)))
 		waitStart := time.Now()
-		err := s.gate.Acquire(r.Context(), len(models))
+		err := s.gate.Acquire(r.Context(), len(routed))
 		s.tel.QueueWait.Observe(time.Since(waitStart).Seconds())
 		gs.End(err)
 		if err != nil {
@@ -749,7 +777,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
-		defer s.gate.Release(len(models))
+		defer s.gate.Release(len(routed))
 	}
 
 	// Build the contextual prompt.
@@ -866,11 +894,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	obs := s.tel.StartQuery(queryID, string(strategy), req.Query)
 	octx, orch := telemetry.StartSpan(ctx, "orchestrate")
 	obs.BindSpans(root, orch)
-	cfg := core.DefaultConfig(models...)
+	cfg := core.DefaultConfig(routed...)
 	cfg.MaxTokens = maxTokens
 	cfg.Alpha = st.Alpha
 	cfg.Beta = st.Beta
 	cfg.Feedback = s.feedback
+	if pred != nil && pred.Routed {
+		// Warm-start the bandit from the cluster's reward history; the
+		// priors compensate for the exploration the narrowed pool skips.
+		cfg.Priors = pred.Priors
+		cfg.PriorWeight = pred.PriorWeight
+	}
 	cfg.DisableStreaming = s.noStreaming
 	cfg.OnEvent = func(ev core.Event) { writeEvent(string(ev.Type), ev) }
 	cfg.Recorder = obs
@@ -903,6 +937,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Feed the arena: every orchestrated query is a round of pairwise
 	// games between the candidates (§9.5 game-theoretic coordination).
 	s.arena.Observe(res)
+	// Train the routing index on the outcome (routed or not — fallback
+	// runs are exactly what builds a cluster toward confidence).
+	if pred != nil {
+		s.observeRoute(req.Query, res)
+	}
 
 	// Persist the exchange for session continuity and cross-session
 	// recall (§9.5 contextual memory graphs).
@@ -1186,6 +1225,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.feedback.Rate(model, req.Rating)
+	s.persistFeedback()
+	// Sharpen the routing index too: the rating lands on the cluster of
+	// the session's last question (explicit-model ratings without a
+	// session have no query to attribute, so only the global store moves).
+	s.rateRoute(req.SessionID, model, req.Rating)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model": model,
 		"prior": s.feedback.Prior(model),

@@ -54,6 +54,9 @@ const DefaultMaxQueryBytes = 2048
 //	llmms_stream_opens_total{model}                  persistent generation streams opened
 //	llmms_stream_closes_total{model,reason}          streams closed (reason: done|pruned|early_exit|failed|query_end|error)
 //	llmms_stream_fallbacks_total{model}              sessions degraded to per-round chunk calls
+//	llmms_route_decisions_total{outcome}             predictive-routing decisions (outcome: topk|probe|full|fallback_cold|fallback_far|fallback_few_obs|fallback_variance)
+//	llmms_route_probes_total{model}                  ε-probe inclusions of an otherwise-excluded model
+//	llmms_route_width                                predicted fan-out width histogram
 //	llmms_fleet_replica_state{model,replica,state}   replica state one-hot gauge (state: serving|half_open|open|unhealthy)
 //	llmms_fleet_hedges_total{model,outcome}          hedged requests (outcome: fired|won)
 //	llmms_fleet_breaker_transitions_total{model,replica,to}  circuit breaker transitions (to: open|half_open|closed)
@@ -95,6 +98,10 @@ type Telemetry struct {
 	QueueDepth     Gauge
 	QueueWait      Histogram
 	Rejected       Counter
+
+	RouteDecisions Counter
+	RouteProbes    Counter
+	RouteWidth     Histogram
 
 	FleetReplicaState       Gauge
 	FleetHedges             Counter
@@ -198,6 +205,19 @@ func New(opts Options) *Telemetry {
 			"Time spent waiting for an orchestration slot before running.", nil),
 		Rejected: reg.Counter("llmms_admission_rejected_total",
 			"Requests shed with 429 because the admission queue was full."),
+
+		// Routing labels are bounded: a fixed outcome vocabulary and the
+		// configured model inventory. The width histogram's buckets cover
+		// realistic fan-outs (1–12 models); exact integer buckets keep the
+		// avg-width estimate faithful at small widths.
+		RouteDecisions: reg.Counter("llmms_route_decisions_total",
+			"Predictive-routing decisions by outcome (topk, probe, full, fallback_cold, fallback_far, fallback_few_obs, fallback_variance).",
+			"outcome"),
+		RouteProbes: reg.Counter("llmms_route_probes_total",
+			"ε-probe inclusions of an otherwise-excluded model in a routed fan-out, by model.", "model"),
+		RouteWidth: reg.Histogram("llmms_route_width",
+			"Fan-out width (model count) the routing decision produced.",
+			[]float64{1, 2, 3, 4, 5, 6, 8, 12}),
 
 		// Fleet label cardinality is bounded by deployment shape: models ×
 		// replicas × a fixed state/transition vocabulary. Replica IDs come

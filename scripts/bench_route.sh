@@ -1,0 +1,15 @@
+#!/bin/sh
+# Runs the predictive-routing benchmark: family-clustered traffic over
+# the full HTTP stack with a fixed-latency fault backend and an
+# admission gate, with routing off (full fan-out) vs on (top-1 plus
+# ε-probes). Reports avg_width/p50_ms/qps/quality_pct per variant and
+# writes machine-readable JSON so the routing win — and its quality
+# cost — can be diffed across commits. The raw `go test -bench` text
+# goes to stderr.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_route.json}"
+go test -bench='ServeRoute' -run='^$' -benchtime=150x ./internal/server/ \
+	| tee /dev/stderr | go run ./cmd/benchjson > "$out"
+echo "wrote $out"

@@ -28,7 +28,7 @@ go test -race -shuffle=on ./...
 echo "== bench smoke (-benchtime=1x)"
 go test -run='^$' -bench='ScoreAll|EncodeIncremental|InterSim|FanoutPipelined' -benchtime=1x \
 	./internal/core/ ./internal/embedding/ >/dev/null
-go test -run='^$' -bench='ServeMix|ServeTrace|ServeBatch' -benchtime=1x ./internal/server/ >/dev/null
+go test -run='^$' -bench='ServeMix|ServeTrace|ServeBatch|ServeRoute' -benchtime=1x ./internal/server/ >/dev/null
 go test -run='^$' -bench='Fleet' -benchtime=1x ./internal/fleet/ >/dev/null
 go test -run='^$' -bench='BatchDecode' -benchtime=1x ./internal/llm/ >/dev/null
 go test -run='^$' -bench='MemDB|WarmStartHitRate' -benchtime=1x \
